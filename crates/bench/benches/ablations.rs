@@ -1,0 +1,69 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! dispatch strategy, analytic backend, boot delay, and analyzer cadence.
+//! Each variant runs the same compressed web scenario so wall-clock cost
+//! and (via the printed summaries of `repro`) quality can be compared.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmprov_core::AnalyticBackend;
+use vmprov_des::SimTime;
+use vmprov_experiments::{run_once, DispatchSpec, PolicySpec, Scenario};
+
+fn base() -> Scenario {
+    Scenario::web(PolicySpec::Adaptive, 17).with_horizon(SimTime::from_mins(20.0))
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dispatch");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for dispatch in [
+        DispatchSpec::RoundRobin,
+        DispatchSpec::LeastOutstanding,
+        DispatchSpec::Random,
+    ] {
+        let mut sc = base();
+        sc.dispatch = dispatch;
+        g.bench_with_input(
+            BenchmarkId::new("20min_web", format!("{dispatch:?}")),
+            &sc,
+            |b, sc| b.iter(|| black_box(run_once(sc, 0))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_backend");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for backend in [AnalyticBackend::TwoMoment, AnalyticBackend::Mm1k] {
+        let mut sc = base();
+        sc.backend = backend;
+        g.bench_with_input(
+            BenchmarkId::new("20min_web", format!("{backend:?}")),
+            &sc,
+            |b, sc| b.iter(|| black_box(run_once(sc, 0))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_boot_delay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_boot_delay");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    for delay in [0.0, 60.0, 300.0] {
+        let mut sc = base();
+        sc.boot_delay = delay;
+        g.bench_with_input(
+            BenchmarkId::new("20min_web", format!("{delay:.0}s")),
+            &sc,
+            |b, sc| b.iter(|| black_box(run_once(sc, 0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_backend, bench_boot_delay);
+criterion_main!(benches);

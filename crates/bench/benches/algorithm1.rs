@@ -1,0 +1,69 @@
+//! Cost of one Algorithm 1 sizing decision across loads, starting
+//! points, and analytic backends — the control-plane latency of the
+//! adaptive provisioner.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use vmprov_core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
+use vmprov_core::{AnalyticBackend, QosTargets};
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1");
+    let modeler = PerformanceModeler::new(
+        QosTargets::web_paper(),
+        100_000,
+        ModelerOptions::default(),
+    );
+
+    for lambda in [100.0, 1_200.0, 10_000.0] {
+        g.bench_with_input(
+            BenchmarkId::new("two_moment", lambda as u64),
+            &lambda,
+            |b, &lambda| {
+                b.iter(|| {
+                    modeler.required_instances(&SizingInputs {
+                        expected_arrival_rate: black_box(lambda),
+                        monitored_service_time: 0.105,
+                        service_scv: 0.00076,
+                        current_instances: 100,
+                    })
+                })
+            },
+        );
+    }
+
+    let verbatim = PerformanceModeler::new(
+        QosTargets::web_paper(),
+        100_000,
+        ModelerOptions {
+            backend: AnalyticBackend::Mm1k,
+            ..ModelerOptions::default()
+        },
+    );
+    g.bench_function("mm1k_verbatim_1200", |b| {
+        b.iter(|| {
+            verbatim.required_instances(&SizingInputs {
+                expected_arrival_rate: black_box(1200.0),
+                monitored_service_time: 0.105,
+                service_scv: 0.00076,
+                current_instances: 100,
+            })
+        })
+    });
+
+    // Cold start: search from m = 1 (worst-case iteration count).
+    g.bench_function("cold_start_from_one", |b| {
+        b.iter(|| {
+            modeler.required_instances(&SizingInputs {
+                expected_arrival_rate: black_box(1200.0),
+                monitored_service_time: 0.105,
+                service_scv: 0.00076,
+                current_instances: 1,
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Throughput of the discrete-event kernel: event-queue operations and
+//! a closed M/M/1 loop — the ceiling for every simulation above it.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vmprov_des::dist::{Distribution, Exponential};
+use vmprov_des::{Engine, EventQueue, RngFactory, Scheduler, SimRng, SimTime, World};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    let n: u64 = 100_000;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("schedule_pop_100k_random_times", |b| {
+        let mut rng = RngFactory::new(1).stream("bench");
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(n as usize);
+            for i in 0..n {
+                q.schedule(SimTime::from_secs(rng.uniform(0.0, 1e6)), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+struct Mm1 {
+    in_system: u32,
+    served: u64,
+    arrivals: Exponential,
+    service: Exponential,
+    rng: SimRng,
+}
+
+enum Ev {
+    Arrival,
+    Departure,
+}
+
+impl World for Mm1 {
+    type Event = Ev;
+    fn handle(&mut self, _now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match ev {
+            Ev::Arrival => {
+                self.in_system += 1;
+                if self.in_system == 1 {
+                    sched.after(self.service.sample(&mut self.rng), Ev::Departure);
+                }
+                sched.after(self.arrivals.sample(&mut self.rng), Ev::Arrival);
+            }
+            Ev::Departure => {
+                self.in_system -= 1;
+                self.served += 1;
+                if self.in_system > 0 {
+                    sched.after(self.service.sample(&mut self.rng), Ev::Departure);
+                }
+            }
+        }
+    }
+}
+
+fn bench_mm1_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let horizon = 50_000.0; // ≈80k arrivals at λ=0.8 → ≈160k events
+    g.throughput(Throughput::Elements(2 * (0.8 * horizon) as u64));
+    g.bench_function("mm1_closed_loop", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(Mm1 {
+                in_system: 0,
+                served: 0,
+                arrivals: Exponential::new(0.8),
+                service: Exponential::new(1.0),
+                rng: RngFactory::new(2).stream("mm1"),
+            });
+            engine.schedule(SimTime::ZERO, Ev::Arrival);
+            engine.run_until(SimTime::from_secs(horizon));
+            black_box(engine.world().served)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_mm1_loop);
+criterion_main!(benches);

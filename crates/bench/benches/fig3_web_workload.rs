@@ -1,0 +1,38 @@
+//! Fig. 3 regeneration bench: producing the web workload's arrival
+//! series — both the analytic curve the paper plots and a full sampled
+//! day of batches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vmprov_des::{RngFactory, SimTime, DAY};
+use vmprov_experiments::fig3_series;
+use vmprov_workloads::{ArrivalProcess, WebConfig, WebWorkload};
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_web_workload");
+
+    g.bench_function("model_curve_10min_step", |b| {
+        b.iter(|| black_box(fig3_series(600.0)))
+    });
+
+    // One sampled day: 1440 batches totalling ~71M requests drawn.
+    g.throughput(Throughput::Elements(1440));
+    g.bench_function("sample_one_day_of_batches", |b| {
+        b.iter(|| {
+            let mut w = WebWorkload::new(WebConfig {
+                horizon: SimTime::from_secs(DAY),
+                ..WebConfig::default()
+            });
+            let mut rng = RngFactory::new(3).stream("fig3");
+            let mut total = 0u64;
+            while let Some(batch) = w.next_batch(&mut rng) {
+                total += batch.count;
+            }
+            black_box(total)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

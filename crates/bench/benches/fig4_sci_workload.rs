@@ -1,0 +1,32 @@
+//! Fig. 4 regeneration bench: the scientific (Bag-of-Tasks) workload's
+//! one-day arrival series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmprov_des::RngFactory;
+use vmprov_experiments::fig4_series;
+use vmprov_workloads::{ArrivalProcess, ScientificWorkload};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_sci_workload");
+
+    g.bench_function("sample_one_day_of_jobs", |b| {
+        b.iter(|| {
+            let mut w = ScientificWorkload::paper();
+            let mut rng = RngFactory::new(4).stream("fig4");
+            let mut total = 0u64;
+            while let Some(batch) = w.next_batch(&mut rng) {
+                total += batch.count;
+            }
+            black_box(total)
+        })
+    });
+
+    g.bench_function("bucketed_series_10_reps", |b| {
+        b.iter(|| black_box(fig4_series(600.0, 10, 7)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 6 regeneration bench: one full replication of the scientific
+//! experiment (a complete simulated day) per policy — cheap enough to
+//! run at full paper scale inside `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use vmprov_experiments::{run_once, PolicySpec, Scenario};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_sci_experiment");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(10));
+
+    for policy in [
+        PolicySpec::Adaptive,
+        PolicySpec::Static(15),
+        PolicySpec::Static(75),
+    ] {
+        let scenario = Scenario::scientific(policy, 1);
+        g.bench_with_input(
+            BenchmarkId::new("one_sim_day", scenario.policy_label()),
+            &scenario,
+            |b, sc| b.iter(|| black_box(run_once(sc, 0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the analytic queueing models — the per-decision
+//! cost of the performance modeler's building blocks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmprov_queueing::{
+    jackson::solve_traffic_equations, GiM1K, InterarrivalKind, JacksonNetwork, NodeSpec, GG1K,
+    MM1K, MMc, MMcK,
+};
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queueing");
+
+    g.bench_function("mm1k_metrics_k2", |b| {
+        b.iter(|| MM1K::new(black_box(0.8), 1.0, 2).unwrap().metrics())
+    });
+
+    g.bench_function("gg1k_metrics_k2", |b| {
+        b.iter(|| {
+            GG1K::round_robin_split(black_box(120.0), 150, 0.105, 0.00076, 2)
+                .unwrap()
+                .metrics()
+        })
+    });
+
+    g.bench_function("gim1k_embedded_chain_k5_e32", |b| {
+        b.iter(|| {
+            GiM1K::new(black_box(0.8), 1.0, 5, InterarrivalKind::Erlang { stages: 32 })
+                .unwrap()
+                .metrics()
+        })
+    });
+
+    g.bench_function("erlang_c_c150", |b| {
+        b.iter(|| MMc::new(black_box(120.0), 1.0, 150).unwrap().erlang_c())
+    });
+
+    g.bench_function("mmck_birth_death_c16_k64", |b| {
+        b.iter(|| MMcK::new(black_box(12.0), 1.0, 16, 64).unwrap().metrics())
+    });
+
+    g.bench_function("jackson_three_tiers", |b| {
+        let nodes = [
+            NodeSpec {
+                external_arrival_rate: 100.0,
+                service_rate: 125.0,
+                servers: 2,
+            },
+            NodeSpec {
+                external_arrival_rate: 0.0,
+                service_rate: 28.6,
+                servers: 4,
+            },
+            NodeSpec {
+                external_arrival_rate: 0.0,
+                service_rate: 66.7,
+                servers: 2,
+            },
+        ];
+        let routing = vec![
+            vec![0.0, 0.75, 0.0],
+            vec![0.0, 0.0, 0.6],
+            vec![0.0, 0.1, 0.0],
+        ];
+        b.iter(|| JacksonNetwork::solve(black_box(&nodes), &routing).unwrap())
+    });
+
+    g.bench_function("traffic_equations_10_nodes", |b| {
+        let n = 10;
+        let gamma: Vec<f64> = (0..n).map(|i| if i == 0 { 50.0 } else { 0.0 }).collect();
+        let mut routing = vec![vec![0.0; n]; n];
+        for i in 0..n - 1 {
+            routing[i][i + 1] = 0.9;
+        }
+        b.iter(|| solve_traffic_equations(black_box(&gamma), &routing).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

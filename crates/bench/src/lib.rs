@@ -1,0 +1,1 @@
+//! Shared bench helpers live in the individual bench files.

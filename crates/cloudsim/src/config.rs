@@ -1,0 +1,132 @@
+//! Simulation configuration.
+
+use crate::host::{PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
+
+/// Configuration of the simulated data center and measurement set-up.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimConfig {
+    /// Number of physical hosts (paper: 1000).
+    pub hosts: usize,
+    /// Host shape (paper: 8 cores, 16 GB).
+    pub host_shape: Resources,
+    /// VM shape (paper: 1 core, 2 GB).
+    pub vm_shape: Resources,
+    /// Host-selection policy for new VMs (paper: least-loaded).
+    pub placement: PlacementPolicy,
+    /// Seconds between VM creation and readiness (paper/CloudSim
+    /// default: 0; the boot-delay ablation sweeps this).
+    pub boot_delay: f64,
+    /// Monitoring window length in seconds: how often the arrival counter
+    /// is reported to the policy's analyzer.
+    pub monitor_interval: f64,
+    /// Prior for the mean request execution time Tm, used until enough
+    /// completions are monitored (the SaaS provider's configured
+    /// estimate).
+    pub initial_service_estimate: f64,
+    /// Prior for the service-time SCV.
+    pub initial_scv_estimate: f64,
+    /// Response-time bound Ts used for violation counting.
+    pub qos_ts: f64,
+    /// Collect a response-time histogram (≈30% hot-path overhead; off
+    /// for the full-scale runs, on when quantiles are wanted).
+    pub collect_histogram: bool,
+    /// Two-class priority admission (the paper's future-work item on
+    /// serving high-priority requests first under contention). `None`
+    /// disables classes entirely.
+    pub priority: Option<PriorityConfig>,
+    /// Mean time between failures of one *instance* (exponential), the
+    /// "uncertain behavior" of §I. `None` disables failures.
+    pub instance_mtbf: Option<f64>,
+}
+
+/// Two-class priority admission: a fraction of requests is high
+/// priority; low-priority requests may only occupy `k − reserved_slots`
+/// of each instance's queue, so the reserved headroom is always
+/// available to high-priority traffic.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PriorityConfig {
+    /// Fraction of arrivals that are high priority, in [0, 1].
+    pub high_fraction: f64,
+    /// Queue slots per instance reserved for high-priority requests.
+    pub reserved_slots: u32,
+}
+
+impl PriorityConfig {
+    /// Creates a validated config.
+    pub fn new(high_fraction: f64, reserved_slots: u32) -> Self {
+        assert!((0.0..=1.0).contains(&high_fraction));
+        PriorityConfig {
+            high_fraction,
+            reserved_slots,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's data center with the given service-time prior and Ts.
+    pub fn paper(initial_service_estimate: f64, qos_ts: f64) -> Self {
+        assert!(initial_service_estimate > 0.0 && qos_ts > 0.0);
+        SimConfig {
+            hosts: 1000,
+            host_shape: PAPER_HOST,
+            vm_shape: PAPER_VM,
+            placement: PlacementPolicy::LeastLoaded,
+            boot_delay: 0.0,
+            monitor_interval: 60.0,
+            initial_service_estimate,
+            initial_scv_estimate: 0.00076,
+            qos_ts,
+            collect_histogram: false,
+            priority: None,
+            instance_mtbf: None,
+        }
+    }
+
+    /// Paper data center for the web scenario (100 ms requests,
+    /// Ts = 250 ms).
+    pub fn paper_web() -> Self {
+        Self::paper(0.100, 0.250)
+    }
+
+    /// Paper data center for the scientific scenario (300 s tasks,
+    /// Ts = 700 s).
+    pub fn paper_scientific() -> Self {
+        Self::paper(300.0, 700.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        let w = SimConfig::paper_web();
+        assert_eq!(w.hosts, 1000);
+        assert_eq!(w.host_shape.cores, 8);
+        assert_eq!(w.vm_shape.ram_mb, 2048);
+        assert_eq!(w.qos_ts, 0.250);
+        let s = SimConfig::paper_scientific();
+        assert_eq!(s.initial_service_estimate, 300.0);
+        assert_eq!(s.qos_ts, 700.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_estimate() {
+        SimConfig::paper(0.0, 1.0);
+    }
+
+    #[test]
+    fn priority_config_validates() {
+        let p = PriorityConfig::new(0.2, 1);
+        assert_eq!(p.reserved_slots, 1);
+        assert!(SimConfig::paper_web().priority.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn priority_fraction_bounds() {
+        PriorityConfig::new(1.5, 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Physical hosts and VM placement (the *resource provisioning* step of
+//! §II, which the paper treats as the IaaS provider's concern).
+//!
+//! The evaluation's data center: 1000 hosts, each with two quad-core
+//! processors (8 cores) and 16 GB of RAM; application VMs take one core
+//! and 2 GB, and cores are never time-shared between VMs (§V-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Resource capacity/request description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    /// Processor cores.
+    pub cores: u32,
+    /// Memory in megabytes.
+    pub ram_mb: u32,
+}
+
+/// The paper's host shape: 8 cores, 16 GB.
+pub const PAPER_HOST: Resources = Resources {
+    cores: 8,
+    ram_mb: 16_384,
+};
+
+/// The paper's VM shape: 1 core, 2 GB.
+pub const PAPER_VM: Resources = Resources {
+    cores: 1,
+    ram_mb: 2_048,
+};
+
+/// One physical host.
+#[derive(Debug, Clone, Copy)]
+struct Host {
+    capacity: Resources,
+    used: Resources,
+    vm_count: u32,
+}
+
+impl Host {
+    fn fits(&self, req: Resources) -> bool {
+        self.used.cores + req.cores <= self.capacity.cores
+            && self.used.ram_mb + req.ram_mb <= self.capacity.ram_mb
+    }
+}
+
+/// Host-selection strategy for new VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's policy: the host with the fewest running instances
+    /// that still fits the request ("new VMs are created, if possible,
+    /// in the host with fewer running virtualized application
+    /// instances").
+    LeastLoaded,
+    /// First host (lowest id) that fits.
+    FirstFit,
+}
+
+/// The data center's host pool: tracks placement and capacity.
+#[derive(Debug, Clone)]
+pub struct HostPool {
+    hosts: Vec<Host>,
+    policy: PlacementPolicy,
+}
+
+impl HostPool {
+    /// Creates `n` identical hosts under `policy`.
+    pub fn new(n: usize, shape: Resources, policy: PlacementPolicy) -> Self {
+        assert!(n > 0, "data center needs at least one host");
+        assert!(shape.cores > 0 && shape.ram_mb > 0);
+        HostPool {
+            hosts: vec![
+                Host {
+                    capacity: shape,
+                    used: Resources { cores: 0, ram_mb: 0 },
+                    vm_count: 0,
+                };
+                n
+            ],
+            policy,
+        }
+    }
+
+    /// The paper's data center: 1000 × (8 cores, 16 GB), least-loaded
+    /// placement.
+    pub fn paper() -> Self {
+        Self::new(1000, PAPER_HOST, PlacementPolicy::LeastLoaded)
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the pool has no hosts (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Total VMs currently placed.
+    pub fn placed_vms(&self) -> u32 {
+        self.hosts.iter().map(|h| h.vm_count).sum()
+    }
+
+    /// Upper bound on how many more VMs of `shape` could be placed.
+    pub fn remaining_capacity(&self, shape: Resources) -> u32 {
+        self.hosts
+            .iter()
+            .map(|h| {
+                let by_cores = (h.capacity.cores - h.used.cores) / shape.cores.max(1);
+                let by_ram = (h.capacity.ram_mb - h.used.ram_mb) / shape.ram_mb.max(1);
+                by_cores.min(by_ram)
+            })
+            .sum()
+    }
+
+    /// Places a VM of `shape`, returning the chosen host id, or `None`
+    /// when no host fits.
+    pub fn place(&mut self, shape: Resources) -> Option<usize> {
+        let candidate = match self.policy {
+            PlacementPolicy::LeastLoaded => self
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.fits(shape))
+                .min_by_key(|(_, h)| h.vm_count)
+                .map(|(i, _)| i),
+            PlacementPolicy::FirstFit => self
+                .hosts
+                .iter()
+                .enumerate()
+                .find(|(_, h)| h.fits(shape))
+                .map(|(i, _)| i),
+        }?;
+        let h = &mut self.hosts[candidate];
+        h.used.cores += shape.cores;
+        h.used.ram_mb += shape.ram_mb;
+        h.vm_count += 1;
+        Some(candidate)
+    }
+
+    /// Releases a VM of `shape` from `host_id`.
+    ///
+    /// # Panics
+    /// Panics if the host does not hold such a VM (accounting bug).
+    pub fn release(&mut self, host_id: usize, shape: Resources) {
+        let h = &mut self.hosts[host_id];
+        assert!(
+            h.vm_count > 0 && h.used.cores >= shape.cores && h.used.ram_mb >= shape.ram_mb,
+            "release without matching placement on host {host_id}"
+        );
+        h.used.cores -= shape.cores;
+        h.used.ram_mb -= shape.ram_mb;
+        h.vm_count -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pool_capacity() {
+        let pool = HostPool::paper();
+        assert_eq!(pool.len(), 1000);
+        // 8 cores/host and 16 GB / 2 GB = 8 VMs per host → 8000 total.
+        assert_eq!(pool.remaining_capacity(PAPER_VM), 8000);
+    }
+
+    #[test]
+    fn least_loaded_spreads() {
+        let mut pool = HostPool::new(3, PAPER_HOST, PlacementPolicy::LeastLoaded);
+        let placements: Vec<_> = (0..6).map(|_| pool.place(PAPER_VM).unwrap()).collect();
+        // Each host should receive two VMs before any gets a third.
+        let mut counts = [0; 3];
+        for p in &placements[..3] {
+            counts[*p] += 1;
+        }
+        assert_eq!(counts, [1, 1, 1], "first three spread: {placements:?}");
+        assert_eq!(pool.placed_vms(), 6);
+    }
+
+    #[test]
+    fn first_fit_packs() {
+        let mut pool = HostPool::new(3, PAPER_HOST, PlacementPolicy::FirstFit);
+        for _ in 0..8 {
+            assert_eq!(pool.place(PAPER_VM), Some(0));
+        }
+        assert_eq!(pool.place(PAPER_VM), Some(1));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = HostPool::new(
+            1,
+            Resources {
+                cores: 2,
+                ram_mb: 4096,
+            },
+            PlacementPolicy::LeastLoaded,
+        );
+        assert!(pool.place(PAPER_VM).is_some());
+        assert!(pool.place(PAPER_VM).is_some());
+        assert_eq!(pool.place(PAPER_VM), None);
+        assert_eq!(pool.remaining_capacity(PAPER_VM), 0);
+    }
+
+    #[test]
+    fn ram_can_bind_before_cores() {
+        let mut pool = HostPool::new(
+            1,
+            Resources {
+                cores: 8,
+                ram_mb: 4096,
+            },
+            PlacementPolicy::FirstFit,
+        );
+        assert!(pool.place(PAPER_VM).is_some());
+        assert!(pool.place(PAPER_VM).is_some());
+        // Cores remain but RAM is gone.
+        assert_eq!(pool.place(PAPER_VM), None);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut pool = HostPool::new(1, PAPER_HOST, PlacementPolicy::FirstFit);
+        let host = pool.place(PAPER_VM).unwrap();
+        assert_eq!(pool.placed_vms(), 1);
+        pool.release(host, PAPER_VM);
+        assert_eq!(pool.placed_vms(), 0);
+        assert_eq!(pool.remaining_capacity(PAPER_VM), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching placement")]
+    fn double_release_panics() {
+        let mut pool = HostPool::new(1, PAPER_HOST, PlacementPolicy::FirstFit);
+        let host = pool.place(PAPER_VM).unwrap();
+        pool.release(host, PAPER_VM);
+        pool.release(host, PAPER_VM);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vmprov-cloudsim — cloud data-center simulation substrate
+//!
+//! The discrete-event model of the paper's evaluation environment
+//! (built on `vmprov-des`, filling the role CloudSim plays in §V):
+//!
+//! * [`host`] — 1000-host data center, VM placement policies;
+//! * [`config`] — scenario configuration ([`SimConfig::paper_web`],
+//!   [`SimConfig::paper_scientific`]);
+//! * [`sim`] — the event loop: admission control, round-robin dispatch,
+//!   bounded FIFO instance queues, VM boot/drain/destroy lifecycle,
+//!   monitoring, and policy evaluation;
+//! * [`metrics`] — the §V-A output metrics (response time, rejections,
+//!   QoS violations, VM hours, utilization rate, instance extrema).
+//!
+//! Entry point: [`run_scenario`].
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod host;
+pub mod metrics;
+pub mod sim;
+
+pub use config::SimConfig;
+pub use host::{HostPool, PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
+pub use metrics::{RunMetrics, RunSummary};
+pub use sim::{run_scenario, CloudSim, Event};

@@ -1,0 +1,237 @@
+//! Output metrics of a simulation run — exactly the quantities §V-A
+//! collects: average response time and its standard deviation, min/max
+//! concurrent instances, VM hours, QoS violations, rejection percentage,
+//! and the resource utilization rate (busy time / VM hours).
+
+use vmprov_des::stats::{LogHistogram, OnlineStats, TimeWeighted};
+use vmprov_des::SimTime;
+
+/// Live metric accumulators updated by the simulation.
+#[derive(Debug)]
+pub struct RunMetrics {
+    /// Response times of accepted requests.
+    pub response: OnlineStats,
+    /// Response-time histogram (for quantiles), optional because the
+    /// full-scale web run records 5·10⁸ samples and the histogram adds
+    /// ~30% to the hot path.
+    pub response_hist: Option<LogHistogram>,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Total requests offered (accepted + rejected).
+    pub offered: u64,
+    /// Accepted requests whose response time exceeded Ts.
+    pub qos_violations: u64,
+    /// Σ wall-clock seconds of every VM from creation to destruction.
+    pub vm_seconds: f64,
+    /// Σ service time of completed requests (the numerator of the
+    /// utilization rate).
+    pub busy_seconds: f64,
+    /// Piecewise-constant count of existing (booting/active/draining)
+    /// instances.
+    pub instances: TimeWeighted,
+    /// VMs created over the run (including the initial fleet).
+    pub vms_created: u64,
+    /// VM creation attempts refused by the host pool (capacity).
+    pub vm_creation_failures: u64,
+    /// High-priority requests rejected (priority admission only).
+    pub rejected_high: u64,
+    /// High-priority requests offered.
+    pub offered_high: u64,
+    /// Instances killed by injected failures.
+    pub instance_failures: u64,
+    /// Admitted requests lost to instance crashes.
+    pub requests_lost_to_failures: u64,
+}
+
+impl RunMetrics {
+    /// Creates the accumulators at time zero with `initial` instances
+    /// and optional histogram collection.
+    pub fn new(initial_instances: u32, with_histogram: bool) -> Self {
+        RunMetrics {
+            response: OnlineStats::new(),
+            response_hist: with_histogram.then(LogHistogram::for_latencies),
+            rejected: 0,
+            offered: 0,
+            qos_violations: 0,
+            vm_seconds: 0.0,
+            busy_seconds: 0.0,
+            instances: TimeWeighted::new(SimTime::ZERO, f64::from(initial_instances)),
+            vms_created: 0,
+            vm_creation_failures: 0,
+            rejected_high: 0,
+            offered_high: 0,
+            instance_failures: 0,
+            requests_lost_to_failures: 0,
+        }
+    }
+
+    /// Records one accepted request's completion.
+    #[inline]
+    pub fn record_completion(&mut self, response_time: f64, service_time: f64, ts: f64) {
+        self.response.push(response_time);
+        if let Some(h) = &mut self.response_hist {
+            h.record(response_time);
+        }
+        self.busy_seconds += service_time;
+        if response_time > ts {
+            self.qos_violations += 1;
+        }
+    }
+
+    /// Freezes the accumulators into a summary at `end`.
+    pub fn finalize(&self, end: SimTime, policy: &str) -> RunSummary {
+        let accepted = self.offered - self.rejected;
+        RunSummary {
+            policy: policy.to_string(),
+            end_time: end.as_secs(),
+            offered_requests: self.offered,
+            accepted_requests: accepted,
+            rejected_requests: self.rejected,
+            rejection_rate: if self.offered > 0 {
+                self.rejected as f64 / self.offered as f64
+            } else {
+                0.0
+            },
+            qos_violations: self.qos_violations,
+            mean_response_time: self.response.mean(),
+            std_response_time: self.response.std_dev(),
+            max_response_time: if self.response.count() > 0 {
+                self.response.max()
+            } else {
+                0.0
+            },
+            p99_response_time: self
+                .response_hist
+                .as_ref()
+                .and_then(|h| h.quantile(0.99)),
+            min_instances: self.instances.min() as u32,
+            max_instances: self.instances.max() as u32,
+            mean_instances: self.instances.average(end),
+            vm_hours: self.vm_seconds / 3600.0,
+            utilization: if self.vm_seconds > 0.0 {
+                self.busy_seconds / self.vm_seconds
+            } else {
+                0.0
+            },
+            vms_created: self.vms_created,
+            vm_creation_failures: self.vm_creation_failures,
+            rejected_high: self.rejected_high,
+            offered_high: self.offered_high,
+            rejection_rate_high: if self.offered_high > 0 {
+                self.rejected_high as f64 / self.offered_high as f64
+            } else {
+                0.0
+            },
+            rejection_rate_low: {
+                let offered_low = self.offered - self.offered_high;
+                let rejected_low = self.rejected - self.rejected_high;
+                if offered_low > 0 {
+                    rejected_low as f64 / offered_low as f64
+                } else {
+                    0.0
+                }
+            },
+            instance_failures: self.instance_failures,
+            requests_lost_to_failures: self.requests_lost_to_failures,
+        }
+    }
+}
+
+/// Final metrics of one simulation run (one policy × one replication).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunSummary {
+    /// Policy name ("Adaptive", "Static-50", …).
+    pub policy: String,
+    /// Simulated end time (seconds).
+    pub end_time: f64,
+    /// Requests offered to admission control.
+    pub offered_requests: u64,
+    /// Requests accepted.
+    pub accepted_requests: u64,
+    /// Requests rejected.
+    pub rejected_requests: u64,
+    /// rejected / offered.
+    pub rejection_rate: f64,
+    /// Accepted requests finishing later than Ts.
+    pub qos_violations: u64,
+    /// Mean response time of accepted requests (seconds) — Fig 5(d)/6(d).
+    pub mean_response_time: f64,
+    /// Standard deviation of response times — Fig 5(d)/6(d) error bars.
+    pub std_response_time: f64,
+    /// Largest observed response time.
+    pub max_response_time: f64,
+    /// 99th percentile response time when histogram collection was on.
+    pub p99_response_time: Option<f64>,
+    /// Fewest instances existing at once — Fig 5(a)/6(a).
+    pub min_instances: u32,
+    /// Most instances existing at once — Fig 5(a)/6(a).
+    pub max_instances: u32,
+    /// Time-weighted average instance count.
+    pub mean_instances: f64,
+    /// Σ VM wall-clock hours — Fig 5(c)/6(c).
+    pub vm_hours: f64,
+    /// busy time / VM time — Fig 5(b)/6(b).
+    pub utilization: f64,
+    /// VMs created over the run.
+    pub vms_created: u64,
+    /// VM requests the data center could not place.
+    pub vm_creation_failures: u64,
+    /// High-priority requests rejected (0 without priority admission).
+    pub rejected_high: u64,
+    /// High-priority requests offered (0 without priority admission).
+    pub offered_high: u64,
+    /// rejected_high / offered_high.
+    pub rejection_rate_high: f64,
+    /// Low-priority rejection rate (equals overall without priority).
+    pub rejection_rate_low: f64,
+    /// Instances killed by injected failures.
+    pub instance_failures: u64,
+    /// Admitted requests lost to instance crashes.
+    pub requests_lost_to_failures: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_derivations() {
+        let mut m = RunMetrics::new(2, true);
+        m.offered = 10;
+        m.rejected = 2;
+        m.record_completion(0.2, 0.1, 0.25);
+        m.record_completion(0.3, 0.1, 0.25); // violation
+        m.vm_seconds = 7200.0;
+        m.instances.update(SimTime::from_secs(100.0), 5.0);
+        let s = m.finalize(SimTime::from_secs(200.0), "Test");
+        assert_eq!(s.policy, "Test");
+        assert_eq!(s.accepted_requests, 8);
+        assert!((s.rejection_rate - 0.2).abs() < 1e-12);
+        assert_eq!(s.qos_violations, 1);
+        assert!((s.mean_response_time - 0.25).abs() < 1e-12);
+        assert_eq!(s.min_instances, 2);
+        assert_eq!(s.max_instances, 5);
+        assert!((s.vm_hours - 2.0).abs() < 1e-12);
+        assert!((s.utilization - 0.2 / 7200.0).abs() < 1e-12);
+        assert!(s.p99_response_time.is_some());
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let m = RunMetrics::new(1, false);
+        let s = m.finalize(SimTime::from_secs(10.0), "Empty");
+        assert_eq!(s.offered_requests, 0);
+        assert_eq!(s.rejection_rate, 0.0);
+        assert_eq!(s.utilization, 0.0);
+        assert_eq!(s.mean_response_time, 0.0);
+        assert!(s.p99_response_time.is_none());
+    }
+
+    #[test]
+    fn histogram_can_be_disabled() {
+        let mut m = RunMetrics::new(1, false);
+        m.record_completion(0.1, 0.1, 1.0);
+        assert!(m.response_hist.is_none());
+        assert_eq!(m.response.count(), 1);
+    }
+}

@@ -1,0 +1,1011 @@
+//! The cloud data-center simulation: the world that ties workload,
+//! admission control, dispatch, instance queues, VM lifecycle, and the
+//! provisioning policy together (the role CloudSim plays in §V).
+//!
+//! Semantics follow the paper's setup exactly:
+//!
+//! * each application instance owns one core of one host and serves its
+//!   bounded FIFO queue one request at a time, no time-sharing;
+//! * admission control rejects a request only when every accepting
+//!   instance already holds `k = ⌊Ts/Tm⌋` requests;
+//! * scale-down destroys idle instances immediately and *drains* busy
+//!   ones (no new work, destroyed when the last request completes);
+//!   scale-up revives draining instances before booting new VMs.
+//!
+//! The web scenario processes ~10⁹ events per replication, so the hot
+//! path (arrival → dispatch → enqueue, completion → dequeue) is
+//! allocation-free and O(1) except for rare pool-management events.
+
+use crate::config::SimConfig;
+use crate::host::HostPool;
+use crate::metrics::{RunMetrics, RunSummary};
+use std::collections::VecDeque;
+use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
+use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
+use vmprov_des::stats::{OnlineStats, TimeWeighted};
+use vmprov_des::{Engine, RngFactory, Scheduler, SimRng, SimTime, World};
+use vmprov_workloads::{ArrivalBatch, ArrivalProcess, ServiceModel};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub enum Event {
+    /// Release the pending arrival batch and fetch the next one.
+    Batch,
+    /// One request reaches admission control.
+    Arrival,
+    /// The request at the head of instance `slot`'s queue completes.
+    Completion {
+        /// Instance slot index.
+        slot: u32,
+    },
+    /// Instance `slot` finishes booting.
+    Booted {
+        /// Instance slot index.
+        slot: u32,
+    },
+    /// Run the provisioning policy.
+    Evaluate,
+    /// Monitoring tick: report the arrival window to the policy.
+    Monitor,
+    /// Injected crash of instance `slot` (when failures are enabled).
+    Failure {
+        /// Instance slot index.
+        slot: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InstState {
+    Booting,
+    Active,
+    Draining,
+    Dead,
+}
+
+#[derive(Debug)]
+struct Instance {
+    state: InstState,
+    host: usize,
+    created_at: SimTime,
+    /// FIFO of (arrival time, service time); the head is in service.
+    queue: VecDeque<(f64, f64)>,
+}
+
+/// Admission probe over the active instances. `capacity` is the
+/// class-specific queue bound (k for high priority, k − reserved for
+/// low). When `exact_free` is `Some`, admission is O(1) via the
+/// maintained counter; otherwise the default scan runs (used for the
+/// low-priority class, whose experiments are small-scale).
+struct PoolViewRef<'a> {
+    instances: &'a [Instance],
+    active: &'a [u32],
+    capacity: u32,
+    exact_free: Option<usize>,
+}
+
+impl InstancePool for PoolViewRef<'_> {
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+    fn view(&self, i: usize) -> InstanceView {
+        let inst = &self.instances[self.active[i] as usize];
+        InstanceView {
+            in_system: inst.queue.len() as u32,
+            capacity: self.capacity,
+            accepting: true,
+        }
+    }
+    fn has_free(&self) -> bool {
+        match self.exact_free {
+            Some(free) => free > 0,
+            None => (0..self.len()).any(|i| self.view(i).has_room()),
+        }
+    }
+}
+
+/// The simulation world.
+pub struct CloudSim {
+    cfg: SimConfig,
+    hosts: HostPool,
+    instances: Vec<Instance>,
+    /// Slots currently accepting requests, in creation order (the
+    /// dispatcher's index space).
+    active: Vec<u32>,
+    /// Slots draining toward destruction.
+    draining: Vec<u32>,
+    /// Number of booting instances.
+    booting: u32,
+    /// Active instances with room (the O(1) admission counter).
+    free_count: usize,
+    /// Active instances currently serving a request.
+    busy_count: usize,
+    /// Current per-instance queue capacity (Eq. 1, re-derived from the
+    /// monitored Tm at each evaluation).
+    k: u32,
+    workload: Box<dyn ArrivalProcess + Send>,
+    pending_batch: Option<ArrivalBatch>,
+    service: ServiceModel,
+    policy: Box<dyn ProvisioningPolicy>,
+    dispatcher: Box<dyn Dispatcher>,
+    rng_arrivals: SimRng,
+    rng_service: SimRng,
+    rng_dispatch: SimRng,
+    rng_class: SimRng,
+    rng_failures: SimRng,
+    /// Monitored execution-time statistics (cumulative).
+    service_stats: OnlineStats,
+    /// Arrivals seen since the last monitor tick.
+    window_arrivals: u64,
+    horizon: SimTime,
+    /// Exposed accumulators.
+    pub metrics: RunMetrics,
+    /// QoS response-time bound used for violation counting.
+    ts: f64,
+}
+
+impl CloudSim {
+    /// Builds the world and returns an [`Engine`] primed with the
+    /// initial fleet, first batch, first evaluation, and monitor tick.
+    pub fn engine(
+        cfg: SimConfig,
+        workload: Box<dyn ArrivalProcess + Send>,
+        service: ServiceModel,
+        policy: Box<dyn ProvisioningPolicy>,
+        dispatcher: Box<dyn Dispatcher>,
+        rngs: &RngFactory,
+    ) -> Engine<CloudSim> {
+        let horizon = workload.horizon();
+        let initial = policy.initial_instances();
+        let ts = cfg.qos_ts;
+        let k = policy.queue_capacity(cfg.initial_service_estimate);
+        let world = CloudSim {
+            hosts: HostPool::new(cfg.hosts, cfg.host_shape, cfg.placement),
+            instances: Vec::with_capacity(1024),
+            active: Vec::with_capacity(256),
+            draining: Vec::new(),
+            booting: 0,
+            free_count: 0,
+            busy_count: 0,
+            k,
+            workload,
+            pending_batch: None,
+            service,
+            policy,
+            dispatcher,
+            rng_arrivals: rngs.stream("arrivals"),
+            rng_service: rngs.stream("service"),
+            rng_dispatch: rngs.stream("dispatch"),
+            rng_class: rngs.stream("class"),
+            rng_failures: rngs.stream("failures"),
+            service_stats: OnlineStats::new(),
+            window_arrivals: 0,
+            horizon,
+            metrics: RunMetrics::new(0, cfg.collect_histogram),
+            ts,
+            cfg,
+        };
+        let mut engine = Engine::new(world);
+        // Initial fleet exists (active) at t = 0, as in the paper.
+        for _ in 0..initial {
+            let w = engine.world_mut();
+            if let Some(slot) = w.create_instance_immediately(SimTime::ZERO) {
+                if let Some(ttf) = w.draw_ttf() {
+                    engine.schedule(SimTime::from_secs(ttf), Event::Failure { slot });
+                }
+            }
+        }
+        // Prime the workload.
+        let w = engine.world_mut();
+        w.pending_batch = w.workload.next_batch(&mut w.rng_arrivals);
+        if let Some(b) = w.pending_batch {
+            engine.schedule(b.time, Event::Batch);
+        }
+        engine.schedule(SimTime::ZERO, Event::Evaluate);
+        let tick = engine.world().cfg.monitor_interval;
+        if tick <= engine.world().horizon.as_secs() {
+            engine.schedule(SimTime::from_secs(tick), Event::Monitor);
+        }
+        // Start instance tracking at the size of the initial fleet so
+        // min_instances reflects pool dynamics, not the empty pre-boot
+        // instant.
+        let w = engine.world_mut();
+        w.metrics.instances = TimeWeighted::new(SimTime::ZERO, w.existing() as f64);
+        engine
+    }
+
+    /// Existing (non-dead) instance count: booting + active + draining.
+    fn existing(&self) -> u32 {
+        self.booting + self.active.len() as u32 + self.draining.len() as u32
+    }
+
+    fn instance_has_room(&self, slot: u32) -> bool {
+        (self.instances[slot as usize].queue.len() as u32) < self.k
+    }
+
+    /// Creates an instance that is active immediately (initial fleet, or
+    /// boot delay zero). Returns the slot if placement succeeded.
+    fn create_instance_immediately(&mut self, now: SimTime) -> Option<u32> {
+        let slot = self.allocate_instance(now)?;
+        self.instances[slot as usize].state = InstState::Active;
+        self.active.push(slot);
+        self.free_count += 1; // fresh instance is empty
+        Some(slot)
+    }
+
+    /// Draws a time-to-failure for a fresh instance, if failures are on.
+    fn draw_ttf(&mut self) -> Option<f64> {
+        let mtbf = self.cfg.instance_mtbf?;
+        use vmprov_des::dist::{Distribution, Exponential};
+        Some(Exponential::from_mean(mtbf).sample(&mut self.rng_failures))
+    }
+
+    /// Allocates host resources and records a new instance in `Booting`
+    /// state. Returns the slot, or `None` if the data center is full.
+    fn allocate_instance(&mut self, now: SimTime) -> Option<u32> {
+        let Some(host) = self.hosts.place(self.cfg.vm_shape) else {
+            self.metrics.vm_creation_failures += 1;
+            return None;
+        };
+        let slot = self.instances.len() as u32;
+        self.instances.push(Instance {
+            state: InstState::Booting,
+            host,
+            created_at: now,
+            queue: VecDeque::with_capacity(self.k as usize + 1),
+        });
+        self.metrics.vms_created += 1;
+        self.metrics.instances.add(now, 1.0);
+        Some(slot)
+    }
+
+    /// Destroys an instance (must hold no requests).
+    fn destroy_instance(&mut self, slot: u32, now: SimTime) {
+        let inst = &mut self.instances[slot as usize];
+        debug_assert!(inst.queue.is_empty(), "destroying a busy instance");
+        debug_assert!(inst.state != InstState::Dead);
+        inst.state = InstState::Dead;
+        self.metrics.vm_seconds += now - inst.created_at;
+        self.metrics.instances.add(now, -1.0);
+        let host = inst.host;
+        self.hosts.release(host, self.cfg.vm_shape);
+    }
+
+    /// Recomputes `free_count` after `k` changes.
+    fn recount_free(&mut self) {
+        self.free_count = self
+            .active
+            .iter()
+            .filter(|&&s| self.instance_has_room(s))
+            .count();
+    }
+
+    /// Applies a policy target: grow (revive draining, boot new) or
+    /// shrink (destroy idle, cancel booting, drain busy).
+    fn apply_target(&mut self, target: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let target = target.max(1);
+        let existing_serving = self.booting + self.active.len() as u32;
+        if target > existing_serving {
+            let mut need = target - existing_serving;
+            // Revive draining instances first (§IV-C).
+            while need > 0 {
+                let Some(slot) = self.draining.pop() else { break };
+                let inst = &mut self.instances[slot as usize];
+                debug_assert_eq!(inst.state, InstState::Draining);
+                inst.state = InstState::Active;
+                self.active.push(slot);
+                if self.instance_has_room(slot) {
+                    self.free_count += 1;
+                }
+                need -= 1;
+            }
+            // Boot fresh VMs for the remainder.
+            for _ in 0..need {
+                let created = if self.cfg.boot_delay <= 0.0 {
+                    self.create_instance_immediately(now)
+                } else if let Some(slot) = self.allocate_instance(now) {
+                    self.booting += 1;
+                    sched.after(self.cfg.boot_delay, Event::Booted { slot });
+                    Some(slot)
+                } else {
+                    None
+                };
+                if let Some(slot) = created {
+                    if let Some(ttf) = self.draw_ttf() {
+                        sched.after(self.cfg.boot_delay.max(0.0) + ttf, Event::Failure { slot });
+                    }
+                }
+            }
+        } else if target < existing_serving {
+            let mut excess = existing_serving - target;
+            // 1. Idle active instances die immediately.
+            let mut i = 0;
+            while excess > 0 && i < self.active.len() {
+                let slot = self.active[i];
+                if self.instances[slot as usize].queue.is_empty() {
+                    self.active.swap_remove(i);
+                    self.free_count -= 1; // idle ⇒ had room
+                    self.destroy_instance(slot, now);
+                    excess -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+            // 2. Cancel booting instances (they hold no work).
+            if excess > 0 {
+                for slot in (0..self.instances.len() as u32).rev() {
+                    if excess == 0 {
+                        break;
+                    }
+                    if self.instances[slot as usize].state == InstState::Booting {
+                        self.booting -= 1;
+                        self.destroy_instance(slot, now);
+                        excess -= 1;
+                    }
+                }
+            }
+            // 3. Drain the busy instances with the fewest outstanding
+            //    requests.
+            while excess > 0 && !self.active.is_empty() {
+                let (idx, _) = self
+                    .active
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &s)| self.instances[s as usize].queue.len())
+                    .expect("non-empty");
+                let slot = self.active.swap_remove(idx);
+                if self.instance_has_room(slot) {
+                    self.free_count -= 1;
+                }
+                self.instances[slot as usize].state = InstState::Draining;
+                self.draining.push(slot);
+                excess -= 1;
+            }
+        }
+    }
+
+    /// The monitored Tm / SCV, falling back to configured priors until
+    /// enough completions are recorded.
+    fn monitored_service(&self) -> (f64, f64) {
+        if self.service_stats.count() >= 30 {
+            let mean = self.service_stats.mean();
+            let scv = self.service_stats.population_variance() / (mean * mean);
+            (mean, scv)
+        } else {
+            (
+                self.cfg.initial_service_estimate,
+                self.cfg.initial_scv_estimate,
+            )
+        }
+    }
+
+    fn handle_arrival(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        self.metrics.offered += 1;
+        self.window_arrivals += 1;
+        // Priority class of this request (all-high when classes are off).
+        let (high, capacity, exact_free) = match self.cfg.priority {
+            None => (true, self.k, Some(self.free_count)),
+            Some(pc) => {
+                let high = self.rng_class.uniform01() < pc.high_fraction;
+                if high {
+                    self.metrics.offered_high += 1;
+                    (true, self.k, Some(self.free_count))
+                } else {
+                    (false, self.k.saturating_sub(pc.reserved_slots), None)
+                }
+            }
+        };
+        let pick = if capacity == 0 {
+            None
+        } else {
+            let view = PoolViewRef {
+                instances: &self.instances,
+                active: &self.active,
+                capacity,
+                exact_free,
+            };
+            self.dispatcher.pick(&view, self.rng_dispatch.uniform01())
+        };
+        let Some(idx) = pick else {
+            self.metrics.rejected += 1;
+            if high && self.cfg.priority.is_some() {
+                self.metrics.rejected_high += 1;
+            }
+            return;
+        };
+        let slot = self.active[idx];
+        let svc = self.service.sample(&mut self.rng_service);
+        let inst = &mut self.instances[slot as usize];
+        inst.queue.push_back((now.as_secs(), svc));
+        let len = inst.queue.len() as u32;
+        if len == 1 {
+            // Idle instance starts serving right away.
+            self.busy_count += 1;
+            sched.after(svc, Event::Completion { slot });
+        }
+        if len == self.k {
+            self.free_count -= 1;
+        }
+    }
+
+    fn handle_completion(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let state = self.instances[slot as usize].state;
+        if state == InstState::Dead {
+            // The instance crashed while this completion was in flight.
+            return;
+        }
+        let (arr, svc) = self.instances[slot as usize]
+            .queue
+            .pop_front()
+            .expect("completion on empty instance");
+        let response = now.as_secs() - arr;
+        self.metrics.record_completion(response, svc, self.ts);
+        self.service_stats.push(svc);
+        let remaining = self.instances[slot as usize].queue.len() as u32;
+        if remaining > 0 {
+            let next_svc = self.instances[slot as usize].queue[0].1;
+            sched.after(next_svc, Event::Completion { slot });
+        } else {
+            self.busy_count -= 1;
+        }
+        match state {
+            InstState::Active => {
+                // Freed one unit of room if it was exactly full.
+                if remaining + 1 == self.k {
+                    self.free_count += 1;
+                }
+            }
+            InstState::Draining => {
+                if remaining == 0 {
+                    self.draining.retain(|&s| s != slot);
+                    self.destroy_instance(slot, now);
+                }
+            }
+            InstState::Booting | InstState::Dead => {
+                unreachable!("completions never target booting instances; dead handled above")
+            }
+        }
+    }
+
+    /// An injected instance crash: in-flight and queued requests are
+    /// lost, resources are released, and the policy is re-evaluated
+    /// immediately (idealized instant failure detection).
+    fn handle_failure(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let state = self.instances[slot as usize].state;
+        if state == InstState::Dead {
+            return; // already destroyed (scale-down beat the failure)
+        }
+        match state {
+            InstState::Active => {
+                let idx = self
+                    .active
+                    .iter()
+                    .position(|&s| s == slot)
+                    .expect("active instance not in active list");
+                self.active.swap_remove(idx);
+                if self.instance_has_room(slot) {
+                    self.free_count -= 1;
+                }
+                if !self.instances[slot as usize].queue.is_empty() {
+                    self.busy_count -= 1;
+                }
+            }
+            InstState::Draining => {
+                self.draining.retain(|&s| s != slot);
+            }
+            InstState::Booting => {
+                self.booting -= 1;
+            }
+            InstState::Dead => unreachable!(),
+        }
+        let lost = self.instances[slot as usize].queue.len() as u64;
+        self.metrics.requests_lost_to_failures += lost;
+        self.metrics.instance_failures += 1;
+        self.instances[slot as usize].queue.clear();
+        self.destroy_instance(slot, now);
+        // Monitoring notices and the provisioner replaces the capacity
+        // (without disturbing the periodic evaluation schedule).
+        self.handle_evaluate(now, sched, false);
+    }
+
+    fn handle_evaluate(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, reschedule: bool) {
+        let (tm, scv) = self.monitored_service();
+        let new_k = self.policy.queue_capacity(tm);
+        if new_k != self.k {
+            self.k = new_k;
+            self.recount_free();
+        }
+        let status = PoolStatus {
+            now,
+            active_instances: self.active.len() as u32 + self.booting,
+            draining_instances: self.draining.len() as u32,
+            monitor: MonitorReport {
+                mean_service_time: tm,
+                service_scv: scv,
+                observed_arrival_rate: self.window_arrivals as f64
+                    / self.cfg.monitor_interval.max(1e-9),
+                pool_utilization: if self.active.is_empty() {
+                    0.0
+                } else {
+                    self.busy_count as f64 / self.active.len() as f64
+                },
+            },
+        };
+        let target = self.policy.evaluate(&status);
+        self.apply_target(target, now, sched);
+        if reschedule {
+            let next = self.policy.next_evaluation(now);
+            if next <= self.horizon {
+                sched.at(next, Event::Evaluate);
+            }
+        }
+    }
+}
+
+impl World for CloudSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::Arrival => self.handle_arrival(now, sched),
+            Event::Completion { slot } => self.handle_completion(slot, now, sched),
+            Event::Batch => {
+                let batch = self.pending_batch.take().expect("batch event without batch");
+                debug_assert!(batch.time <= now);
+                for _ in 0..batch.count {
+                    let offset = if batch.spread > 0.0 {
+                        self.rng_arrivals.uniform(0.0, batch.spread)
+                    } else {
+                        0.0
+                    };
+                    sched.after(offset, Event::Arrival);
+                }
+                self.pending_batch = self.workload.next_batch(&mut self.rng_arrivals);
+                if let Some(b) = self.pending_batch {
+                    sched.at(b.time.max(now), Event::Batch);
+                }
+            }
+            Event::Booted { slot } => {
+                let inst = &mut self.instances[slot as usize];
+                if inst.state == InstState::Booting {
+                    inst.state = InstState::Active;
+                    self.booting -= 1;
+                    self.active.push(slot);
+                    if self.instance_has_room(slot) {
+                        self.free_count += 1;
+                    }
+                }
+                // Dead: the boot was cancelled by a scale-down.
+            }
+            Event::Evaluate => self.handle_evaluate(now, sched, true),
+            Event::Failure { slot } => self.handle_failure(slot, now, sched),
+            Event::Monitor => {
+                self.policy.observe_arrivals(
+                    now,
+                    self.window_arrivals,
+                    self.cfg.monitor_interval,
+                );
+                self.window_arrivals = 0;
+                let next = now + self.cfg.monitor_interval;
+                if next <= self.horizon {
+                    sched.at(next, Event::Monitor);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one complete scenario to completion and returns its summary.
+///
+/// The run ends when the workload is exhausted and every accepted
+/// request has completed; surviving VMs are then destroyed and billed to
+/// that final instant.
+pub fn run_scenario(
+    cfg: SimConfig,
+    workload: Box<dyn ArrivalProcess + Send>,
+    service: ServiceModel,
+    policy: Box<dyn ProvisioningPolicy>,
+    dispatcher: Box<dyn Dispatcher>,
+    rngs: &RngFactory,
+) -> RunSummary {
+    let mut engine = CloudSim::engine(cfg, workload, service, policy, dispatcher, rngs);
+    let name = engine.world().policy.name();
+    engine.run();
+    let end = engine.now();
+    let world = engine.world_mut();
+    // Bill surviving VMs up to the end of the run. Billing only — the
+    // instance-count tracker keeps its final level so min/max reflect
+    // pool dynamics, not the teardown.
+    for inst in &world.instances {
+        if inst.state != InstState::Dead {
+            debug_assert!(inst.queue.is_empty(), "run ended with work in flight");
+            world.metrics.vm_seconds += end - inst.created_at;
+        }
+    }
+    world.metrics.finalize(end, &name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vmprov_core::analyzer::ScheduleAnalyzer;
+    use vmprov_core::modeler::{ModelerOptions, PerformanceModeler};
+    use vmprov_core::policy::{AdaptivePolicy, StaticPolicy};
+    use vmprov_core::qos::QosTargets;
+    use vmprov_core::RoundRobin;
+    use vmprov_workloads::synthetic::PoissonProcess;
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            hosts: 50,
+            monitor_interval: 10.0,
+            ..SimConfig::paper(0.100, 0.250)
+        }
+    }
+
+    fn service() -> ServiceModel {
+        ServiceModel::new(0.100, 0.10)
+    }
+
+    fn poisson(rate: f64, horizon: f64) -> Box<dyn ArrivalProcess + Send> {
+        Box::new(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
+    }
+
+    fn run_static(
+        m: u32,
+        rate: f64,
+        horizon: f64,
+        seed: u64,
+    ) -> RunSummary {
+        run_scenario(
+            small_config(),
+            poisson(rate, horizon),
+            service(),
+            Box::new(StaticPolicy::new(m, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(seed),
+        )
+    }
+
+    #[test]
+    fn underloaded_static_pool_serves_everything() {
+        // 10 instances, offered load ≈ 2.1 erlangs: no rejections, and
+        // responses stay within [base, k·(1.1 base)].
+        let s = run_static(10, 20.0, 2_000.0, 1);
+        assert!(s.offered_requests > 30_000);
+        assert_eq!(s.rejected_requests, 0, "{s:?}");
+        assert_eq!(s.qos_violations, 0);
+        assert!(s.mean_response_time >= 0.100);
+        assert!(s.max_response_time <= 0.250);
+        assert_eq!(s.min_instances, 10);
+        assert_eq!(s.max_instances, 10);
+        // Utilization ≈ ρ = 2.1/10.
+        assert!((s.utilization - 0.21).abs() < 0.02, "util {}", s.utilization);
+    }
+
+    #[test]
+    fn overloaded_static_pool_rejects_the_excess() {
+        // 5 instances of capacity ~9.52 req/s each vs 100 req/s offered:
+        // throughput caps at ~47.6/s ⇒ ≈52% rejected.
+        let s = run_static(5, 100.0, 2_000.0, 2);
+        let expected = 1.0 - 5.0 / (100.0 * 0.105);
+        assert!(
+            (s.rejection_rate - expected).abs() < 0.03,
+            "rejection {} vs flow bound {expected}",
+            s.rejection_rate
+        );
+        // Admission control still protects response times.
+        assert!(s.max_response_time <= 0.250 + 1e-9);
+        assert_eq!(s.qos_violations, 0);
+        // Saturated pool is nearly always busy.
+        assert!(s.utilization > 0.95);
+    }
+
+    #[test]
+    fn response_time_never_exceeds_k_services() {
+        // The admission-control invariant behind Eq. 1: with k = 2 a
+        // request waits for at most one 110 ms predecessor.
+        for seed in 0..3 {
+            let s = run_static(3, 25.0, 500.0, 100 + seed);
+            assert!(
+                s.max_response_time <= 2.0 * 0.110 + 1e-9,
+                "seed {seed}: max response {}",
+                s.max_response_time
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = run_static(8, 50.0, 1_000.0, 42);
+        let b = run_static(8, 50.0, 1_000.0, 42);
+        assert_eq!(a, b);
+        let c = run_static(8, 50.0, 1_000.0, 43);
+        assert_ne!(a.accepted_requests, c.accepted_requests);
+    }
+
+    #[test]
+    fn more_instances_monotonically_fewer_rejections() {
+        let mut prev = u64::MAX;
+        for m in [2u32, 4, 8, 16] {
+            let s = run_static(m, 100.0, 1_000.0, 7);
+            assert!(
+                s.rejected_requests <= prev,
+                "m={m}: {} rejections, previous {prev}",
+                s.rejected_requests
+            );
+            prev = s.rejected_requests;
+        }
+    }
+
+    fn adaptive_policy(rate_fn: Arc<dyn Fn(SimTime) -> f64 + Send + Sync>) -> Box<AdaptivePolicy> {
+        let analyzer = ScheduleAnalyzer::new(rate_fn, 60.0, 0.0);
+        let modeler =
+            PerformanceModeler::new(QosTargets::web_paper(), 400, ModelerOptions::default());
+        Box::new(AdaptivePolicy::new(Box::new(analyzer), modeler, 120.0, 4))
+    }
+
+    #[test]
+    fn adaptive_settles_near_utilization_floor() {
+        // Steady 100 req/s: the pool should settle around
+        // λ·Tm/[0.8, 0.97] ≈ 11–13 instances and reject ~nothing.
+        let s = run_scenario(
+            small_config(),
+            poisson(100.0, 4_000.0),
+            service(),
+            adaptive_policy(Arc::new(|_| 100.0)),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(3),
+        );
+        assert_eq!(s.policy, "Adaptive");
+        assert!(s.rejection_rate < 0.001, "rejection {}", s.rejection_rate);
+        assert!(
+            (11..=16).contains(&s.max_instances),
+            "max instances {}",
+            s.max_instances
+        );
+        assert!(s.utilization > 0.70, "utilization {}", s.utilization);
+    }
+
+    #[test]
+    fn adaptive_tracks_a_step_and_scales_down_cleanly() {
+        let rate_fn = Arc::new(|t: SimTime| if t.as_secs() < 2_000.0 { 100.0 } else { 20.0 });
+        let s = run_scenario(
+            small_config(),
+            Box::new(
+                vmprov_workloads::synthetic::PiecewiseRateProcess::step(
+                    100.0,
+                    20.0,
+                    2_000.0,
+                    SimTime::from_secs(4_000.0),
+                ),
+            ),
+            service(),
+            adaptive_policy(rate_fn),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(4),
+        );
+        // Scaled up for the first phase, down for the second.
+        assert!(s.max_instances >= 11, "max {}", s.max_instances);
+        assert!(s.min_instances <= 4, "min {}", s.min_instances);
+        assert!(s.rejection_rate < 0.001);
+        // No accepted request may be lost by the scale-down.
+        assert_eq!(
+            s.accepted_requests,
+            s.offered_requests - s.rejected_requests
+        );
+        // VM hours far below the peak-static equivalent (13 × 4000 s).
+        assert!(s.vm_hours < 13.0 * 4_000.0 / 3_600.0);
+    }
+
+    #[test]
+    fn completions_equal_accepted_requests() {
+        // Every accepted request completes exactly once (the drain
+        // invariant): metrics.response counts completions.
+        let cfg = small_config();
+        let mut engine = CloudSim::engine(
+            cfg,
+            poisson(50.0, 1_000.0),
+            service(),
+            Box::new(StaticPolicy::new(6, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(9),
+        );
+        engine.run();
+        let w = engine.world();
+        let accepted = w.metrics.offered - w.metrics.rejected;
+        assert_eq!(w.metrics.response.count(), accepted);
+    }
+
+    #[test]
+    fn boot_delay_defers_capacity() {
+        // With a 300 s boot delay and a pool that starts at 1 instance,
+        // early requests are rejected until capacity arrives.
+        let mut cfg = small_config();
+        cfg.boot_delay = 300.0;
+        let s = run_scenario(
+            cfg,
+            poisson(50.0, 2_000.0),
+            service(),
+            adaptive_policy(Arc::new(|_| 50.0)),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(11),
+        );
+        // Some early rejections are unavoidable…
+        assert!(s.rejected_requests > 0);
+        // …but far fewer than a permanently under-provisioned pool.
+        assert!(s.rejection_rate < 0.25, "rejection {}", s.rejection_rate);
+    }
+
+    /// A policy that walks a fixed list of targets, one per evaluation.
+    struct TargetSequence {
+        targets: Vec<u32>,
+        idx: std::cell::Cell<usize>,
+        period: f64,
+    }
+
+    impl vmprov_core::policy::ProvisioningPolicy for TargetSequence {
+        fn name(&self) -> String {
+            "TargetSequence".into()
+        }
+        fn initial_instances(&self) -> u32 {
+            self.targets[0]
+        }
+        fn evaluate(&mut self, _status: &vmprov_core::policy::PoolStatus) -> u32 {
+            let i = self.idx.get();
+            let t = self.targets[i.min(self.targets.len() - 1)];
+            self.idx.set(i + 1);
+            t
+        }
+        fn next_evaluation(&self, now: SimTime) -> SimTime {
+            now + self.period
+        }
+        fn queue_capacity(&self, monitored_service_time: f64) -> u32 {
+            QosTargets::new(monitored_service_time * 2.5, 0.0, 0.8)
+                .queue_capacity(monitored_service_time)
+        }
+    }
+
+    #[test]
+    fn scale_up_revives_draining_instances_before_booting_new() {
+        // Long 100 s requests keep instances busy, so the scale-down to
+        // 2 leaves 8 instances *draining*; the scale-up back to 10 must
+        // revive them instead of booting new VMs (§IV-C).
+        let mut cfg = SimConfig::paper(100.0, 250.0);
+        cfg.hosts = 10;
+        cfg.monitor_interval = 10.0;
+        let policy = TargetSequence {
+            targets: vec![10, 2, 10, 10],
+            idx: std::cell::Cell::new(0),
+            period: 30.0,
+        };
+        let s = run_scenario(
+            cfg,
+            poisson(0.2, 300.0),
+            ServiceModel::new(100.0, 0.0),
+            Box::new(policy),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(51),
+        );
+        // Every VM that ever existed was part of the initial fleet: the
+        // revive path avoided fresh boots.
+        assert_eq!(s.vms_created, 10, "revive must not boot new VMs: {s:?}");
+        assert_eq!(s.max_instances, 10);
+        assert_eq!(s.rejected_requests, 0);
+    }
+
+    #[test]
+    fn priority_classes_differentiate_rejection() {
+        // Overloaded static pool with 1 of k=2 slots reserved: the
+        // high-priority class must see far fewer rejections.
+        let mut cfg = small_config();
+        cfg.priority = Some(crate::config::PriorityConfig::new(0.2, 1));
+        let s = run_scenario(
+            cfg,
+            poisson(60.0, 2_000.0), // offered ρ ≈ 1.26 on 5 instances
+            service(),
+            Box::new(StaticPolicy::new(5, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(31),
+        );
+        assert!(s.offered_high > 10_000);
+        let low_rate = s.rejection_rate_low;
+        let high_rate = s.rejection_rate_high;
+        assert!(
+            high_rate < 0.3 * low_rate,
+            "high {high_rate} vs low {low_rate}"
+        );
+        assert!(low_rate > 0.3, "low class must bear the overload: {low_rate}");
+        // Overall accounting still consistent.
+        assert_eq!(s.offered_requests, s.accepted_requests + s.rejected_requests);
+    }
+
+    #[test]
+    fn priority_disabled_has_no_class_metrics() {
+        let s = run_static(5, 60.0, 500.0, 32);
+        assert_eq!(s.offered_high, 0);
+        assert_eq!(s.rejected_high, 0);
+        assert_eq!(s.rejection_rate_high, 0.0);
+        // Low-class rate degenerates to the overall rate.
+        assert!((s.rejection_rate_low - s.rejection_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserving_all_slots_starves_low_class() {
+        let mut cfg = small_config();
+        cfg.priority = Some(crate::config::PriorityConfig::new(0.5, 10)); // ≥ k
+        let s = run_scenario(
+            cfg,
+            poisson(10.0, 500.0),
+            service(),
+            Box::new(StaticPolicy::new(5, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(33),
+        );
+        // Every low-priority request is rejected; high flows freely.
+        assert!((s.rejection_rate_low - 1.0).abs() < 1e-9);
+        assert!(s.rejection_rate_high < 0.01);
+    }
+
+    #[test]
+    fn failures_kill_and_policy_replaces() {
+        let mut cfg = small_config();
+        cfg.instance_mtbf = Some(400.0); // aggressive: ~5 failures per VM-run
+        let s = run_scenario(
+            cfg,
+            poisson(50.0, 2_000.0),
+            service(),
+            adaptive_policy(Arc::new(|_| 50.0)),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(41),
+        );
+        assert!(s.instance_failures > 5, "failures {}", s.instance_failures);
+        // Replacement keeps service going: rejection stays small even
+        // though instances keep dying.
+        assert!(s.rejection_rate < 0.05, "rejection {}", s.rejection_rate);
+        // Lost requests are accounted separately from rejections.
+        assert!(s.requests_lost_to_failures > 0);
+        // Accepted = completed + lost-in-crash.
+        let completed = s.accepted_requests - s.requests_lost_to_failures;
+        assert!(completed > 0);
+    }
+
+    #[test]
+    fn failures_with_static_pool_degrade_it() {
+        // A static pool is re-filled by its (constant) policy target at
+        // the failure-triggered evaluation, so it also survives.
+        let mut cfg = small_config();
+        cfg.instance_mtbf = Some(300.0);
+        let s = run_scenario(
+            cfg,
+            poisson(30.0, 1_500.0),
+            service(),
+            Box::new(StaticPolicy::new(6, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(43),
+        );
+        assert!(s.instance_failures > 3);
+        // Pool repeatedly restored to 6.
+        assert_eq!(s.max_instances, 6);
+        assert!(s.vms_created > 6);
+    }
+
+    #[test]
+    fn host_capacity_limits_fleet() {
+        // 2 hosts × 8 cores = 16 VMs max; the policy wants ~40.
+        let mut cfg = small_config();
+        cfg.hosts = 2;
+        let s = run_scenario(
+            cfg,
+            poisson(300.0, 500.0),
+            service(),
+            adaptive_policy(Arc::new(|_| 300.0)),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(13),
+        );
+        assert!(s.max_instances <= 16, "max {}", s.max_instances);
+        assert!(s.vm_creation_failures > 0);
+        // Overflow traffic is rejected, not lost.
+        assert!(s.rejection_rate > 0.3);
+    }
+}

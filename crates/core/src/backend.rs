@@ -1,0 +1,97 @@
+//! Analytic backends: how the performance modeler predicts per-instance
+//! behaviour from (λ, m, monitored service statistics).
+//!
+//! The paper prescribes M/M/1/k per instance ([`AnalyticBackend::Mm1k`]).
+//! The default here is the dispatch-aware two-moment model
+//! ([`AnalyticBackend::TwoMoment`]) — see `vmprov_queueing::gg1k` and
+//! DESIGN.md §3 for why the verbatim model over-provisions by an order
+//! of magnitude under a strict rejection target.
+
+use vmprov_queueing::{QueueMetrics, GG1K, MM1K};
+
+/// Which analytic queueing model predicts per-instance performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AnalyticBackend {
+    /// Paper-verbatim: each instance is M/M/1/k fed by λ/m
+    /// (Poisson-splitting assumption, exponential service).
+    Mm1k,
+    /// Dispatch-aware GI/G/1/k: round-robin over m instances gives
+    /// Erlang-m interarrivals (ca² = 1/m); the monitored service SCV is
+    /// used instead of assuming exponential service.
+    TwoMoment,
+}
+
+impl AnalyticBackend {
+    /// Predicts the steady-state metrics of **one** instance when
+    /// `total_lambda` is spread over `m` instances.
+    ///
+    /// * `mean_service` — monitored mean execution time Tm;
+    /// * `service_scv` — monitored squared coefficient of variation of
+    ///   execution times (ignored by `Mm1k`);
+    /// * `k` — per-instance queue capacity (Eq. 1).
+    pub fn per_instance(
+        &self,
+        total_lambda: f64,
+        m: u32,
+        mean_service: f64,
+        service_scv: f64,
+        k: u32,
+    ) -> QueueMetrics {
+        assert!(m >= 1, "instance count must be >= 1");
+        assert!(total_lambda > 0.0 && total_lambda.is_finite());
+        let lambda_i = total_lambda / f64::from(m);
+        match self {
+            AnalyticBackend::Mm1k => MM1K::new(lambda_i, 1.0 / mean_service, k)
+                .expect("validated inputs")
+                .metrics(),
+            AnalyticBackend::TwoMoment => {
+                GG1K::round_robin_split(total_lambda, m, mean_service, service_scv, k)
+                    .expect("validated inputs")
+                    .metrics()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbatim_backend_is_mm1k() {
+        let got = AnalyticBackend::Mm1k.per_instance(80.0, 100, 1.0, 0.5, 2);
+        let want = MM1K::new(0.8, 1.0, 2).unwrap().metrics();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn backends_disagree_in_the_paper_regime() {
+        // λ/m = 0.8, Tm = 1, k = 2: verbatim predicts heavy blocking,
+        // dispatch-aware predicts almost none.
+        let verbatim = AnalyticBackend::Mm1k.per_instance(80.0, 100, 1.0, 0.001, 2);
+        let aware = AnalyticBackend::TwoMoment.per_instance(80.0, 100, 1.0, 0.001, 2);
+        assert!(verbatim.blocking_probability > 0.25);
+        assert!(aware.blocking_probability < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_under_high_variability_single_instance() {
+        // m = 1 (ca² = 1) with exponential-like service (scv = 1): the
+        // two-moment model should be in the same ballpark as M/M/1/k.
+        let verbatim = AnalyticBackend::Mm1k.per_instance(0.7, 1, 1.0, 1.0, 4);
+        let aware = AnalyticBackend::TwoMoment.per_instance(0.7, 1, 1.0, 1.0, 4);
+        assert!((verbatim.blocking_probability - aware.blocking_probability).abs() < 0.05);
+        assert!((verbatim.utilization - aware.utilization).abs() < 0.1);
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        for m in [50u32, 100, 200] {
+            let q = AnalyticBackend::TwoMoment.per_instance(80.0, m, 1.0, 0.001, 2);
+            let rho = 80.0 / f64::from(m);
+            if rho < 0.95 {
+                assert!((q.utilization - rho).abs() < 0.05, "m={m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Composite (multi-tier) services — the paper's second future-work item
+//! ("improve the queueing model to allow modeling composite services").
+//!
+//! A composite service is an open network of tiers (front-end →
+//! application logic → data service, possibly with skips and loops).
+//! Provisioning proceeds in two steps:
+//!
+//! 1. solve the traffic equations for the effective arrival rate into
+//!    each tier (`vmprov_queueing::jackson`);
+//! 2. size each tier with the same per-instance analytic backend used by
+//!    Algorithm 1, against a per-tier response budget obtained by
+//!    splitting the end-to-end target proportionally to the tiers'
+//!    *visit-weighted* service demands.
+//!
+//! The resulting fleet's end-to-end response time is then predicted with
+//! the Jackson network (M/M/c nodes) as a cross-check.
+
+use crate::backend::AnalyticBackend;
+use vmprov_queueing::{JacksonNetwork, NodeSpec, QueueError};
+
+/// One tier of a composite service.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TierSpec {
+    /// Display name.
+    pub name: String,
+    /// Mean execution time of one request on one instance (seconds).
+    pub mean_service_time: f64,
+    /// Squared coefficient of variation of execution times.
+    pub service_scv: f64,
+    /// External arrival rate entering directly at this tier (req/s) —
+    /// usually only the front tier is non-zero.
+    pub external_arrival_rate: f64,
+}
+
+/// A provisioning plan for a composite service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositePlan {
+    /// Instances per tier.
+    pub instances: Vec<u32>,
+    /// Effective arrival rate into each tier (traffic-equation solution).
+    pub tier_arrival_rates: Vec<f64>,
+    /// Response-time budget assigned to each tier (seconds).
+    pub tier_budgets: Vec<f64>,
+    /// End-to-end mean response time predicted by the Jackson model for
+    /// the chosen instance counts.
+    pub predicted_end_to_end: f64,
+}
+
+/// Multi-tier provisioning planner.
+#[derive(Debug, Clone)]
+pub struct CompositePlanner {
+    /// End-to-end response-time target (seconds).
+    pub max_end_to_end_response: f64,
+    /// Rejection tolerance per tier.
+    pub rejection_tolerance: f64,
+    /// Analytic backend for per-tier sizing.
+    pub backend: AnalyticBackend,
+    /// Cap on instances per tier.
+    pub max_per_tier: u32,
+}
+
+impl CompositePlanner {
+    /// Creates the planner.
+    pub fn new(max_end_to_end_response: f64, backend: AnalyticBackend, max_per_tier: u32) -> Self {
+        assert!(max_end_to_end_response > 0.0);
+        assert!(max_per_tier >= 1);
+        CompositePlanner {
+            max_end_to_end_response,
+            rejection_tolerance: 1e-3,
+            backend,
+            max_per_tier,
+        }
+    }
+
+    /// Sizes every tier of the service.
+    ///
+    /// `routing[i][j]` is the probability a request finishing at tier `i`
+    /// proceeds to tier `j` (row sums ≤ 1; remainder exits).
+    pub fn plan(
+        &self,
+        tiers: &[TierSpec],
+        routing: &[Vec<f64>],
+    ) -> Result<CompositePlan, QueueError> {
+        if tiers.is_empty() {
+            return Err(QueueError::InvalidParameter("no tiers".into()));
+        }
+        // Step 1: traffic equations give the effective flow per tier.
+        let gamma: Vec<f64> = tiers.iter().map(|t| t.external_arrival_rate).collect();
+        let lambdas = vmprov_queueing::jackson::solve_traffic_equations(&gamma, routing)?;
+        for (i, &l) in lambdas.iter().enumerate() {
+            if l < -1e-9 {
+                return Err(QueueError::Numerical(format!("negative flow at tier {i}")));
+            }
+        }
+
+        // Step 2: split the end-to-end budget by visit-weighted demand.
+        let total_external: f64 = tiers.iter().map(|t| t.external_arrival_rate).sum();
+        if total_external <= 0.0 {
+            return Err(QueueError::InvalidParameter(
+                "no external arrivals".into(),
+            ));
+        }
+        let weights: Vec<f64> = tiers
+            .iter()
+            .zip(&lambdas)
+            .map(|(t, &l)| (l / total_external) * t.mean_service_time)
+            .collect();
+        let weight_sum: f64 = weights.iter().sum();
+        if weight_sum <= 0.0 {
+            return Err(QueueError::InvalidParameter("zero total demand".into()));
+        }
+        let visits: Vec<f64> = lambdas.iter().map(|&l| l / total_external).collect();
+        let budgets: Vec<f64> = weights
+            .iter()
+            .zip(&visits)
+            .map(|(w, &v)| {
+                // Per-visit budget: the end-to-end share divided by the
+                // expected number of visits to this tier.
+                let share = self.max_end_to_end_response * w / weight_sum;
+                if v > 0.0 {
+                    share / v
+                } else {
+                    self.max_end_to_end_response
+                }
+            })
+            .collect();
+
+        // Step 3: size each tier against its per-visit budget.
+        let mut instances = Vec::with_capacity(tiers.len());
+        for ((tier, &lambda), &budget) in tiers.iter().zip(&lambdas).zip(&budgets) {
+            if lambda <= 1e-12 {
+                instances.push(0);
+                continue;
+            }
+            if budget < tier.mean_service_time {
+                return Err(QueueError::InvalidParameter(format!(
+                    "tier {} budget {budget}s below its service time",
+                    tier.name
+                )));
+            }
+            let k = ((budget / tier.mean_service_time).floor() as u32).max(1);
+            let ok = |m: u32| {
+                let q = self
+                    .backend
+                    .per_instance(lambda, m, tier.mean_service_time, tier.service_scv, k);
+                q.mean_response_time <= budget
+                    && q.blocking_probability <= self.rejection_tolerance
+            };
+            if !ok(self.max_per_tier) {
+                return Err(QueueError::InvalidParameter(format!(
+                    "tier {} infeasible within {} instances",
+                    tier.name, self.max_per_tier
+                )));
+            }
+            let (mut lo, mut hi) = (1u32, self.max_per_tier);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if ok(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            instances.push(lo);
+        }
+
+        // Step 4: predict end-to-end response with the sized network.
+        let sized: Vec<NodeSpec> = tiers
+            .iter()
+            .zip(&instances)
+            .map(|(t, &n)| NodeSpec {
+                external_arrival_rate: t.external_arrival_rate,
+                service_rate: 1.0 / t.mean_service_time,
+                servers: n.max(1),
+            })
+            .collect();
+        let net = JacksonNetwork::solve(&sized, routing)?;
+        Ok(CompositePlan {
+            instances,
+            tier_arrival_rates: lambdas,
+            tier_budgets: budgets,
+            predicted_end_to_end: net.mean_network_response_time(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier(name: &str, service: f64, external: f64) -> TierSpec {
+        TierSpec {
+            name: name.into(),
+            mean_service_time: service,
+            service_scv: 0.5,
+            external_arrival_rate: external,
+        }
+    }
+
+    #[test]
+    fn three_tier_plan_meets_budget() {
+        let tiers = [
+            tier("web", 0.010, 100.0),
+            tier("app", 0.050, 0.0),
+            tier("db", 0.020, 0.0),
+        ];
+        let routing = vec![
+            vec![0.0, 0.8, 0.0],
+            vec![0.0, 0.0, 0.5],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let planner = CompositePlanner::new(0.5, AnalyticBackend::TwoMoment, 10_000);
+        let plan = planner.plan(&tiers, &routing).unwrap();
+        assert_eq!(plan.instances.len(), 3);
+        assert!(plan.instances.iter().all(|&n| n >= 1));
+        // Flows: web 100, app 80, db 40.
+        assert!((plan.tier_arrival_rates[1] - 80.0).abs() < 1e-9);
+        assert!((plan.tier_arrival_rates[2] - 40.0).abs() < 1e-9);
+        // Predicted end-to-end within the target.
+        assert!(
+            plan.predicted_end_to_end <= 0.5 + 1e-9,
+            "end-to-end {}",
+            plan.predicted_end_to_end
+        );
+    }
+
+    #[test]
+    fn heavier_tier_gets_more_instances() {
+        let tiers = [tier("fast", 0.010, 50.0), tier("slow", 0.200, 0.0)];
+        let routing = vec![vec![0.0, 1.0], vec![0.0, 0.0]];
+        let planner = CompositePlanner::new(1.0, AnalyticBackend::TwoMoment, 10_000);
+        let plan = planner.plan(&tiers, &routing).unwrap();
+        assert!(
+            plan.instances[1] > plan.instances[0],
+            "slow tier {} vs fast tier {}",
+            plan.instances[1],
+            plan.instances[0]
+        );
+    }
+
+    #[test]
+    fn unvisited_tier_gets_zero() {
+        let tiers = [tier("web", 0.01, 10.0), tier("orphan", 0.01, 0.0)];
+        let routing = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let planner = CompositePlanner::new(0.2, AnalyticBackend::TwoMoment, 1000);
+        let plan = planner.plan(&tiers, &routing).unwrap();
+        assert_eq!(plan.instances[1], 0);
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_error() {
+        // End-to-end budget below a single service time.
+        let tiers = [tier("slow", 1.0, 5.0)];
+        let planner = CompositePlanner::new(0.5, AnalyticBackend::TwoMoment, 1000);
+        assert!(planner.plan(&tiers, &[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn no_external_arrivals_is_an_error() {
+        let tiers = [tier("web", 0.01, 0.0)];
+        let planner = CompositePlanner::new(0.5, AnalyticBackend::TwoMoment, 1000);
+        assert!(planner.plan(&tiers, &[vec![0.0]]).is_err());
+    }
+
+    #[test]
+    fn feedback_loops_are_supported() {
+        // Retries: 20% of app-tier work loops back to itself.
+        let tiers = [tier("app", 0.020, 50.0)];
+        let routing = vec![vec![0.2]];
+        let planner = CompositePlanner::new(0.5, AnalyticBackend::TwoMoment, 10_000);
+        let plan = planner.plan(&tiers, &routing).unwrap();
+        assert!((plan.tier_arrival_rates[0] - 62.5).abs() < 1e-9);
+        assert!(plan.instances[0] >= 2);
+    }
+}

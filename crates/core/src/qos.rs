@@ -1,0 +1,112 @@
+//! QoS targets and the paper's queue-sizing rule (Eq. 1).
+
+/// The negotiated Quality-of-Service targets of an application (§III-B):
+/// response time, rejection rate, and the provider-side utilization floor
+/// that prevents over-provisioning.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QosTargets {
+    /// Maximum acceptable response time of a request, Ts (seconds).
+    pub max_response_time: f64,
+    /// Maximum acceptable fraction of rejected requests
+    /// (paper evaluation: 0 — "the system is required to serve all
+    /// requests").
+    pub max_rejection_rate: f64,
+    /// Minimum acceptable utilization of provisioned resources
+    /// (paper evaluation: 0.80).
+    pub min_utilization: f64,
+}
+
+impl QosTargets {
+    /// Creates validated targets.
+    ///
+    /// # Panics
+    /// Panics on non-finite or out-of-range values.
+    pub fn new(max_response_time: f64, max_rejection_rate: f64, min_utilization: f64) -> Self {
+        assert!(
+            max_response_time > 0.0 && max_response_time.is_finite(),
+            "Ts must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&max_rejection_rate),
+            "rejection rate target must be in [0,1]"
+        );
+        assert!(
+            (0.0..1.0).contains(&min_utilization),
+            "utilization floor must be in [0,1)"
+        );
+        QosTargets {
+            max_response_time,
+            max_rejection_rate,
+            min_utilization,
+        }
+    }
+
+    /// The paper's web-scenario targets: Ts = 250 ms, no rejections,
+    /// ≥80% utilization.
+    pub fn web_paper() -> Self {
+        Self::new(0.250, 0.0, 0.80)
+    }
+
+    /// The paper's scientific-scenario targets: Ts = 700 s, no
+    /// rejections, ≥80% utilization.
+    pub fn scientific_paper() -> Self {
+        Self::new(700.0, 0.0, 0.80)
+    }
+
+    /// Eq. 1 of the paper: per-instance queue capacity
+    /// `k = ⌊Ts / Tr⌋`, floored at 1 so an instance can always hold the
+    /// request it is serving. `tr` is the (monitored) execution time of a
+    /// single request.
+    pub fn queue_capacity(&self, tr: f64) -> u32 {
+        assert!(tr > 0.0 && tr.is_finite(), "Tr must be positive");
+        ((self.max_response_time / tr).floor() as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenarios_have_k2() {
+        // Web: ⌊250 ms / 100 ms⌋ = 2 (and still 2 at the monitored
+        // 105 ms); scientific: ⌊700 / 300⌋ = 2 (and at 315 s).
+        let web = QosTargets::web_paper();
+        assert_eq!(web.queue_capacity(0.100), 2);
+        assert_eq!(web.queue_capacity(0.105), 2);
+        let sci = QosTargets::scientific_paper();
+        assert_eq!(sci.queue_capacity(300.0), 2);
+        assert_eq!(sci.queue_capacity(315.0), 2);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let q = QosTargets::new(1.0, 0.0, 0.8);
+        assert_eq!(q.queue_capacity(2.0), 1); // Ts < Tr still admits one
+        assert_eq!(q.queue_capacity(1.0), 1);
+        assert_eq!(q.queue_capacity(0.1), 10);
+    }
+
+    #[test]
+    fn admitted_response_bound_holds() {
+        // k·Tr ≤ Ts ⇒ an admitted request served FIFO behind at most
+        // k−1 others finishes within Ts (up to service-time inflation).
+        let q = QosTargets::new(0.25, 0.0, 0.8);
+        for tr in [0.05, 0.1, 0.12, 0.24] {
+            let k = q.queue_capacity(tr);
+            assert!(k as f64 * tr <= q.max_response_time + 1e-12, "tr={tr}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Ts must be positive")]
+    fn rejects_bad_ts() {
+        QosTargets::new(0.0, 0.0, 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization floor")]
+    fn rejects_bad_utilization() {
+        QosTargets::new(1.0, 0.0, 1.0);
+    }
+}

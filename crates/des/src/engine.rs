@@ -1,0 +1,295 @@
+//! The simulation engine: a clock, a future-event list, and a world.
+//!
+//! A simulation is a [`World`] (all mutable model state plus an event type)
+//! driven by an [`Engine`]. The engine pops the earliest event, advances
+//! the clock, and hands the event to [`World::handle`], which may schedule
+//! further events through the [`Scheduler`] it receives.
+//!
+//! ```
+//! use vmprov_des::{Engine, Scheduler, SimTime, World};
+//!
+//! struct Counter {
+//!     fired: u32,
+//! }
+//!
+//! impl World for Counter {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+//!         self.fired += 1;
+//!         if self.fired < 10 {
+//!             sched.at(now + 1.0, ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Counter { fired: 0 });
+//! engine.schedule(SimTime::ZERO, ());
+//! engine.run();
+//! assert_eq!(engine.world().fired, 10);
+//! assert_eq!(engine.now().as_secs(), 9.0);
+//! ```
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Model state driven by an [`Engine`].
+pub trait World {
+    /// The event vocabulary of this model.
+    type Event;
+
+    /// Reacts to `event` occurring at `now`, scheduling follow-up events
+    /// through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Handle through which event handlers schedule future events.
+///
+/// Borrowed view over the engine's event queue, so handlers cannot touch
+/// the clock or pop events out of order.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current clock (causality).
+    #[inline]
+    pub fn at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.queue.schedule(time, event);
+    }
+
+    /// Schedules `event` after a relative delay of `delay` seconds.
+    #[inline]
+    pub fn after(&mut self, delay: f64, event: E) {
+        debug_assert!(delay >= 0.0, "negative delay {delay}");
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the current instant (it will fire after all
+    /// other events already scheduled for this instant).
+    #[inline]
+    pub fn now(&mut self, event: E) {
+        self.queue.schedule(self.now, event);
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn clock(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events (including ones scheduled by this handler).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Discrete-event simulation engine.
+pub struct Engine<W: World> {
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    world: W,
+    steps: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            world,
+            steps: 0,
+        }
+    }
+
+    /// Schedules an event from outside a handler (e.g. initial events).
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.schedule(time, event);
+    }
+
+    /// Current simulation clock.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the model.
+    #[inline]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the model (for setup and post-run inspection).
+    #[inline]
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Processes a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some((time, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.steps += 1;
+        let mut sched = Scheduler {
+            queue: &mut self.queue,
+            now: self.now,
+        };
+        self.world.handle(time, event, &mut sched);
+        true
+    }
+
+    /// Runs until the event queue drains. Returns events processed.
+    pub fn run(&mut self) -> u64 {
+        let start = self.steps;
+        while self.step() {}
+        self.steps - start
+    }
+
+    /// Runs until the queue drains or the next event would fire strictly
+    /// after `end`. Events scheduled exactly at `end` are processed. The
+    /// clock is advanced to `end` on return. Returns events processed.
+    pub fn run_until(&mut self, end: SimTime) -> u64 {
+        let start = self.steps;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            self.step();
+        }
+        if self.now < end {
+            self.now = end;
+        }
+        self.steps - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records the times at which its events fired.
+    struct Recorder {
+        fired: Vec<(f64, u32)>,
+    }
+
+    enum Ev {
+        Mark(u32),
+        Chain { id: u32, remaining: u32, gap: f64 },
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<'_, Ev>) {
+            match ev {
+                Ev::Mark(id) => self.fired.push((now.as_secs(), id)),
+                Ev::Chain { id, remaining, gap } => {
+                    self.fired.push((now.as_secs(), id));
+                    if remaining > 0 {
+                        sched.after(
+                            gap,
+                            Ev::Chain {
+                                id,
+                                remaining: remaining - 1,
+                                gap,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn processes_in_causal_order() {
+        let mut eng = Engine::new(Recorder { fired: vec![] });
+        eng.schedule(SimTime::from_secs(2.0), Ev::Mark(2));
+        eng.schedule(SimTime::from_secs(1.0), Ev::Mark(1));
+        eng.schedule(SimTime::from_secs(3.0), Ev::Mark(3));
+        let n = eng.run();
+        assert_eq!(n, 3);
+        assert_eq!(eng.world().fired, vec![(1.0, 1), (2.0, 2), (3.0, 3)]);
+        assert_eq!(eng.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn chained_events_interleave_by_time() {
+        let mut eng = Engine::new(Recorder { fired: vec![] });
+        eng.schedule(
+            SimTime::ZERO,
+            Ev::Chain {
+                id: 1,
+                remaining: 3,
+                gap: 2.0,
+            },
+        );
+        eng.schedule(
+            SimTime::from_secs(1.0),
+            Ev::Chain {
+                id: 2,
+                remaining: 3,
+                gap: 2.0,
+            },
+        );
+        eng.run();
+        let ids: Vec<u32> = eng.world().fired.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut eng = Engine::new(Recorder { fired: vec![] });
+        for i in 0..10 {
+            eng.schedule(SimTime::from_secs(i as f64), Ev::Mark(i));
+        }
+        let n = eng.run_until(SimTime::from_secs(4.5));
+        assert_eq!(n, 5); // events at 0..=4
+        assert_eq!(eng.now().as_secs(), 4.5);
+        // Events at exactly the boundary are included.
+        let n = eng.run_until(SimTime::from_secs(7.0));
+        assert_eq!(n, 3); // 5, 6, 7
+        let n = eng.run_until(SimTime::from_secs(100.0));
+        assert_eq!(n, 2); // 8, 9
+        assert_eq!(eng.now().as_secs(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.at(SimTime::from_secs(now.as_secs() - 1.0), ());
+            }
+        }
+        let mut eng = Engine::new(Bad);
+        eng.schedule(SimTime::from_secs(5.0), ());
+        eng.run();
+    }
+}

@@ -1,0 +1,218 @@
+//! Steady-state output analysis: warm-up truncation and the method of
+//! batch means.
+//!
+//! A single long simulation run produces autocorrelated observations, so
+//! the plain i.i.d. confidence interval is too narrow. The standard
+//! remedy (Law & Kelton) is to (1) discard the initialization transient
+//! and (2) group the remainder into `b` batches whose *means* are
+//! approximately independent, then build a Student-t interval over the
+//! batch means.
+//!
+//! Warm-up detection uses MSER (Marginal Standard Error Rule): truncate
+//! at the prefix length minimizing the standard error of the remaining
+//! sample mean.
+
+use super::ci::{confidence_interval, Interval, Level};
+use super::welford::OnlineStats;
+
+/// Batch-means estimator over a recorded sequence of observations.
+///
+/// Unlike the constant-space accumulators this keeps the sample (it is
+/// meant for moderate-length measurement windows, not the 5·10⁸-sample
+/// full runs, which use [`OnlineStats`]).
+#[derive(Debug, Clone, Default)]
+pub struct BatchMeans {
+    samples: Vec<f64>,
+}
+
+impl BatchMeans {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        BatchMeans::default()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// MSER warm-up point: the truncation index `d` (searched over the
+    /// first half of the run) minimizing `S²(d) / (n − d)²`, where
+    /// `S²(d)` is the variance of the retained tail. Returns 0 for very
+    /// short runs.
+    pub fn mser_warmup(&self) -> usize {
+        let n = self.samples.len();
+        if n < 8 {
+            return 0;
+        }
+        // Suffix sums for O(n) evaluation of tail mean/variance.
+        let mut suffix_sum = vec![0.0; n + 1];
+        let mut suffix_sq = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_sum[i] = suffix_sum[i + 1] + self.samples[i];
+            suffix_sq[i] = suffix_sq[i + 1] + self.samples[i] * self.samples[i];
+        }
+        let mut best = (f64::INFINITY, 0usize);
+        for d in 0..n / 2 {
+            let m = (n - d) as f64;
+            let mean = suffix_sum[d] / m;
+            let var = (suffix_sq[d] / m - mean * mean).max(0.0);
+            let mser = var / m;
+            if mser < best.0 {
+                best = (mser, d);
+            }
+        }
+        best.1
+    }
+
+    /// Batch-means confidence interval for the steady-state mean:
+    /// truncates the MSER warm-up, splits the remainder into `batches`
+    /// equal batches, and builds a Student-t interval over the batch
+    /// means. Returns `None` when fewer than `2 × batches` observations
+    /// survive truncation.
+    pub fn steady_state_ci(&self, batches: usize, level: Level) -> Option<Interval> {
+        assert!(batches >= 2, "need at least two batches");
+        let d = self.mser_warmup();
+        let tail = &self.samples[d..];
+        if tail.len() < 2 * batches {
+            return None;
+        }
+        let batch_len = tail.len() / batches;
+        let mut stats = OnlineStats::new();
+        for b in 0..batches {
+            let chunk = &tail[b * batch_len..(b + 1) * batch_len];
+            stats.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        }
+        Some(confidence_interval(&stats, level))
+    }
+
+    /// Lag-1 autocorrelation of the batch means — a diagnostic: values
+    /// near zero indicate the batches are long enough to be treated as
+    /// independent. Returns `None` with fewer than 3 batches' worth of
+    /// data.
+    pub fn batch_lag1_autocorrelation(&self, batches: usize) -> Option<f64> {
+        assert!(batches >= 3);
+        let d = self.mser_warmup();
+        let tail = &self.samples[d..];
+        if tail.len() < batches {
+            return None;
+        }
+        let batch_len = tail.len() / batches;
+        let means: Vec<f64> = (0..batches)
+            .map(|b| {
+                let chunk = &tail[b * batch_len..(b + 1) * batch_len];
+                chunk.iter().sum::<f64>() / chunk.len() as f64
+            })
+            .collect();
+        let m = means.iter().sum::<f64>() / means.len() as f64;
+        let var: f64 = means.iter().map(|x| (x - m) * (x - m)).sum();
+        if var <= 1e-300 {
+            return Some(0.0);
+        }
+        let cov: f64 = means
+            .windows(2)
+            .map(|w| (w[0] - m) * (w[1] - m))
+            .sum();
+        Some(cov / var)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Exponential};
+    use crate::rng::RngFactory;
+
+    #[test]
+    fn warmup_detected_on_transient() {
+        // 200 inflated samples, then stationary noise around 1.0.
+        let mut bm = BatchMeans::new();
+        let mut rng = RngFactory::new(1).stream("warm");
+        for i in 0..2_000 {
+            let base = if i < 200 { 10.0 - i as f64 * 0.045 } else { 1.0 };
+            bm.push(base + 0.1 * (rng.uniform01() - 0.5));
+        }
+        let d = bm.mser_warmup();
+        assert!(
+            (150..=400).contains(&d),
+            "warm-up {d} should bracket the 200-sample transient"
+        );
+    }
+
+    #[test]
+    fn stationary_series_keeps_almost_everything() {
+        let mut bm = BatchMeans::new();
+        let mut rng = RngFactory::new(2).stream("flat");
+        for _ in 0..1_000 {
+            bm.push(rng.uniform01());
+        }
+        assert!(bm.mser_warmup() < 250);
+    }
+
+    #[test]
+    fn ci_covers_known_mean() {
+        // i.i.d. exponential(mean 2): CI should cover 2.0.
+        let d = Exponential::from_mean(2.0);
+        let mut rng = RngFactory::new(3).stream("exp");
+        let mut bm = BatchMeans::new();
+        for _ in 0..20_000 {
+            bm.push(d.sample(&mut rng));
+        }
+        let ci = bm.steady_state_ci(20, Level::P95).unwrap();
+        assert!(ci.contains(2.0), "{ci:?}");
+        assert!(ci.half_width < 0.1);
+    }
+
+    #[test]
+    fn autocorrelated_series_widens_interval() {
+        // AR(1) with φ = 0.95: the batch-means CI must be wider than the
+        // naive i.i.d. CI over raw samples.
+        let mut rng = RngFactory::new(4).stream("ar");
+        let mut bm = BatchMeans::new();
+        let mut naive = OnlineStats::new();
+        let mut x = 0.0;
+        for _ in 0..50_000 {
+            x = 0.95 * x + (rng.uniform01() - 0.5);
+            bm.push(x);
+            naive.push(x);
+        }
+        let batch_ci = bm.steady_state_ci(25, Level::P95).unwrap();
+        let naive_ci = confidence_interval(&naive, Level::P95);
+        assert!(
+            batch_ci.half_width > 3.0 * naive_ci.half_width,
+            "batch {} vs naive {}",
+            batch_ci.half_width,
+            naive_ci.half_width
+        );
+    }
+
+    #[test]
+    fn diagnostics_and_edge_cases() {
+        let mut bm = BatchMeans::new();
+        assert!(bm.is_empty());
+        assert_eq!(bm.mser_warmup(), 0);
+        assert!(bm.steady_state_ci(5, Level::P95).is_none());
+        for i in 0..300 {
+            bm.push((i % 7) as f64);
+        }
+        assert_eq!(bm.len(), 300);
+        let rho = bm.batch_lag1_autocorrelation(10).unwrap();
+        assert!(rho.abs() <= 1.0 + 1e-9);
+        // Constant series: zero autocorrelation by convention.
+        let mut flat = BatchMeans::new();
+        for _ in 0..100 {
+            flat.push(5.0);
+        }
+        assert_eq!(flat.batch_lag1_autocorrelation(5), Some(0.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Constant-space quantile tracking via a log-scaled histogram.
+//!
+//! Response-time distributions span orders of magnitude, so buckets are
+//! spaced geometrically: each bucket is `growth` times wider than the
+//! previous. Quantile estimates are exact to within one bucket's relative
+//! width (default 1%).
+
+/// Streaming histogram with geometrically spaced buckets over
+/// `[min_value, max_value]`, plus underflow/overflow buckets.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min_value: f64,
+    log_min: f64,
+    inv_log_growth: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[min_value, max_value]` with buckets
+    /// growing by `rel_width` (e.g. `0.01` → 1%-wide buckets).
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `rel_width > 0`.
+    pub fn new(min_value: f64, max_value: f64, rel_width: f64) -> Self {
+        assert!(min_value > 0.0 && max_value > min_value && rel_width > 0.0);
+        let log_growth = (1.0 + rel_width).ln();
+        let n_buckets = ((max_value / min_value).ln() / log_growth).ceil() as usize + 1;
+        LogHistogram {
+            min_value,
+            log_min: min_value.ln(),
+            inv_log_growth: 1.0 / log_growth,
+            log_growth,
+            counts: vec![0; n_buckets],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Histogram suitable for latencies from 1 µs to ~3 hours at 1%
+    /// resolution (~1 640 buckets).
+    pub fn for_latencies() -> Self {
+        Self::new(1e-6, 1.2e4, 0.01)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x.ln() - self.log_min) * self.inv_log_growth) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimates the `q`-quantile (`0 <= q <= 1`). Returns `None` when
+    /// empty. Underflow resolves to `min_value`; overflow to the top edge.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.min_value);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of the bucket.
+                let lo = self.log_min + i as f64 * self.log_growth;
+                return Some((lo + 0.5 * self.log_growth).exp());
+            }
+        }
+        Some((self.log_min + self.counts.len() as f64 * self.log_growth).exp())
+    }
+
+    /// Fraction of observations strictly greater than `threshold`
+    /// (resolved at bucket granularity).
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if threshold < self.min_value {
+            return (self.total - self.underflow) as f64 / self.total as f64;
+        }
+        let idx = ((threshold.ln() - self.log_min) * self.inv_log_growth) as usize;
+        if idx >= self.counts.len() {
+            return self.overflow as f64 / self.total as f64;
+        }
+        let above: u64 = self.counts[idx + 1..].iter().sum::<u64>() + self.overflow;
+        above as f64 / self.total as f64
+    }
+
+    /// Merges another histogram with identical bucket layout.
+    ///
+    /// # Panics
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "layout mismatch");
+        assert!((self.log_min - other.log_min).abs() < 1e-12, "layout mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_uniform_grid() {
+        let mut h = LogHistogram::new(1.0, 1000.0, 0.01);
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 500.0).abs() / 500.0 < 0.02, "median {med}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 990.0).abs() / 990.0 < 0.02, "p99 {p99}");
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::for_latencies();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.fraction_above(1.0), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 0.1);
+        h.record(0.1); // underflow
+        h.record(100.0); // overflow
+        h.record(5.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0).unwrap(), 1.0); // underflow bucket
+        assert!(h.quantile(1.0).unwrap() >= 10.0); // overflow at top edge
+    }
+
+    #[test]
+    fn fraction_above_threshold() {
+        let mut h = LogHistogram::new(0.001, 10.0, 0.01);
+        for _ in 0..90 {
+            h.record(0.1);
+        }
+        for _ in 0..10 {
+            h.record(1.0);
+        }
+        let f = h.fraction_above(0.25);
+        assert!((f - 0.10).abs() < 0.01, "fraction {f}");
+        let f = h.fraction_above(5.0);
+        assert!(f.abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LogHistogram::new(1.0, 100.0, 0.05);
+        let mut b = LogHistogram::new(1.0, 100.0, 0.05);
+        for i in 1..=50 {
+            a.record(i as f64);
+        }
+        for i in 51..=100 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        let med = a.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() / 50.0 < 0.06, "median {med}");
+    }
+
+    #[test]
+    fn relative_accuracy_bound() {
+        // Every recorded value must be recoverable to within one bucket
+        // (≈1% relative error) via a quantile query on a singleton.
+        for &v in &[0.0001, 0.0123, 0.25, 1.0, 99.0, 11_000.0] {
+            let mut h = LogHistogram::for_latencies();
+            h.record(v);
+            let q = h.quantile(0.5).unwrap();
+            assert!((q - v).abs() / v < 0.011, "value {v} recovered as {q}");
+        }
+    }
+}

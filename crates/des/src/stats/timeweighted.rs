@@ -1,0 +1,147 @@
+//! Time-weighted averages of piecewise-constant signals.
+//!
+//! Metrics like "number of running VMs" or "queue length" change at event
+//! instants and hold their value in between; their average must weight
+//! each value by how long it was held, not by how often it changed.
+
+use crate::time::SimTime;
+
+/// Streaming time-weighted average (and extrema) of a piecewise-constant
+/// real-valued signal.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl TimeWeighted {
+    /// Starts tracking a signal whose value is `initial` at time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            current: initial,
+            weighted_sum: 0.0,
+            min: initial,
+            max: initial,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `now` precedes the previous update.
+    pub fn update(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.weighted_sum += self.current * (now - self.last_change);
+        self.last_change = now;
+        self.current = value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.update(now, v);
+    }
+
+    /// The signal's current value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Smallest value the signal has taken.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest value the signal has taken.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Time-weighted average over `[start, now]`.
+    ///
+    /// Returns the initial value if no time has elapsed.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let elapsed = now - self.start;
+        if elapsed <= 0.0 {
+            return self.current;
+        }
+        let total = self.weighted_sum + self.current * (now - self.last_change);
+        total / elapsed
+    }
+
+    /// Integral of the signal over `[start, now]` (e.g. VM·seconds).
+    pub fn integral(&self, now: SimTime) -> f64 {
+        self.weighted_sum + self.current * (now - self.last_change)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_signal() {
+        let tw = TimeWeighted::new(t(0.0), 5.0);
+        assert_eq!(tw.average(t(10.0)), 5.0);
+        assert_eq!(tw.integral(t(10.0)), 50.0);
+    }
+
+    #[test]
+    fn step_signal() {
+        // 2.0 for 4 s, then 6.0 for 6 s → avg = (8 + 36) / 10 = 4.4
+        let mut tw = TimeWeighted::new(t(0.0), 2.0);
+        tw.update(t(4.0), 6.0);
+        assert!((tw.average(t(10.0)) - 4.4).abs() < 1e-12);
+        assert_eq!(tw.min(), 2.0);
+        assert_eq!(tw.max(), 6.0);
+        assert_eq!(tw.current(), 6.0);
+    }
+
+    #[test]
+    fn add_deltas() {
+        let mut tw = TimeWeighted::new(t(0.0), 0.0);
+        tw.add(t(1.0), 3.0); // 0 for 1 s
+        tw.add(t(3.0), -1.0); // 3 for 2 s
+        // now 2 for 2 s → integral = 0 + 6 + 4 = 10
+        assert!((tw.integral(t(5.0)) - 10.0).abs() < 1e-12);
+        assert!((tw.average(t(5.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_elapsed_returns_current() {
+        let tw = TimeWeighted::new(t(5.0), 7.0);
+        assert_eq!(tw.average(t(5.0)), 7.0);
+    }
+
+    #[test]
+    fn repeated_updates_at_same_instant() {
+        let mut tw = TimeWeighted::new(t(0.0), 1.0);
+        tw.update(t(2.0), 10.0);
+        tw.update(t(2.0), 3.0); // instantaneous spike contributes no weight
+        assert!((tw.average(t(4.0)) - (2.0 + 6.0) / 4.0).abs() < 1e-12);
+        assert_eq!(tw.max(), 10.0); // but extrema still see it
+    }
+
+    #[test]
+    fn nonzero_start_time() {
+        let mut tw = TimeWeighted::new(t(100.0), 4.0);
+        tw.update(t(110.0), 8.0);
+        assert!((tw.average(t(120.0)) - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the simulation kernel.
+
+use proptest::prelude::*;
+use vmprov_des::dist::{Clamped, Distribution, Exponential, Normal, Pareto, Uniform, Weibull};
+use vmprov_des::special::{gamma, ln_binomial, ln_factorial, ln_gamma};
+use vmprov_des::stats::{LogHistogram, OnlineStats, TimeWeighted};
+use vmprov_des::{EventQueue, RngFactory, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn samples_stay_in_support(
+        seed in any::<u64>(),
+        rate in 0.01f64..100.0,
+        shape in 0.2f64..8.0,
+        scale in 0.01f64..100.0,
+        lo in -50.0f64..50.0,
+        width in 0.0f64..100.0,
+    ) {
+        let mut rng = RngFactory::new(seed).stream("support");
+        for _ in 0..50 {
+            prop_assert!(Exponential::new(rate).sample(&mut rng) >= 0.0);
+            prop_assert!(Weibull::new(shape, scale).sample(&mut rng) >= 0.0);
+            prop_assert!(Pareto::new(scale, shape).sample(&mut rng) >= scale);
+            let u = Uniform::new(lo, lo + width).sample(&mut rng);
+            prop_assert!(u >= lo && u <= lo + width);
+        }
+    }
+
+    #[test]
+    fn weibull_cdf_survival_complement(
+        shape in 0.2f64..8.0,
+        scale in 0.01f64..100.0,
+        x in 0.0f64..500.0,
+    ) {
+        let d = Weibull::new(shape, scale);
+        prop_assert!((d.cdf(x) + d.survival(x) - 1.0).abs() < 1e-12);
+        prop_assert!(d.survival(x) >= 0.0 && d.survival(x) <= 1.0);
+        // Survival is non-increasing.
+        prop_assert!(d.survival(x) >= d.survival(x + 1.0) - 1e-12);
+    }
+
+    #[test]
+    fn clamped_always_in_bounds(
+        seed in any::<u64>(),
+        mu in -100.0f64..100.0,
+        sigma in 0.0f64..50.0,
+        lo in -10.0f64..0.0,
+        hi in 0.0f64..10.0,
+    ) {
+        let d = Clamped::new(Normal::new(mu, sigma), lo, hi);
+        let mut rng = RngFactory::new(seed).stream("clamp");
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= hi);
+        }
+    }
+
+    #[test]
+    fn gamma_recurrence_random(x in 0.05f64..60.0) {
+        // Γ(x+1) = x·Γ(x)
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "x = {x}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 0u64..60, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64) * k_frac) as u64;
+        prop_assert!((ln_binomial(n, k) - ln_binomial(n, n - k)).abs() < 1e-9);
+        // Pascal: C(n+1, k+1) = C(n, k) + C(n, k+1) — verified in log space.
+        if k + 1 <= n {
+            let lhs = ln_binomial(n + 1, k + 1).exp();
+            let rhs = ln_binomial(n, k).exp() + ln_binomial(n, k + 1).exp();
+            prop_assert!((lhs - rhs).abs() / rhs < 1e-9);
+        }
+        let _ = ln_factorial(n);
+        let _ = gamma(1.0 + n as f64 / 10.0);
+    }
+
+    #[test]
+    fn online_stats_bounds_and_ordering(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..100),
+    ) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        prop_assert!(s.min() <= s.mean() + 1e-6 * s.mean().abs().max(1.0));
+        prop_assert!(s.max() >= s.mean() - 1e-6 * s.mean().abs().max(1.0));
+        prop_assert!(s.variance() >= 0.0);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn time_weighted_average_within_extrema(
+        steps in prop::collection::vec((0.0f64..100.0, -50.0f64..50.0), 1..50),
+    ) {
+        let mut t = 0.0;
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        for &(dt, v) in &steps {
+            t += dt;
+            tw.update(SimTime::from_secs(t), v);
+        }
+        let avg = tw.average(SimTime::from_secs(t + 1.0));
+        prop_assert!(avg >= tw.min() - 1e-9 && avg <= tw.max() + 1e-9);
+        // Integral consistency.
+        let integral = tw.integral(SimTime::from_secs(t + 1.0));
+        prop_assert!((integral - avg * (t + 1.0)).abs() < 1e-6 * integral.abs().max(1.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        values in prop::collection::vec(1e-5f64..1e4, 1..200),
+    ) {
+        let mut h = LogHistogram::for_latencies();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let x = h.quantile(q).unwrap();
+            prop_assert!(x >= prev, "quantile({q}) = {x} < {prev}");
+            prev = x;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    #[test]
+    fn event_queue_is_a_sorting_network(
+        times in prop::collection::vec(0.0f64..1e9, 0..200),
+    ) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule(SimTime::from_secs(t), ());
+        }
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut popped = Vec::with_capacity(times.len());
+        while let Some((t, ())) = q.pop() {
+            popped.push(t.as_secs());
+        }
+        prop_assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let f = RngFactory::new(seed);
+        let mut a = f.stream(&label);
+        let mut b = f.stream(&label);
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [table2|fig3|fig4|fig5|fig6|ablations|all] [--mode quick|paper|full]
+//!       [--seed N] [--out DIR]
+//! ```
+//!
+//! Results are printed and written under `--out` (default `results/`):
+//! `figN.txt` (the table/series), `figN.csv`, and `figN.json` for the
+//! experiment figures.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use vmprov_experiments::report::{figure_table, runs_csv, runs_json, series_csv, sparkline};
+use vmprov_experiments::{
+    ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
+    fig3_series, fig4_series, fig5, fig6, table2, Replicated, RunMode,
+};
+
+struct Args {
+    targets: Vec<String>,
+    mode: RunMode,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut targets = Vec::new();
+    let mut mode = RunMode::Quick;
+    let mut seed = 20110926; // ICPP 2011 conference date
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs a value")?;
+                mode = RunMode::parse(&v).ok_or(format!("unknown mode {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
+                            [--mode quick|paper|full] [--seed N] [--out DIR]"
+                    .into())
+            }
+            t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
+                targets.push(t.to_string())
+            }
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = ["table2", "fig3", "fig4", "fig5", "fig6", "ablations"]
+            .map(String::from)
+            .to_vec();
+    }
+    Ok(Args {
+        targets,
+        mode,
+        seed,
+        out,
+    })
+}
+
+fn write(path: &Path, content: &str) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create output dir");
+    }
+    fs::write(path, content).expect("write output");
+    println!("  wrote {}", path.display());
+}
+
+fn emit_experiment(name: &str, title: &str, reps: &[Replicated], out: &Path) {
+    let table = figure_table(title, reps);
+    println!("{table}");
+    write(&out.join(format!("{name}.txt")), &table);
+    write(&out.join(format!("{name}.csv")), &runs_csv(reps));
+    write(&out.join(format!("{name}.json")), &runs_json(reps));
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "repro: targets={:?} mode={:?} seed={}\n",
+        args.targets, args.mode, args.seed
+    );
+
+    for target in &args.targets {
+        let started = Instant::now();
+        match target.as_str() {
+            "table2" => {
+                let mut text = String::from(
+                    "Table II — min/max requests per second per weekday (web workload)\n",
+                );
+                for (day, max, min) in table2() {
+                    text.push_str(&format!("{day:<10} max {max:>6.0}  min {min:>6.0}\n"));
+                }
+                println!("{text}");
+                write(&args.out.join("table2.txt"), &text);
+            }
+            "fig3" => {
+                let series = fig3_series(600.0);
+                let mut text = String::from(
+                    "Fig. 3 — web workload arrival rate over one week (req/s)\n",
+                );
+                text.push_str(&format!("{}\n", sparkline(&series, 112)));
+                text.push_str("hours 0 (Mon 12am) … 168 (next Mon); peaks at each noon\n");
+                println!("{text}");
+                write(&args.out.join("fig3.txt"), &text);
+                write(
+                    &args.out.join("fig3.csv"),
+                    &series_csv("hour", "requests_per_second", &series),
+                );
+            }
+            "fig4" => {
+                let series = fig4_series(600.0, 10, args.seed);
+                let mut text = String::from(
+                    "Fig. 4 — scientific workload arrival rate over one day (tasks/s)\n",
+                );
+                text.push_str(&format!("{}\n", sparkline(&series, 96)));
+                text.push_str("hours 0 … 24; dense 8am–5pm peak window\n");
+                println!("{text}");
+                write(&args.out.join("fig4.txt"), &text);
+                write(
+                    &args.out.join("fig4.csv"),
+                    &series_csv("hour", "tasks_per_second", &series),
+                );
+            }
+            "fig5" => {
+                println!(
+                    "running fig5 (web, horizon {:.0} h, {} rep(s) × 6 policies)…",
+                    args.mode.web_horizon().as_hours(),
+                    args.mode.web_reps()
+                );
+                let reps = fig5(args.mode, args.seed);
+                emit_experiment(
+                    "fig5",
+                    "Fig. 5 — web (Wikipedia) workload: adaptive vs static provisioning",
+                    &reps,
+                    &args.out,
+                );
+            }
+            "fig6" => {
+                println!(
+                    "running fig6 (scientific, 1 day, {} rep(s) × 6 policies)…",
+                    args.mode.sci_reps()
+                );
+                let reps = fig6(args.mode, args.seed);
+                emit_experiment(
+                    "fig6",
+                    "Fig. 6 — scientific (Bag-of-Tasks) workload: adaptive vs static provisioning",
+                    &reps,
+                    &args.out,
+                );
+            }
+            "ablations" => {
+                use vmprov_des::SimTime;
+                let horizon = match args.mode {
+                    RunMode::Quick => SimTime::from_mins(30.0),
+                    _ => SimTime::from_hours(6.0),
+                };
+                let mut text = String::new();
+                text.push_str(&ablation_table(
+                    "Ablation: analytic backend (adaptive, web)",
+                    &backend_ablation(args.seed, horizon),
+                ));
+                text.push('\n');
+                text.push_str(&ablation_table(
+                    "Ablation: dispatch strategy (adaptive, web)",
+                    &dispatch_ablation(args.seed, horizon),
+                ));
+                text.push('\n');
+                text.push_str(&ablation_table(
+                    "Ablation: VM boot delay (adaptive, web)",
+                    &boot_delay_ablation(args.seed, horizon),
+                ));
+                text.push('\n');
+                text.push_str(&ablation_table(
+                    "Ablation: reactive analyzers on an unscheduled flash crowd",
+                    &analyzer_ablation(args.seed),
+                ));
+                println!("{text}");
+                write(&args.out.join("ablations.txt"), &text);
+            }
+            _ => unreachable!("validated in parse_args"),
+        }
+        println!("  [{target} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,31 @@
+//! # vmprov-experiments — the evaluation harness
+//!
+//! Reproduces every table and figure of the paper's §V:
+//!
+//! * [`scenario`] — the two evaluation scenarios (web, scientific) with
+//!   every policy variant;
+//! * [`runner`] — replicated execution (rayon) and aggregation;
+//! * [`figures`] — one function per table/figure;
+//! * [`report`] — ASCII tables, CSV, JSON.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p vmprov-experiments --bin repro -- all --mode quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use ablations::{ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation, AblationRow};
+pub use figures::{fig3_series, fig4_series, fig5, fig6, table2, RunMode};
+pub use runner::{run_once, run_policy_set, run_replicated, Replicated};
+pub use scenario::{
+    fig5_scenarios, fig6_scenarios, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
+    SCI_STATIC_SIZES, WEB_STATIC_SIZES,
+};

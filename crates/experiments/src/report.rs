@@ -1,0 +1,267 @@
+//! Human- and machine-readable reports: aligned ASCII tables matching
+//! the panels of Figs. 5 and 6, plus CSV and JSON dumps.
+
+use crate::runner::Replicated;
+use vmprov_cloudsim::RunSummary;
+
+/// Renders an aligned ASCII table.
+pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:>w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// One row of the figure tables: every panel of Fig. 5/6 for one policy.
+fn figure_row(rep: &Replicated) -> Vec<String> {
+    vec![
+        rep.policy.clone(),
+        format!("{:.0}", rep.mean(|r| f64::from(r.min_instances))),
+        format!("{:.0}", rep.mean(|r| f64::from(r.max_instances))),
+        format!("{:.2}", rep.mean(|r| 100.0 * r.rejection_rate)),
+        format!("{:.1}", rep.mean(|r| 100.0 * r.utilization)),
+        format!("{:.0}", rep.mean(|r| r.vm_hours)),
+        format!("{:.4}", rep.mean(|r| r.mean_response_time)),
+        format!("{:.4}", rep.mean(|r| r.std_response_time)),
+        format!("{:.0}", rep.mean(|r| r.qos_violations as f64)),
+        format!("{}", rep.runs.len()),
+    ]
+}
+
+/// Renders the Fig. 5/6 panels as one table (columns a–d of the figure).
+pub fn figure_table(title: &str, reps: &[Replicated]) -> String {
+    let headers = [
+        "Policy",
+        "MinInst (a)",
+        "MaxInst (a)",
+        "Reject% (b)",
+        "Util% (b)",
+        "VM-hours (c)",
+        "MeanResp s (d)",
+        "StdResp s (d)",
+        "QoS viol.",
+        "reps",
+    ];
+    let rows: Vec<Vec<String>> = reps.iter().map(figure_row).collect();
+    format!("{title}\n{}", ascii_table(&headers, &rows))
+}
+
+/// CSV with one row per replication (full per-run detail).
+pub fn runs_csv(reps: &[Replicated]) -> String {
+    let mut out = String::from(
+        "policy,rep,offered,accepted,rejected,rejection_rate,qos_violations,\
+         mean_response,std_response,max_response,min_instances,max_instances,\
+         mean_instances,vm_hours,utilization,vms_created\n",
+    );
+    for rep in reps {
+        for (i, r) in rep.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{:.6},{},{:.6},{:.6},{:.6},{},{},{:.2},{:.3},{:.4},{}\n",
+                rep.policy,
+                i,
+                r.offered_requests,
+                r.accepted_requests,
+                r.rejected_requests,
+                r.rejection_rate,
+                r.qos_violations,
+                r.mean_response_time,
+                r.std_response_time,
+                r.max_response_time,
+                r.min_instances,
+                r.max_instances,
+                r.mean_instances,
+                r.vm_hours,
+                r.utilization,
+                r.vms_created,
+            ));
+        }
+    }
+    out
+}
+
+/// JSON dump of the replicated results.
+pub fn runs_json(reps: &[Replicated]) -> String {
+    serde_json::to_string_pretty(reps).expect("serializable")
+}
+
+/// CSV for a time series (e.g. Fig. 3/4 arrival-rate curves).
+pub fn series_csv(x_label: &str, y_label: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("{x_label},{y_label}\n");
+    for (x, y) in series {
+        out.push_str(&format!("{x:.3},{y:.6}\n"));
+    }
+    out
+}
+
+/// Compact textual sparkline of a series (terminal-friendly figure).
+pub fn sparkline(series: &[(f64, f64)], width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = series.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+    let hi = series
+        .iter()
+        .map(|&(_, y)| y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let bucket = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::with_capacity(width * 3);
+    let mut i = 0.0;
+    while (i as usize) < series.len() && out.chars().count() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(series.len()).max(start + 1);
+        let avg: f64 =
+            series[start..end].iter().map(|&(_, y)| y).sum::<f64>() / (end - start) as f64;
+        let idx = (((avg - lo) / span) * 7.0).round() as usize;
+        out.push(BARS[idx.min(7)]);
+        i += bucket;
+    }
+    out
+}
+
+/// Shortens a [`RunSummary`] to a one-line description for logs.
+pub fn one_line(r: &RunSummary) -> String {
+    format!(
+        "{}: offered={} rej={:.3}% util={:.1}% vmh={:.0} resp={:.4}±{:.4}s inst=[{},{}]",
+        r.policy,
+        r.offered_requests,
+        100.0 * r.rejection_rate,
+        100.0 * r.utilization,
+        r.vm_hours,
+        r.mean_response_time,
+        r.std_response_time,
+        r.min_instances,
+        r.max_instances
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(policy: &str) -> RunSummary {
+        RunSummary {
+            policy: policy.into(),
+            end_time: 100.0,
+            offered_requests: 1000,
+            accepted_requests: 990,
+            rejected_requests: 10,
+            rejection_rate: 0.01,
+            qos_violations: 0,
+            mean_response_time: 0.105,
+            std_response_time: 0.01,
+            max_response_time: 0.21,
+            p99_response_time: None,
+            min_instances: 5,
+            max_instances: 9,
+            mean_instances: 7.0,
+            vm_hours: 12.5,
+            utilization: 0.81,
+            vms_created: 9,
+            vm_creation_failures: 0,
+            rejected_high: 0,
+            offered_high: 0,
+            rejection_rate_high: 0.0,
+            rejection_rate_low: 0.01,
+            instance_failures: 0,
+            requests_lost_to_failures: 0,
+        }
+    }
+
+    fn replicated() -> Replicated {
+        Replicated {
+            policy: "Static-9".into(),
+            runs: vec![summary("Static-9"), summary("Static-9")],
+        }
+    }
+
+    #[test]
+    fn ascii_table_alignment() {
+        let t = ascii_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 6);
+        // All lines equal width.
+        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(t.contains("long-header"));
+    }
+
+    #[test]
+    fn figure_table_contains_all_panels() {
+        let t = figure_table("Fig 5", &[replicated()]);
+        assert!(t.contains("Fig 5"));
+        assert!(t.contains("Static-9"));
+        assert!(t.contains("VM-hours"));
+        assert!(t.contains("12")); // vm hours mean
+    }
+
+    #[test]
+    fn csv_rows_per_replication() {
+        let csv = runs_csv(&[replicated()]);
+        assert_eq!(csv.lines().count(), 3); // header + 2 reps
+        assert!(csv.starts_with("policy,rep,"));
+        assert!(csv.contains("Static-9,1,"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let reps = vec![replicated()];
+        let json = runs_json(&reps);
+        let back: Vec<Replicated> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back[0].runs.len(), 2);
+        assert_eq!(back[0].policy, "Static-9");
+    }
+
+    #[test]
+    fn series_and_sparkline() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let csv = series_csv("t", "rate", &series);
+        assert_eq!(csv.lines().count(), 101);
+        let sl = sparkline(&series, 20);
+        assert_eq!(sl.chars().count(), 20);
+        // Flat series renders all-low.
+        let flat: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 1.0)).collect();
+        let sl = sparkline(&flat, 5);
+        assert!(sl.chars().all(|c| c == '▁'));
+        assert_eq!(sparkline(&[], 5), "");
+    }
+
+    #[test]
+    fn one_line_mentions_key_numbers() {
+        let l = one_line(&summary("X"));
+        assert!(l.contains("X:"));
+        assert!(l.contains("offered=1000"));
+        assert!(l.contains("[5,9]"));
+    }
+}

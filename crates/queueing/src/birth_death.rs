@@ -1,0 +1,129 @@
+//! General finite birth–death chains.
+//!
+//! Every Markovian queue in this crate is a birth–death process; this
+//! module provides the generic stationary solver used both to build
+//! models (M/M/c/K) and to cross-check the closed forms in tests.
+//! Products are accumulated in log space so chains with hundreds of
+//! states and extreme rate ratios do not overflow.
+
+use crate::QueueError;
+
+/// Solves the stationary distribution of a finite birth–death chain with
+/// states `0..=n`, birth rates `births[i]` (rate out of state `i` up) and
+/// death rates `deaths[i]` (rate out of state `i + 1` down).
+///
+/// `births.len() == deaths.len() == n`.
+pub fn stationary(births: &[f64], deaths: &[f64]) -> Result<Vec<f64>, QueueError> {
+    if births.len() != deaths.len() {
+        return Err(QueueError::InvalidParameter(
+            "births and deaths must have equal length".into(),
+        ));
+    }
+    for (i, (&b, &d)) in births.iter().zip(deaths).enumerate() {
+        if b < 0.0 || !b.is_finite() {
+            return Err(QueueError::InvalidParameter(format!(
+                "birth rate at state {i} is {b}"
+            )));
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(QueueError::InvalidParameter(format!(
+                "death rate into state {i} is {d}"
+            )));
+        }
+    }
+    let n = births.len();
+    // log π_i ∝ Σ_{j<i} ln(b_j / d_j); normalise with log-sum-exp.
+    let mut log_unnorm = Vec::with_capacity(n + 1);
+    log_unnorm.push(0.0f64);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        if births[i] == 0.0 {
+            // States beyond an absorbing-from-below boundary get -inf.
+            acc = f64::NEG_INFINITY;
+        } else {
+            acc += (births[i] / deaths[i]).ln();
+        }
+        log_unnorm.push(acc);
+    }
+    let max = log_unnorm.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut pi: Vec<f64> = log_unnorm.iter().map(|&l| (l - max).exp()).collect();
+    let s: f64 = pi.iter().sum();
+    if !s.is_finite() || s <= 0.0 {
+        return Err(QueueError::Numerical("normalisation failed".into()));
+    }
+    for p in &mut pi {
+        *p /= s;
+    }
+    Ok(pi)
+}
+
+/// Moments of a distribution over states `0..=n`.
+pub fn mean_state(pi: &[f64]) -> f64 {
+    pi.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1k::MM1K;
+
+    #[test]
+    fn reproduces_mm1k() {
+        let (lambda, mu, k) = (0.9, 1.3, 6u32);
+        let births = vec![lambda; k as usize];
+        let deaths = vec![mu; k as usize];
+        let pi = stationary(&births, &deaths).unwrap();
+        let closed = MM1K::new(lambda, mu, k).unwrap();
+        for n in 0..=k {
+            assert!(
+                (pi[n as usize] - closed.prob_n(n)).abs() < 1e-12,
+                "state {n}"
+            );
+        }
+        assert!((mean_state(&pi) - closed.mean_in_system()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_state_chain() {
+        // 0 →(2) 1, 1 →(3) 0 → π = (0.6, 0.4)
+        let pi = stationary(&[2.0], &[3.0]).unwrap();
+        assert!((pi[0] - 0.6).abs() < 1e-12);
+        assert!((pi[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_birth_rate_truncates() {
+        // Birth rate 0 out of state 1 → states ≥ 2 unreachable.
+        let pi = stationary(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+        assert!((pi[1] - 0.5).abs() < 1e-12);
+        assert_eq!(pi[2], 0.0);
+        assert_eq!(pi[3], 0.0);
+    }
+
+    #[test]
+    fn large_chain_no_overflow() {
+        // 500 states with ρ = 2 would overflow naive products (2^500).
+        let births = vec![2.0; 500];
+        let deaths = vec![1.0; 500];
+        let pi = stationary(&births, &deaths).unwrap();
+        let s: f64 = pi.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+        // Mass concentrates at the top.
+        assert!(pi[500] > 0.49);
+    }
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(stationary(&[1.0], &[0.0]).is_err());
+        assert!(stationary(&[-1.0], &[1.0]).is_err());
+        assert!(stationary(&[1.0, 1.0], &[1.0]).is_err());
+        assert!(stationary(&[f64::NAN], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_chain_is_point_mass() {
+        let pi = stationary(&[], &[]).unwrap();
+        assert_eq!(pi, vec![1.0]);
+    }
+}

@@ -1,0 +1,306 @@
+//! GI/G/1/K two-moment diffusion approximation — the provisioner's
+//! *dispatch-aware* analytic backend.
+//!
+//! The paper models each instance as M/M/1/k, but the system it then
+//! simulates violates both "M"s: round-robin over `m` instances feeds
+//! each instance Erlang-m (smooth) arrivals, and service times are
+//! `base × U(1, 1.1)` (nearly deterministic, SCV ≈ 0.00083). With
+//! k = 2, exact M/M/1/2 predicts ≥26% blocking at ρ = 0.8, while the
+//! simulated system rejects almost nothing — the gap that would make a
+//! verbatim analytic controller over-provision by an order of magnitude
+//! (quantified in the ablation benches).
+//!
+//! This model closes the gap with the classical diffusion/geometric
+//! approximation for GI/G/1 queues (Gelenbe; Kraemer & Langenbach-Belz):
+//! queue-length tail decays geometrically with effective ratio
+//!
+//! ```text
+//! ρ̂ = exp( −2 (1 − ρ) / (ca²·ρ + cs²) )
+//! ```
+//!
+//! where `ca²`/`cs²` are the squared coefficients of variation of
+//! interarrival and service times. For M/M/1 (`ca² = cs² = 1`) ρ̂ ≈ ρ;
+//! as variability vanishes ρ̂ → 0 and the queue behaves like D/D/1.
+//! State probabilities use the exact-for-GI/G/1 idle probability
+//! `p₀ = 1 − ρ` plus a geometric interior, truncated at K:
+//!
+//! ```text
+//! p₀ = 1 − ρ,   pₙ = ρ (1 − ρ̂) ρ̂ⁿ⁻¹ / (1 − ρ̂ᴷ)   (1 ≤ n ≤ K)
+//! ```
+//!
+//! Overload (ρ ≥ 1) is handled by the exact flow bound: throughput
+//! cannot exceed μ, so blocking ≥ 1 − 1/ρ; we take the max of both
+//! estimates so the curve stays monotone through saturation.
+//! Cross-validation tests in `tests/sim_vs_analytic.rs` bound the
+//! approximation error against simulation.
+
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// A GI/G/1/K queue summarised by two moments of each process.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GG1K {
+    lambda: f64,
+    mean_service: f64,
+    ca2: f64,
+    cs2: f64,
+    k: u32,
+}
+
+impl GG1K {
+    /// Creates the model.
+    ///
+    /// * `lambda` — mean arrival rate;
+    /// * `mean_service` — mean service time (1/μ);
+    /// * `ca2` — squared coefficient of variation of interarrival times
+    ///   (1 = Poisson, 1/m = Erlang-m, 0 = deterministic);
+    /// * `cs2` — squared coefficient of variation of service times;
+    /// * `k` — system capacity (in service + waiting), ≥ 1.
+    pub fn new(lambda: f64, mean_service: f64, ca2: f64, cs2: f64, k: u32) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mean_service", mean_service)?;
+        for (name, v) in [("ca2", ca2), ("cs2", cs2)] {
+            if v < 0.0 || !v.is_finite() {
+                return Err(QueueError::InvalidParameter(format!(
+                    "{name} must be >= 0 and finite, got {v}"
+                )));
+            }
+        }
+        if k == 0 {
+            return Err(QueueError::InvalidParameter("capacity k must be >= 1".into()));
+        }
+        Ok(GG1K {
+            lambda,
+            mean_service,
+            ca2,
+            cs2,
+            k,
+        })
+    }
+
+    /// The round-robin splitting constructor: one instance out of `m`
+    /// served by round-robin from a Poisson stream of total rate
+    /// `total_lambda` sees rate `total_lambda / m` with Erlang-m
+    /// interarrivals, i.e. `ca² = 1/m`.
+    pub fn round_robin_split(
+        total_lambda: f64,
+        m: u32,
+        mean_service: f64,
+        cs2: f64,
+        k: u32,
+    ) -> Result<Self, QueueError> {
+        if m == 0 {
+            return Err(QueueError::InvalidParameter("m must be >= 1".into()));
+        }
+        Self::new(
+            total_lambda / f64::from(m),
+            mean_service,
+            1.0 / f64::from(m),
+            cs2,
+            k,
+        )
+    }
+
+    /// Offered load ρ = λ E[S].
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+
+    /// The effective geometric decay ratio ρ̂ of the queue-length tail.
+    pub fn rho_hat(&self) -> f64 {
+        let rho = self.rho();
+        let var = self.ca2 * rho + self.cs2;
+        if (rho - 1.0).abs() < 1e-12 {
+            return 1.0;
+        }
+        if var <= 1e-12 {
+            // No variability at all: empty below saturation, full above.
+            return if rho < 1.0 { 0.0 } else { f64::INFINITY };
+        }
+        (-2.0 * (1.0 - rho) / var).exp()
+    }
+
+    /// Approximate steady-state probability of `n` in the system.
+    pub fn prob_n(&self, n: u32) -> f64 {
+        assert!(n <= self.k);
+        let rho = self.rho();
+        let k = self.k;
+        if rho >= 1.0 {
+            // Saturated: geometric mass piles at the top; in the limit the
+            // buffer is simply full.
+            let rh = self.rho_hat();
+            if !rh.is_finite() {
+                return if n == k { 1.0 } else { 0.0 };
+            }
+            // Renormalised increasing geometric over 0..=K.
+            let weights: Vec<f64> = (0..=k).map(|i| rh.powi(i as i32)).collect();
+            let s: f64 = weights.iter().sum();
+            return weights[n as usize] / s;
+        }
+        let rh = self.rho_hat();
+        if n == 0 {
+            return 1.0 - rho;
+        }
+        if rh <= 1e-300 {
+            return if n == 1 { rho } else { 0.0 };
+        }
+        let norm = if (rh - 1.0).abs() < 1e-12 {
+            f64::from(k)
+        } else {
+            (1.0 - rh.powi(k as i32)) / (1.0 - rh)
+        };
+        rho * rh.powi(n as i32 - 1) / norm
+    }
+
+    /// Approximate blocking probability, monotone in ρ by construction.
+    ///
+    /// * ρ < 1 — geometric tail mass `p_K`. As ρ → 1⁻ this rises to
+    ///   `1/K` for any positive variability (the diffusion formula's
+    ///   critical window, whose width scales with `ca²ρ + cs²`).
+    /// * ρ ≥ 1 — `max(1 − 1/ρ, 1/K)`: the exact flow-conservation bound
+    ///   (tight for deterministic traffic), floored at the subcritical
+    ///   limit so the curve never dips at the seam. With zero
+    ///   variability the floor is dropped and the flow bound is exact.
+    ///
+    /// Overestimating blocking just past saturation is deliberately
+    /// conservative: the provisioner only needs "QoS badly violated ⇒
+    /// grow" there.
+    pub fn blocking_probability(&self) -> f64 {
+        let rho = self.rho();
+        if rho < 1.0 {
+            return self.prob_n(self.k).clamp(0.0, 1.0);
+        }
+        let flow_bound = 1.0 - 1.0 / rho;
+        let var = self.ca2 * rho + self.cs2;
+        if var <= 1e-12 {
+            flow_bound
+        } else {
+            flow_bound.max(1.0 / f64::from(self.k)).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Full approximate steady-state metrics.
+    pub fn metrics(&self) -> QueueMetrics {
+        let pk = self.blocking_probability();
+        let lambda_eff = self.lambda * (1.0 - pk);
+        let mu = 1.0 / self.mean_service;
+        let utilization = (lambda_eff / mu).min(1.0);
+        let l: f64 = (0..=self.k)
+            .map(|n| f64::from(n) * self.prob_n(n))
+            .sum();
+        let (w, wq) = if lambda_eff > 1e-300 {
+            let w = l / lambda_eff;
+            (w, (w - self.mean_service).max(0.0))
+        } else {
+            (0.0, 0.0)
+        };
+        QueueMetrics {
+            utilization,
+            mean_in_system: l,
+            mean_waiting: (l - utilization).max(0.0),
+            mean_response_time: w,
+            mean_waiting_time: wq,
+            throughput: lambda_eff,
+            blocking_probability: pk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1k::MM1K;
+
+    #[test]
+    fn mm1_case_tracks_exact_model() {
+        // ca² = cs² = 1 should land near the exact M/M/1/K values.
+        for rho in [0.3, 0.5, 0.7, 0.9] {
+            let approx = GG1K::new(rho, 1.0, 1.0, 1.0, 5).unwrap();
+            let exact = MM1K::new(rho, 1.0, 5).unwrap();
+            let a = approx.blocking_probability();
+            let b = exact.blocking_probability();
+            assert!(
+                (a - b).abs() < 0.05,
+                "rho {rho}: approx {a} vs exact {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_variability_kills_blocking() {
+        // The paper's simulated regime: ca² = 1/150, cs² ≈ 0.00083,
+        // k = 2, ρ = 0.8 → blocking must be essentially zero (vs ~26%
+        // for the verbatim M/M/1/2).
+        let q = GG1K::round_robin_split(0.8 * 150.0, 150, 1.0, 0.00083, 2).unwrap();
+        assert!((q.rho() - 0.8).abs() < 1e-12);
+        let b = q.blocking_probability();
+        assert!(b < 1e-6, "blocking {b}");
+        let m = q.metrics();
+        // Nearly no waiting: response ≈ one service time.
+        assert!((m.mean_response_time - 1.0).abs() < 0.05, "W {}", m.mean_response_time);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn blocking_rises_sharply_near_saturation() {
+        let block_at = |rho: f64| {
+            GG1K::round_robin_split(rho * 150.0, 150, 1.0, 0.00083, 2)
+                .unwrap()
+                .blocking_probability()
+        };
+        assert!(block_at(0.90) < 1e-3);
+        assert!(block_at(1.10) > 0.05);
+        // Monotone through the transition.
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let rho = 0.8 + 0.02 * f64::from(i);
+            let b = block_at(rho);
+            assert!(b >= prev - 1e-9, "rho {rho}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn overload_respects_flow_bound() {
+        let q = GG1K::new(2.0, 1.0, 0.5, 0.5, 3).unwrap();
+        assert!(q.blocking_probability() >= 0.5 - 1e-9); // 1 - 1/ρ
+        let m = q.metrics();
+        assert!(m.throughput <= 1.0 + 1e-9);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_variability_is_dd1() {
+        let q = GG1K::new(0.9, 1.0, 0.0, 0.0, 2).unwrap();
+        assert_eq!(q.blocking_probability(), 0.0);
+        let m = q.metrics();
+        assert!((m.mean_response_time - 1.0).abs() < 1e-9);
+        // Saturated D/D/1/K keeps the buffer full.
+        let q = GG1K::new(1.5, 1.0, 0.0, 0.0, 2).unwrap();
+        assert!((q.blocking_probability() - (1.0 - 1.0 / 1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_normalise() {
+        for (rho, ca2, cs2) in [(0.5, 1.0, 1.0), (0.8, 0.01, 0.001), (1.3, 0.2, 0.4)] {
+            let q = GG1K::new(rho, 1.0, ca2, cs2, 6).unwrap();
+            let total: f64 = (0..=6).map(|n| q.prob_n(n)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "(ρ={rho}, ca²={ca2}, cs²={cs2})");
+        }
+    }
+
+    #[test]
+    fn critical_load_is_finite() {
+        let q = GG1K::new(1.0, 1.0, 1.0, 1.0, 4).unwrap();
+        let m = q.metrics();
+        m.validate().unwrap();
+        assert!(m.blocking_probability > 0.0 && m.blocking_probability < 1.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(GG1K::new(1.0, 1.0, -0.1, 1.0, 2).is_err());
+        assert!(GG1K::new(1.0, 1.0, 1.0, f64::NAN, 2).is_err());
+        assert!(GG1K::new(1.0, 1.0, 1.0, 1.0, 0).is_err());
+        assert!(GG1K::round_robin_split(1.0, 0, 1.0, 1.0, 2).is_err());
+    }
+}

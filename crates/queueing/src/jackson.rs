@@ -1,0 +1,260 @@
+//! Open Jackson networks — the analytical substrate for the paper's
+//! stated future work of "modeling composite services" (§VII): a request
+//! flows through several tiers (e.g. web front-end → application logic →
+//! data service), each tier being a pool of instances.
+//!
+//! Solves the traffic equations λ = γ + Pᵀλ, then treats each node as an
+//! independent M/M/c queue (Jackson's theorem) and aggregates end-to-end
+//! metrics via Little's law.
+
+use crate::linalg;
+use crate::mmc::MMc;
+use crate::{QueueError, QueueMetrics};
+
+/// Solves the open-network traffic equations `λ = γ + Pᵀλ` for the
+/// effective arrival rate into each node, without building any queueing
+/// model (routing validation is the caller's responsibility beyond
+/// shape; singular routing is an error).
+pub fn solve_traffic_equations(
+    gamma: &[f64],
+    routing: &[Vec<f64>],
+) -> Result<Vec<f64>, QueueError> {
+    let n = gamma.len();
+    if routing.len() != n || routing.iter().any(|r| r.len() != n) {
+        return Err(QueueError::InvalidParameter(
+            "routing matrix shape must match node count".into(),
+        ));
+    }
+    let mut a = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] = if i == j { 1.0 } else { 0.0 } - routing[j][i];
+        }
+    }
+    linalg::solve(a, gamma.to_vec())
+        .ok_or_else(|| QueueError::Numerical("traffic equations singular".into()))
+}
+
+/// One service tier in the network.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NodeSpec {
+    /// External (fresh) arrival rate into this node, γᵢ ≥ 0.
+    pub external_arrival_rate: f64,
+    /// Service rate of *one* server at this node.
+    pub service_rate: f64,
+    /// Number of parallel servers (instances) at this node.
+    pub servers: u32,
+}
+
+/// A solved open Jackson network.
+#[derive(Debug, Clone)]
+pub struct JacksonNetwork {
+    /// Effective total arrival rate into each node (solution of the
+    /// traffic equations).
+    node_arrival_rates: Vec<f64>,
+    /// Per-node steady-state metrics.
+    node_metrics: Vec<QueueMetrics>,
+    /// Total external arrival rate into the network.
+    total_external: f64,
+}
+
+impl JacksonNetwork {
+    /// Solves the network.
+    ///
+    /// `routing[i][j]` is the probability a request leaving node `i`
+    /// proceeds to node `j`; row sums must be ≤ 1 (the remainder exits
+    /// the network). Errors if any node is unstable or the routing is
+    /// invalid/singular.
+    pub fn solve(nodes: &[NodeSpec], routing: &[Vec<f64>]) -> Result<Self, QueueError> {
+        let n = nodes.len();
+        if n == 0 {
+            return Err(QueueError::InvalidParameter("network has no nodes".into()));
+        }
+        if routing.len() != n || routing.iter().any(|r| r.len() != n) {
+            return Err(QueueError::InvalidParameter(
+                "routing matrix shape must match node count".into(),
+            ));
+        }
+        for (i, row) in routing.iter().enumerate() {
+            let mut sum = 0.0;
+            for &p in row {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(QueueError::InvalidParameter(format!(
+                        "routing probability out of range at row {i}"
+                    )));
+                }
+                sum += p;
+            }
+            if sum > 1.0 + 1e-9 {
+                return Err(QueueError::InvalidParameter(format!(
+                    "routing row {i} sums to {sum} > 1"
+                )));
+            }
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            if node.external_arrival_rate < 0.0 || !node.external_arrival_rate.is_finite() {
+                return Err(QueueError::InvalidParameter(format!(
+                    "external arrival rate at node {i}"
+                )));
+            }
+            crate::check_positive("service_rate", node.service_rate)?;
+            if node.servers == 0 {
+                return Err(QueueError::InvalidParameter(format!(
+                    "node {i} has zero servers"
+                )));
+            }
+        }
+
+        let gamma: Vec<f64> = nodes.iter().map(|s| s.external_arrival_rate).collect();
+        let lambdas = solve_traffic_equations(&gamma, routing)?;
+
+        let mut node_metrics = Vec::with_capacity(n);
+        for (i, (node, &lambda)) in nodes.iter().zip(&lambdas).enumerate() {
+            if lambda < -1e-9 {
+                return Err(QueueError::Numerical(format!(
+                    "negative flow {lambda} at node {i}"
+                )));
+            }
+            let m = if lambda <= 1e-300 {
+                // Idle node: well-defined trivial metrics.
+                QueueMetrics {
+                    utilization: 0.0,
+                    mean_in_system: 0.0,
+                    mean_waiting: 0.0,
+                    mean_response_time: 1.0 / node.service_rate,
+                    mean_waiting_time: 0.0,
+                    throughput: 0.0,
+                    blocking_probability: 0.0,
+                }
+            } else {
+                MMc::new(lambda, node.service_rate, node.servers)?.metrics()?
+            };
+            node_metrics.push(m);
+        }
+        Ok(JacksonNetwork {
+            node_arrival_rates: lambdas,
+            node_metrics,
+            total_external: gamma.iter().sum(),
+        })
+    }
+
+    /// Effective arrival rate into node `i` (external + internal flow).
+    pub fn node_arrival_rate(&self, i: usize) -> f64 {
+        self.node_arrival_rates[i]
+    }
+
+    /// Steady-state metrics of node `i`.
+    pub fn node_metrics(&self, i: usize) -> &QueueMetrics {
+        &self.node_metrics[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.node_metrics.len()
+    }
+
+    /// Whether the network has no nodes (never true for a solved network).
+    pub fn is_empty(&self) -> bool {
+        self.node_metrics.is_empty()
+    }
+
+    /// Mean number of requests in the whole network.
+    pub fn mean_in_network(&self) -> f64 {
+        self.node_metrics.iter().map(|m| m.mean_in_system).sum()
+    }
+
+    /// Mean end-to-end response time of a request, from entering to
+    /// leaving the network (Little's law on the whole network).
+    pub fn mean_network_response_time(&self) -> f64 {
+        if self.total_external <= 0.0 {
+            0.0
+        } else {
+            self.mean_in_network() / self.total_external
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(gamma: f64, mu: f64, c: u32) -> NodeSpec {
+        NodeSpec {
+            external_arrival_rate: gamma,
+            service_rate: mu,
+            servers: c,
+        }
+    }
+
+    #[test]
+    fn single_node_is_mmc() {
+        let net = JacksonNetwork::solve(&[node(0.8, 1.0, 1)], &[vec![0.0]]).unwrap();
+        let want = MMc::new(0.8, 1.0, 1).unwrap().metrics().unwrap();
+        assert!((net.node_metrics(0).mean_in_system - want.mean_in_system).abs() < 1e-12);
+        assert!((net.mean_network_response_time() - want.mean_response_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tandem_response_times_add() {
+        // Two tiers in series: every request visits both.
+        let nodes = [node(0.5, 1.0, 1), node(0.0, 2.0, 1)];
+        let routing = vec![vec![0.0, 1.0], vec![0.0, 0.0]];
+        let net = JacksonNetwork::solve(&nodes, &routing).unwrap();
+        assert!((net.node_arrival_rate(1) - 0.5).abs() < 1e-12);
+        let w1 = 1.0 / (1.0 - 0.5); // M/M/1 at ρ=0.5, μ=1
+        let w2 = 1.0 / (2.0 - 0.5); // μ=2, λ=0.5
+        assert!((net.mean_network_response_time() - (w1 + w2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_loop_amplifies_flow() {
+        // One node that routes 50% of departures back to itself:
+        // λ_eff = γ / (1 - 0.5) = 2γ.
+        let net = JacksonNetwork::solve(&[node(0.3, 1.0, 1)], &[vec![0.5]]).unwrap();
+        assert!((net.node_arrival_rate(0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_tier_web_stack() {
+        // Front-end fans 70% to app tier; app tier sends 60% to data tier.
+        let nodes = [node(10.0, 20.0, 1), node(0.0, 10.0, 2), node(0.0, 8.0, 2)];
+        let routing = vec![
+            vec![0.0, 0.7, 0.0],
+            vec![0.0, 0.0, 0.6],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let net = JacksonNetwork::solve(&nodes, &routing).unwrap();
+        assert!((net.node_arrival_rate(1) - 7.0).abs() < 1e-9);
+        assert!((net.node_arrival_rate(2) - 4.2).abs() < 1e-9);
+        for i in 0..3 {
+            net.node_metrics(i).validate().unwrap();
+        }
+        assert!(net.mean_network_response_time() > 0.0);
+    }
+
+    #[test]
+    fn unstable_node_detected() {
+        // Feedback drives the node past capacity.
+        let err = JacksonNetwork::solve(&[node(0.6, 1.0, 1)], &[vec![0.5]]);
+        assert!(matches!(err, Err(QueueError::Unstable { .. })));
+    }
+
+    #[test]
+    fn invalid_routing_rejected() {
+        let nodes = [node(1.0, 2.0, 1)];
+        assert!(JacksonNetwork::solve(&nodes, &[vec![1.2]]).is_err());
+        assert!(JacksonNetwork::solve(&nodes, &[vec![-0.1]]).is_err());
+        assert!(JacksonNetwork::solve(&nodes, &[vec![0.0, 0.0]]).is_err());
+        assert!(JacksonNetwork::solve(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn idle_branch_is_well_defined() {
+        // Node 1 receives no flow at all.
+        let nodes = [node(0.5, 1.0, 1), node(0.0, 1.0, 1)];
+        let routing = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let net = JacksonNetwork::solve(&nodes, &routing).unwrap();
+        assert_eq!(net.node_metrics(1).throughput, 0.0);
+        assert_eq!(net.node_metrics(1).utilization, 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! M/G/1: Poisson arrivals, general service distribution, one server
+//! (Pollaczek–Khinchine). The evaluation's service times are *not*
+//! exponential (base × U(1, 1.1)), so this model quantifies how far the
+//! paper's exponential assumption is from the simulated truth — one of
+//! the ablation benches.
+
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// An M/G/1 queue described by the arrival rate and the first two
+/// moments of the service-time distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MG1 {
+    lambda: f64,
+    mean_service: f64,
+    service_second_moment: f64,
+}
+
+impl MG1 {
+    /// Creates the model from λ, E[S] and E[S²].
+    ///
+    /// Requires E[S²] ≥ E[S]² (a valid second moment).
+    pub fn new(lambda: f64, mean_service: f64, service_second_moment: f64) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mean_service", mean_service)?;
+        check_positive("service_second_moment", service_second_moment)?;
+        if service_second_moment < mean_service * mean_service - 1e-12 {
+            return Err(QueueError::InvalidParameter(
+                "E[S^2] must be >= E[S]^2".into(),
+            ));
+        }
+        Ok(MG1 {
+            lambda,
+            mean_service,
+            service_second_moment,
+        })
+    }
+
+    /// Convenience: exponential service with rate μ (reduces to M/M/1).
+    pub fn exponential_service(lambda: f64, mu: f64) -> Result<Self, QueueError> {
+        check_positive("mu", mu)?;
+        Self::new(lambda, 1.0 / mu, 2.0 / (mu * mu))
+    }
+
+    /// Convenience: deterministic service of length `s` (M/D/1).
+    pub fn deterministic_service(lambda: f64, s: f64) -> Result<Self, QueueError> {
+        Self::new(lambda, s, s * s)
+    }
+
+    /// Convenience: service uniform on `[lo, hi]` — the evaluation's
+    /// "base × U(1, 1.1)" service inflation.
+    pub fn uniform_service(lambda: f64, lo: f64, hi: f64) -> Result<Self, QueueError> {
+        check_positive("lo", lo)?;
+        if hi < lo {
+            return Err(QueueError::InvalidParameter("hi < lo".into()));
+        }
+        let mean = 0.5 * (lo + hi);
+        let var = (hi - lo) * (hi - lo) / 12.0;
+        Self::new(lambda, mean, var + mean * mean)
+    }
+
+    /// Offered load ρ = λ E[S].
+    pub fn rho(&self) -> f64 {
+        self.lambda * self.mean_service
+    }
+
+    /// Squared coefficient of variation of the service time.
+    pub fn service_scv(&self) -> f64 {
+        let m = self.mean_service;
+        (self.service_second_moment - m * m) / (m * m)
+    }
+
+    /// Full steady-state metrics via Pollaczek–Khinchine. Errors at ρ ≥ 1.
+    pub fn metrics(&self) -> Result<QueueMetrics, QueueError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { rho });
+        }
+        let wq = self.lambda * self.service_second_moment / (2.0 * (1.0 - rho));
+        let w = wq + self.mean_service;
+        let lq = self.lambda * wq;
+        Ok(QueueMetrics {
+            utilization: rho,
+            mean_in_system: lq + rho,
+            mean_waiting: lq,
+            mean_response_time: w,
+            mean_waiting_time: wq,
+            throughput: self.lambda,
+            blocking_probability: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_service_matches_mm1() {
+        use crate::mm1::MM1;
+        let a = MG1::exponential_service(0.8, 1.0).unwrap().metrics().unwrap();
+        let b = MM1::new(0.8, 1.0).unwrap().metrics().unwrap();
+        assert!((a.mean_waiting_time - b.mean_waiting_time).abs() < 1e-12);
+        assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_waits_half_of_mm1() {
+        // Deterministic service halves the P-K waiting time.
+        let md1 = MG1::deterministic_service(0.8, 1.0).unwrap().metrics().unwrap();
+        let mm1 = MG1::exponential_service(0.8, 1.0).unwrap().metrics().unwrap();
+        assert!((md1.mean_waiting_time - 0.5 * mm1.mean_waiting_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_service_inflation_nearly_deterministic() {
+        // base × U(1, 1.1): SCV ≈ 0.00083 — the true service process is
+        // close to deterministic, so M/M/1/k overestimates variability.
+        let q = MG1::uniform_service(0.8, 0.1, 0.11).unwrap();
+        let scv = q.service_scv();
+        assert!(scv < 0.001, "scv = {scv}");
+        let m = q.metrics().unwrap();
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn littles_law() {
+        let m = MG1::uniform_service(2.0, 0.1, 0.3).unwrap().metrics().unwrap();
+        assert!((m.mean_in_system - 2.0 * m.mean_response_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_detected() {
+        assert!(matches!(
+            MG1::deterministic_service(2.0, 0.5).unwrap().metrics(),
+            Err(QueueError::Unstable { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_second_moment_rejected() {
+        // E[S²] < E[S]² is impossible.
+        assert!(MG1::new(1.0, 1.0, 0.5).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! M/M/1: Poisson arrivals, exponential service, one server, infinite
+//! buffer. The textbook baseline the finite-buffer models reduce to.
+
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// An M/M/1 queue with arrival rate `lambda` and service rate `mu`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MM1 {
+    /// Creates the model. Requires positive finite rates.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mu", mu)?;
+        Ok(MM1 { lambda, mu })
+    }
+
+    /// Offered load ρ = λ/μ.
+    pub fn rho(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Steady-state probability of `n` requests in the system.
+    ///
+    /// Returns an error when ρ ≥ 1 (no steady state).
+    pub fn prob_n(&self, n: u32) -> Result<f64, QueueError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { rho });
+        }
+        Ok((1.0 - rho) * rho.powi(n as i32))
+    }
+
+    /// P(response time > t) = exp(−(μ−λ) t).
+    pub fn response_time_tail(&self, t: f64) -> Result<f64, QueueError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { rho });
+        }
+        Ok((-(self.mu - self.lambda) * t).exp())
+    }
+
+    /// Full steady-state metrics. Errors when ρ ≥ 1.
+    pub fn metrics(&self) -> Result<QueueMetrics, QueueError> {
+        let rho = self.rho();
+        if rho >= 1.0 {
+            return Err(QueueError::Unstable { rho });
+        }
+        let l = rho / (1.0 - rho);
+        let w = 1.0 / (self.mu - self.lambda);
+        let wq = w - 1.0 / self.mu;
+        Ok(QueueMetrics {
+            utilization: rho,
+            mean_in_system: l,
+            mean_waiting: l - rho,
+            mean_response_time: w,
+            mean_waiting_time: wq,
+            throughput: self.lambda,
+            blocking_probability: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_values() {
+        // λ = 2, μ = 3 → ρ = 2/3, L = 2, W = 1, Wq = 2/3, Lq = 4/3
+        let q = MM1::new(2.0, 3.0).unwrap();
+        let m = q.metrics().unwrap();
+        assert!((m.utilization - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_in_system - 2.0).abs() < 1e-12);
+        assert!((m.mean_response_time - 1.0).abs() < 1e-12);
+        assert!((m.mean_waiting_time - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.mean_waiting - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.blocking_probability, 0.0);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        for (l, mu) in [(0.1, 1.0), (0.5, 1.0), (0.9, 1.0), (5.0, 7.0)] {
+            let m = MM1::new(l, mu).unwrap().metrics().unwrap();
+            assert!((m.mean_in_system - l * m.mean_response_time).abs() < 1e-9);
+            assert!((m.mean_waiting - l * m.mean_waiting_time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        let q = MM1::new(0.7, 1.0).unwrap();
+        let total: f64 = (0..200).map(|n| q.prob_n(n).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_is_an_error() {
+        let q = MM1::new(3.0, 3.0).unwrap();
+        assert!(matches!(q.metrics(), Err(QueueError::Unstable { .. })));
+        let q = MM1::new(4.0, 3.0).unwrap();
+        assert!(q.prob_n(0).is_err());
+        assert!(q.response_time_tail(1.0).is_err());
+    }
+
+    #[test]
+    fn response_tail_median() {
+        // Median response time is ln 2 / (μ − λ).
+        let q = MM1::new(1.0, 2.0).unwrap();
+        let median = 2f64.ln();
+        assert!((q.response_time_tail(median).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(MM1::new(0.0, 1.0).is_err());
+        assert!(MM1::new(1.0, -1.0).is_err());
+        assert!(MM1::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! M/M/c: Poisson arrivals, `c` parallel exponential servers, infinite
+//! buffer (Erlang-C delay system). Used by the Jackson-network extension
+//! and as the "pooled" alternative the per-VM model is contrasted with.
+
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// An M/M/c queue with arrival rate `lambda`, per-server service rate
+/// `mu`, and `c` servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMc {
+    lambda: f64,
+    mu: f64,
+    c: u32,
+}
+
+impl MMc {
+    /// Creates the model. `c ≥ 1`; rates positive and finite.
+    pub fn new(lambda: f64, mu: f64, c: u32) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mu", mu)?;
+        if c == 0 {
+            return Err(QueueError::InvalidParameter(
+                "server count c must be at least 1".into(),
+            ));
+        }
+        Ok(MMc { lambda, mu, c })
+    }
+
+    /// Offered load in Erlangs, a = λ/μ.
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization ρ = a/c.
+    pub fn rho(&self) -> f64 {
+        self.offered_load() / self.c as f64
+    }
+
+    /// Erlang-C: probability an arrival must wait. Computed with the
+    /// numerically stable recurrence on the Erlang-B blocking formula
+    /// (B(0) = 1; B(j) = aB/(j + aB); C = cB / (c − a(1 − B))).
+    pub fn erlang_c(&self) -> Result<f64, QueueError> {
+        let a = self.offered_load();
+        let c = self.c as f64;
+        if a >= c {
+            return Err(QueueError::Unstable { rho: self.rho() });
+        }
+        let mut b = 1.0;
+        for j in 1..=self.c {
+            b = a * b / (j as f64 + a * b);
+        }
+        Ok(c * b / (c - a * (1.0 - b)))
+    }
+
+    /// Erlang-B: blocking probability of the *loss* system M/M/c/c with
+    /// the same parameters (exposed for capacity-planning helpers).
+    pub fn erlang_b(&self) -> f64 {
+        let a = self.offered_load();
+        let mut b = 1.0;
+        for j in 1..=self.c {
+            b = a * b / (j as f64 + a * b);
+        }
+        b
+    }
+
+    /// Full steady-state metrics. Errors when a ≥ c.
+    pub fn metrics(&self) -> Result<QueueMetrics, QueueError> {
+        let a = self.offered_load();
+        let c = self.c as f64;
+        let pw = self.erlang_c()?;
+        let wq = pw / (c * self.mu - self.lambda);
+        let w = wq + 1.0 / self.mu;
+        let lq = self.lambda * wq;
+        Ok(QueueMetrics {
+            utilization: a / c,
+            mean_in_system: lq + a,
+            mean_waiting: lq,
+            mean_response_time: w,
+            mean_waiting_time: wq,
+            throughput: self.lambda,
+            blocking_probability: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_reduces_to_mm1() {
+        use crate::mm1::MM1;
+        let a = MMc::new(0.8, 1.0, 1).unwrap().metrics().unwrap();
+        let b = MM1::new(0.8, 1.0).unwrap().metrics().unwrap();
+        assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-12);
+        assert!((a.mean_response_time - b.mean_response_time).abs() < 1e-12);
+        // Erlang C for c = 1 equals ρ.
+        assert!((MMc::new(0.8, 1.0, 1).unwrap().erlang_c().unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn textbook_two_servers() {
+        // λ = 1.2, μ = 1, c = 2: a = 1.2, ρ = 0.6.
+        // p_wait = C(2, 1.2) = (1.2²/ (2! (1-0.6))) / (1 + 1.2 + 1.2²/(2·0.4))
+        let q = MMc::new(1.2, 1.0, 2).unwrap();
+        let denom = 1.0 + 1.2 + 1.44 / (2.0 * 0.4);
+        let want = (1.44 / (2.0 * 0.4)) / denom;
+        assert!((q.erlang_c().unwrap() - want).abs() < 1e-12);
+        let m = q.metrics().unwrap();
+        m.validate().unwrap();
+        // Little's law.
+        assert!((m.mean_in_system - 1.2 * m.mean_response_time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erlang_b_textbook_value() {
+        // Classic: a = 2 Erlangs, c = 3 → B = 4/19 ≈ 0.2105
+        let q = MMc::new(2.0, 1.0, 3).unwrap();
+        assert!((q.erlang_b() - 4.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_beats_split() {
+        // A classic queueing fact: one M/M/2 beats two M/M/1 at half load.
+        use crate::mm1::MM1;
+        let pooled = MMc::new(1.6, 1.0, 2).unwrap().metrics().unwrap();
+        let split = MM1::new(0.8, 1.0).unwrap().metrics().unwrap();
+        assert!(pooled.mean_response_time < split.mean_response_time);
+    }
+
+    #[test]
+    fn unstable_detected() {
+        let q = MMc::new(3.0, 1.0, 3).unwrap();
+        assert!(matches!(q.metrics(), Err(QueueError::Unstable { .. })));
+    }
+
+    #[test]
+    fn large_c_waits_vanish() {
+        let m = MMc::new(10.0, 1.0, 100).unwrap().metrics().unwrap();
+        assert!(m.mean_waiting_time < 1e-10);
+        assert!((m.mean_response_time - 1.0).abs() < 1e-9);
+    }
+}

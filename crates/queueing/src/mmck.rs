@@ -1,0 +1,139 @@
+//! M/M/c/K: `c` parallel servers, at most `K ≥ c` in the system. Built on
+//! the generic birth–death solver. Models a *pool* of instances behind a
+//! shared bounded queue — the admission-control variant explored in the
+//! ablation benches.
+
+use crate::birth_death;
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// An M/M/c/K queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MMcK {
+    lambda: f64,
+    mu: f64,
+    c: u32,
+    k: u32,
+    pi: Vec<f64>,
+}
+
+impl MMcK {
+    /// Creates and solves the model. Requires `1 ≤ c ≤ k`.
+    pub fn new(lambda: f64, mu: f64, c: u32, k: u32) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mu", mu)?;
+        if c == 0 || k < c {
+            return Err(QueueError::InvalidParameter(format!(
+                "need 1 <= c <= k, got c = {c}, k = {k}"
+            )));
+        }
+        let births = vec![lambda; k as usize];
+        let deaths: Vec<f64> = (1..=k)
+            .map(|n| f64::from(n.min(c)) * mu)
+            .collect();
+        let pi = birth_death::stationary(&births, &deaths)?;
+        Ok(MMcK { lambda, mu, c, k, pi })
+    }
+
+    /// Steady-state probability of `n` in the system.
+    pub fn prob_n(&self, n: u32) -> f64 {
+        assert!(n <= self.k);
+        self.pi[n as usize]
+    }
+
+    /// Probability an arrival is blocked (= π_K by PASTA).
+    pub fn blocking_probability(&self) -> f64 {
+        self.pi[self.k as usize]
+    }
+
+    /// Full steady-state metrics.
+    pub fn metrics(&self) -> QueueMetrics {
+        let l = birth_death::mean_state(&self.pi);
+        let pk = self.blocking_probability();
+        let lambda_eff = self.lambda * (1.0 - pk);
+        let busy_servers: f64 = self
+            .pi
+            .iter()
+            .enumerate()
+            .map(|(n, &p)| f64::from((n as u32).min(self.c)) * p)
+            .sum();
+        let utilization = busy_servers / f64::from(self.c);
+        let (w, wq, lq) = if lambda_eff > 0.0 {
+            let w = l / lambda_eff;
+            let wq = (w - 1.0 / self.mu).max(0.0);
+            ((w), wq, (l - busy_servers).max(0.0))
+        } else {
+            (0.0, 0.0, 0.0)
+        };
+        QueueMetrics {
+            utilization,
+            mean_in_system: l,
+            mean_waiting: lq,
+            mean_response_time: w,
+            mean_waiting_time: wq,
+            throughput: lambda_eff,
+            blocking_probability: pk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_matches_mm1k() {
+        use crate::mm1k::MM1K;
+        let a = MMcK::new(0.9, 1.0, 1, 5).unwrap().metrics();
+        let b = MM1K::new(0.9, 1.0, 5).unwrap().metrics();
+        assert!((a.blocking_probability - b.blocking_probability).abs() < 1e-12);
+        assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-12);
+        assert!((a.mean_response_time - b.mean_response_time).abs() < 1e-10);
+    }
+
+    #[test]
+    fn k_equals_c_is_erlang_loss() {
+        use crate::mmc::MMc;
+        // M/M/c/c blocking must equal Erlang B.
+        let q = MMcK::new(2.0, 1.0, 3, 3).unwrap();
+        let want = MMc::new(2.0, 1.0, 3).unwrap().erlang_b();
+        assert!((q.blocking_probability() - want).abs() < 1e-12);
+        // And nobody ever waits.
+        let m = q.metrics();
+        assert!(m.mean_waiting_time < 1e-12);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn approaches_mmc_for_large_k() {
+        use crate::mmc::MMc;
+        let fin = MMcK::new(1.5, 1.0, 2, 300).unwrap().metrics();
+        let inf = MMc::new(1.5, 1.0, 2).unwrap().metrics().unwrap();
+        assert!(fin.blocking_probability < 1e-12);
+        assert!((fin.mean_in_system - inf.mean_in_system).abs() < 1e-6);
+        assert!((fin.mean_response_time - inf.mean_response_time).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_capacity_less_blocking() {
+        let mut prev = 1.0;
+        for k in 2..20 {
+            let b = MMcK::new(3.0, 1.0, 2, k).unwrap().blocking_probability();
+            assert!(b < prev, "blocking must shrink as K grows");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn utilization_in_bounds_under_overload() {
+        let m = MMcK::new(50.0, 1.0, 4, 10).unwrap().metrics();
+        assert!(m.utilization > 0.99 && m.utilization <= 1.0);
+        assert!(m.blocking_probability > 0.9);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(MMcK::new(1.0, 1.0, 0, 5).is_err());
+        assert!(MMcK::new(1.0, 1.0, 6, 5).is_err());
+    }
+}

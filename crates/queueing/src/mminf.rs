@@ -1,0 +1,102 @@
+//! M/M/∞: the paper models the application provisioner itself as an
+//! infinite-server station (§IV-B) — every request is "served"
+//! (dispatched) immediately, so the provisioner adds pure delay and never
+//! queues. Occupancy is Poisson(a).
+
+use self::special_poisson::poisson_pmf;
+use crate::{check_positive, QueueError, QueueMetrics};
+
+/// An M/M/∞ station with arrival rate `lambda` and per-request service
+/// rate `mu`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMInf {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MMInf {
+    /// Creates the model. Rates positive and finite.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueError> {
+        check_positive("lambda", lambda)?;
+        check_positive("mu", mu)?;
+        Ok(MMInf { lambda, mu })
+    }
+
+    /// Offered load a = λ/μ = mean number in service.
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Steady-state probability of `n` in service: Poisson(a).
+    pub fn prob_n(&self, n: u32) -> f64 {
+        poisson_pmf(self.offered_load(), n)
+    }
+
+    /// Full steady-state metrics. Always stable; nobody ever waits.
+    pub fn metrics(&self) -> QueueMetrics {
+        let a = self.offered_load();
+        QueueMetrics {
+            // "Utilization" of an infinite-server station is not defined
+            // per server; report the probability the station is non-empty.
+            utilization: 1.0 - (-a).exp(),
+            mean_in_system: a,
+            mean_waiting: 0.0,
+            mean_response_time: 1.0 / self.mu,
+            mean_waiting_time: 0.0,
+            throughput: self.lambda,
+            blocking_probability: 0.0,
+        }
+    }
+}
+
+/// Poisson pmf helper shared with tests (kept in a tiny internal module
+/// so the log-space evaluation is in one place).
+pub(crate) mod special_poisson {
+    /// P(N = n) for N ~ Poisson(a), evaluated in log space.
+    pub fn poisson_pmf(a: f64, n: u32) -> f64 {
+        if a == 0.0 {
+            return if n == 0 { 1.0 } else { 0.0 };
+        }
+        let n_f = f64::from(n);
+        let mut ln_fact = 0.0;
+        for i in 1..=n {
+            ln_fact += f64::from(i).ln();
+        }
+        (n_f * a.ln() - a - ln_fact).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_is_poisson() {
+        let q = MMInf::new(3.0, 1.0).unwrap();
+        // P(0) = e^{-3}
+        assert!((q.prob_n(0) - (-3.0f64).exp()).abs() < 1e-12);
+        // Sum over a generous range is 1.
+        let total: f64 = (0..60).map(|n| q.prob_n(n)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // Mean equals offered load.
+        let mean: f64 = (0..60).map(|n| f64::from(n) * q.prob_n(n)).sum();
+        assert!((mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_waiting_ever() {
+        let m = MMInf::new(1000.0, 0.5).unwrap().metrics();
+        assert_eq!(m.mean_waiting_time, 0.0);
+        assert_eq!(m.mean_waiting, 0.0);
+        assert!((m.mean_response_time - 2.0).abs() < 1e-12);
+        assert!((m.mean_in_system - 2000.0).abs() < 1e-9);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn response_time_independent_of_load() {
+        let a = MMInf::new(0.1, 2.0).unwrap().metrics();
+        let b = MMInf::new(1e6, 2.0).unwrap().metrics();
+        assert_eq!(a.mean_response_time, b.mean_response_time);
+    }
+}

@@ -1,0 +1,179 @@
+//! Staffing functions: the *inverse* questions a capacity planner asks —
+//! the minimum number of servers meeting a blocking, delay, or
+//! wait-probability target — plus the square-root staffing rule for
+//! comparison. These complement Algorithm 1 (which searches instance
+//! counts for the bounded-queue model) with the classical
+//! infinite/loss-system answers.
+
+use crate::mmc::MMc;
+use crate::{check_positive, QueueError};
+
+/// Minimum servers `c` such that Erlang-B blocking ≤ `target` at offered
+/// load `a = λ/μ` Erlangs.
+pub fn min_servers_erlang_b(offered_load: f64, target: f64) -> Result<u32, QueueError> {
+    check_positive("offered_load", offered_load)?;
+    if !(0.0..1.0).contains(&target) || target <= 0.0 {
+        return Err(QueueError::InvalidParameter(format!(
+            "blocking target must be in (0, 1), got {target}"
+        )));
+    }
+    // Erlang B recurrence climbs monotonically in c.
+    let mut b = 1.0;
+    let mut c: u32 = 0;
+    loop {
+        if b <= target {
+            return Ok(c);
+        }
+        c = c
+            .checked_add(1)
+            .ok_or_else(|| QueueError::Numerical("server count overflow".into()))?;
+        b = offered_load * b / (f64::from(c) + offered_load * b);
+        if c > 10_000_000 {
+            return Err(QueueError::Numerical("no feasible c below 10^7".into()));
+        }
+    }
+}
+
+/// Minimum servers `c` such that the Erlang-C waiting probability is
+/// ≤ `target` (requires `c > a` for stability, found by scan).
+pub fn min_servers_erlang_c(offered_load: f64, target: f64) -> Result<u32, QueueError> {
+    check_positive("offered_load", offered_load)?;
+    if !(0.0..1.0).contains(&target) || target <= 0.0 {
+        return Err(QueueError::InvalidParameter(format!(
+            "wait-probability target must be in (0, 1), got {target}"
+        )));
+    }
+    let mut c = offered_load.floor() as u32 + 1;
+    loop {
+        let q = MMc::new(offered_load, 1.0, c)?;
+        match q.erlang_c() {
+            Ok(pw) if pw <= target => return Ok(c),
+            _ => {
+                c = c
+                    .checked_add(1)
+                    .ok_or_else(|| QueueError::Numerical("server count overflow".into()))?;
+            }
+        }
+        if c > 10_000_000 {
+            return Err(QueueError::Numerical("no feasible c below 10^7".into()));
+        }
+    }
+}
+
+/// Minimum servers such that the *mean waiting time* Wq ≤ `max_wait`
+/// (service rate `mu`; arrival rate `lambda`).
+pub fn min_servers_for_mean_wait(
+    lambda: f64,
+    mu: f64,
+    max_wait: f64,
+) -> Result<u32, QueueError> {
+    check_positive("lambda", lambda)?;
+    check_positive("mu", mu)?;
+    if max_wait < 0.0 || !max_wait.is_finite() {
+        return Err(QueueError::InvalidParameter("max_wait must be >= 0".into()));
+    }
+    let a = lambda / mu;
+    let mut c = a.floor() as u32 + 1;
+    loop {
+        if let Ok(m) = MMc::new(lambda, mu, c).and_then(|q| q.metrics()) {
+            if m.mean_waiting_time <= max_wait {
+                return Ok(c);
+            }
+            if m.mean_waiting_time < 1e-12 {
+                // Waits are already at numerical zero: the target is
+                // unreachable (e.g. exactly 0 for a stochastic queue).
+                return Err(QueueError::InvalidParameter(format!(
+                    "mean-wait target {max_wait} unreachable"
+                )));
+            }
+        }
+        c = c
+            .checked_add(1)
+            .ok_or_else(|| QueueError::Numerical("server count overflow".into()))?;
+        if f64::from(c) > 10.0 * a + 1_000.0 {
+            return Err(QueueError::Numerical("no feasible c within 10a + 1000".into()));
+        }
+    }
+}
+
+/// Square-root staffing (Halfin–Whitt): `c ≈ a + β·√a`. A closed-form
+/// heuristic the exact scans are compared against; `beta ≈ 0.5–2` spans
+/// typical quality-of-service levels.
+pub fn square_root_staffing(offered_load: f64, beta: f64) -> u32 {
+    assert!(offered_load > 0.0 && beta >= 0.0);
+    (offered_load + beta * offered_load.sqrt()).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_staffing_textbook() {
+        // a = 2 Erlangs, c = 3 ⇒ B = 4/19 ≈ 0.2105: so target 0.25
+        // needs 3 servers and target 0.20 needs 4.
+        assert_eq!(min_servers_erlang_b(2.0, 0.25).unwrap(), 3);
+        assert_eq!(min_servers_erlang_b(2.0, 0.20).unwrap(), 4);
+    }
+
+    #[test]
+    fn staffing_results_are_tight() {
+        // Returned c meets the target; c − 1 must not.
+        for (a, t) in [(10.0, 0.01), (50.0, 0.001), (126.0, 0.05)] {
+            let c = min_servers_erlang_b(a, t).unwrap();
+            let b_at = |c: u32| {
+                let mut b = 1.0;
+                for j in 1..=c {
+                    b = a * b / (f64::from(j) + a * b);
+                }
+                b
+            };
+            assert!(b_at(c) <= t);
+            assert!(c == 0 || b_at(c - 1) > t, "a={a} t={t} c={c}");
+        }
+    }
+
+    #[test]
+    fn erlang_c_staffing_meets_target() {
+        let a = 126.0; // the web peak in Erlangs
+        let c = min_servers_erlang_c(a, 0.2).unwrap();
+        let pw = MMc::new(a, 1.0, c).unwrap().erlang_c().unwrap();
+        assert!(pw <= 0.2);
+        let pw_less = MMc::new(a, 1.0, c - 1).unwrap().erlang_c();
+        assert!(pw_less.map_or(true, |p| p > 0.2));
+        // Pooled staffing needs far less than the per-VM bound λTm/0.8.
+        assert!(c < 158, "pooled c = {c}");
+    }
+
+    #[test]
+    fn mean_wait_staffing() {
+        // λ = 100/s, μ = 10/s, Wq ≤ 10 ms.
+        let c = min_servers_for_mean_wait(100.0, 10.0, 0.010).unwrap();
+        let m = MMc::new(100.0, 10.0, c).unwrap().metrics().unwrap();
+        assert!(m.mean_waiting_time <= 0.010);
+        // An exactly-zero wait target is unreachable and must error
+        // rather than loop.
+        assert!(min_servers_for_mean_wait(10.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn square_root_rule_brackets_exact_erlang_c() {
+        // For large a, β ≈ 1 staffing should be within a few servers of
+        // the exact 20%-wait staffing.
+        let a = 126.0;
+        let sqrt_c = square_root_staffing(a, 1.0);
+        let exact = min_servers_erlang_c(a, 0.2).unwrap();
+        assert!(
+            (i64::from(sqrt_c) - i64::from(exact)).abs() <= 5,
+            "sqrt {sqrt_c} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        assert!(min_servers_erlang_b(1.0, 0.0).is_err());
+        assert!(min_servers_erlang_b(1.0, 1.0).is_err());
+        assert!(min_servers_erlang_c(1.0, -0.1).is_err());
+        assert!(min_servers_for_mean_wait(1.0, 1.0, f64::NAN).is_err());
+    }
+}

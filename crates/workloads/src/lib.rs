@@ -1,0 +1,27 @@
+//! # vmprov-workloads — production workload models
+//!
+//! The two workloads of the paper's evaluation (§V-B), implemented as
+//! generative arrival processes over the `vmprov-des` distributions:
+//!
+//! * [`WebWorkload`] — the simplified Wikipedia-trace model: per-weekday
+//!   min/max rates (Table II), sinusoidal diurnal shape (Eq. 2), 60 s
+//!   arrival intervals with 5% normal noise, 100 ms requests;
+//! * [`ScientificWorkload`] — the Iosup et al. Bag-of-Tasks model:
+//!   Weibull interarrivals in peak hours, Weibull job counts per 30-min
+//!   window off-peak, Weibull task batch sizes, 300 s tasks.
+//!
+//! Plus [`synthetic`] generators (Poisson, step, ramp, flash crowd,
+//! MMPP) used by tests and the robustness ablations.
+
+#![warn(missing_docs)]
+
+pub mod scientific;
+pub mod synthetic;
+pub mod trace;
+pub mod traits;
+pub mod web;
+
+pub use scientific::{scientific_service_model, ScientificConfig, ScientificWorkload};
+pub use trace::{Trace, TraceReplay};
+pub use traits::{ArrivalBatch, ArrivalProcess, ServiceModel};
+pub use web::{eq2_rate, web_service_model, WebConfig, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES};

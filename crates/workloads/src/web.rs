@@ -1,0 +1,268 @@
+//! The **web** workload (§V-B1): a simplified model of the Wikipedia
+//! access traces of Urdaneta et al., as used by the paper.
+//!
+//! * The mean arrival rate follows Eq. 2 of the paper:
+//!   `r(t) = Rmin + (Rmax − Rmin)·sin(πt/86400)` with `t` the second of
+//!   the day — peak at noon, trough at midnight, 12 h apart.
+//! * `Rmax`/`Rmin` per weekday come from Table II
+//!   ([`WEEKDAY_RATES`]).
+//! * Requests are delivered to the data center in 60-second intervals;
+//!   the per-interval count is normally distributed with σ = 5% of the
+//!   mean, and the requests are spread uniformly inside the interval.
+//! * Each request needs 100 ms on an idle instance, inflated by
+//!   U(0, 10%) ([`ServiceModel`]); Ts = 250 ms; rejection target 0;
+//!   minimum utilization 80% (those targets live in `vmprov-core`).
+
+use crate::traits::{ArrivalBatch, ArrivalProcess, ServiceModel};
+use vmprov_des::dist::Normal;
+use vmprov_des::{SimRng, SimTime, DAY, WEEK};
+
+/// Table II of the paper: (maximum, minimum) requests per second for
+/// each weekday, Sunday first.
+pub const WEEKDAY_RATES: [(f64, f64); 7] = [
+    (900.0, 400.0),  // Sunday
+    (1000.0, 500.0), // Monday
+    (1200.0, 500.0), // Tuesday
+    (1200.0, 500.0), // Wednesday
+    (1200.0, 500.0), // Thursday
+    (1200.0, 500.0), // Friday
+    (1000.0, 500.0), // Saturday
+];
+
+/// Names matching [`WEEKDAY_RATES`] indices.
+pub const WEEKDAY_NAMES: [&str; 7] = [
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+];
+
+/// Configuration of the web workload.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WebConfig {
+    /// Index into [`WEEKDAY_RATES`] of the simulation's day 0
+    /// (paper: simulation starts Monday 12 a.m. → 1).
+    pub start_weekday: usize,
+    /// Length of one arrival interval in seconds (paper: 60).
+    pub interval: f64,
+    /// Relative standard deviation of the per-interval count (paper: 0.05).
+    pub noise_rel_std: f64,
+    /// Generation horizon (paper: one week).
+    pub horizon: SimTime,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            start_weekday: 1, // Monday
+            interval: 60.0,
+            noise_rel_std: 0.05,
+            horizon: SimTime::from_secs(WEEK),
+        }
+    }
+}
+
+/// The paper's service-time model for web requests: 100 ms × U(1, 1.1).
+pub fn web_service_model() -> ServiceModel {
+    ServiceModel::new(0.100, 0.10)
+}
+
+/// Mean arrival rate (req/s) of the model at second-of-day `t_day` for
+/// the weekday with rates `(rmax, rmin)` — Eq. 2 of the paper.
+pub fn eq2_rate(rmax: f64, rmin: f64, t_day: f64) -> f64 {
+    rmin + (rmax - rmin) * (std::f64::consts::PI * t_day / DAY).sin()
+}
+
+/// The web arrival process.
+#[derive(Debug, Clone)]
+pub struct WebWorkload {
+    config: WebConfig,
+    next_interval_start: f64,
+}
+
+impl WebWorkload {
+    /// Creates the process with `config`.
+    pub fn new(config: WebConfig) -> Self {
+        assert!(config.start_weekday < 7, "weekday index out of range");
+        assert!(config.interval > 0.0, "interval must be positive");
+        assert!(config.noise_rel_std >= 0.0);
+        WebWorkload {
+            config,
+            next_interval_start: 0.0,
+        }
+    }
+
+    /// Creates the paper's exact configuration (one week from Monday).
+    pub fn paper() -> Self {
+        Self::new(WebConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WebConfig {
+        &self.config
+    }
+
+    fn rates_at(&self, t: SimTime) -> (f64, f64) {
+        let day = (t.day_index() as usize + self.config.start_weekday) % 7;
+        WEEKDAY_RATES[day]
+    }
+}
+
+impl ArrivalProcess for WebWorkload {
+    fn next_batch(&mut self, rng: &mut SimRng) -> Option<ArrivalBatch> {
+        let start = self.next_interval_start;
+        if start >= self.config.horizon.as_secs() {
+            return None;
+        }
+        self.next_interval_start = start + self.config.interval;
+        let time = SimTime::from_secs(start);
+        let mean_rate = self.model_rate(time);
+        let noisy = if self.config.noise_rel_std > 0.0 {
+            mean_rate + self.config.noise_rel_std * mean_rate * Normal::standard_sample(rng)
+        } else {
+            mean_rate
+        };
+        let count = (noisy.max(0.0) * self.config.interval).round() as u64;
+        Some(ArrivalBatch {
+            time,
+            count,
+            spread: self.config.interval,
+        })
+    }
+
+    fn model_rate(&self, t: SimTime) -> f64 {
+        let (rmax, rmin) = self.rates_at(t);
+        eq2_rate(rmax, rmin, t.second_of_day())
+    }
+
+    fn horizon(&self) -> SimTime {
+        self.config.horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprov_des::RngFactory;
+
+    #[test]
+    fn table2_values_match_paper() {
+        assert_eq!(WEEKDAY_RATES[0], (900.0, 400.0)); // Sunday
+        assert_eq!(WEEKDAY_RATES[1], (1000.0, 500.0)); // Monday
+        for d in 2..=5 {
+            assert_eq!(WEEKDAY_RATES[d], (1200.0, 500.0), "{}", WEEKDAY_NAMES[d]);
+        }
+        assert_eq!(WEEKDAY_RATES[6], (1000.0, 500.0)); // Saturday
+    }
+
+    #[test]
+    fn eq2_peak_at_noon_trough_at_midnight() {
+        let (rmax, rmin) = (1200.0, 500.0);
+        assert!((eq2_rate(rmax, rmin, 0.0) - rmin).abs() < 1e-9);
+        assert!((eq2_rate(rmax, rmin, DAY / 2.0) - rmax).abs() < 1e-9);
+        // Monotone increase from midnight to noon.
+        let mut prev = 0.0;
+        for h in 0..=12 {
+            let r = eq2_rate(rmax, rmin, h as f64 * 3600.0);
+            assert!(r >= prev);
+            prev = r;
+        }
+        // Symmetric: 9 a.m. equals 3 p.m.
+        let morning = eq2_rate(rmax, rmin, 9.0 * 3600.0);
+        let afternoon = eq2_rate(rmax, rmin, 15.0 * 3600.0);
+        assert!((morning - afternoon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_rate_uses_weekday_table() {
+        let w = WebWorkload::paper(); // starts Monday
+        // Monday noon: 1000 req/s.
+        let monday_noon = SimTime::from_secs(DAY / 2.0);
+        assert!((w.model_rate(monday_noon) - 1000.0).abs() < 1e-9);
+        // Tuesday (day 1) noon: 1200 req/s.
+        let tuesday_noon = SimTime::from_secs(DAY + DAY / 2.0);
+        assert!((w.model_rate(tuesday_noon) - 1200.0).abs() < 1e-9);
+        // Sunday (day 6) midnight: 400 req/s.
+        let sunday_midnight = SimTime::from_secs(6.0 * DAY);
+        assert!((w.model_rate(sunday_midnight) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batches_cover_horizon_at_interval_spacing() {
+        let mut w = WebWorkload::new(WebConfig {
+            horizon: SimTime::from_secs(600.0),
+            ..WebConfig::default()
+        });
+        let mut rng = RngFactory::new(1).stream("web");
+        let mut times = vec![];
+        while let Some(b) = w.next_batch(&mut rng) {
+            assert_eq!(b.spread, 60.0);
+            times.push(b.time.as_secs());
+        }
+        assert_eq!(times, vec![0.0, 60.0, 120.0, 180.0, 240.0, 300.0, 360.0, 420.0, 480.0, 540.0]);
+    }
+
+    #[test]
+    fn counts_scale_with_rate_and_noise() {
+        let mut w = WebWorkload::paper();
+        let mut rng = RngFactory::new(7).stream("webcnt");
+        // First interval: Monday midnight, rate 500/s → ~30000 per 60 s.
+        let b = w.next_batch(&mut rng).unwrap();
+        let expect = 500.0 * 60.0;
+        assert!(
+            (b.count as f64 - expect).abs() < 5.0 * 0.05 * expect,
+            "count {} far from {expect}",
+            b.count
+        );
+    }
+
+    #[test]
+    fn weekly_total_matches_paper_magnitude() {
+        // §V-C1: ≈500.12 million requests per one-week simulation.
+        // Integrate the model rate (no noise needed for the mean).
+        let w = WebWorkload::paper();
+        let mut total = 0.0;
+        let step = 60.0;
+        let mut t = 0.0;
+        while t < WEEK {
+            total += w.model_rate(SimTime::from_secs(t)) * step;
+            t += step;
+        }
+        let millions = total / 1e6;
+        // Analytic mean of the model is ≈530M; the paper reports 500.12M
+        // generated — same order, ~6% apart (likely rounding/clamping
+        // details on their side). Check we are in the right regime.
+        assert!(
+            (millions - 500.12).abs() / 500.12 < 0.10,
+            "weekly total {millions}M requests, paper says 500.12M"
+        );
+    }
+
+    #[test]
+    fn zero_noise_is_deterministic() {
+        let cfg = WebConfig {
+            noise_rel_std: 0.0,
+            horizon: SimTime::from_secs(120.0),
+            ..WebConfig::default()
+        };
+        let mut a = WebWorkload::new(cfg);
+        let mut b = WebWorkload::new(cfg);
+        let mut r1 = RngFactory::new(1).stream("a");
+        let mut r2 = RngFactory::new(2).stream("b");
+        while let (Some(x), Some(y)) = (a.next_batch(&mut r1), b.next_batch(&mut r2)) {
+            assert_eq!(x.count, y.count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weekday index out of range")]
+    fn invalid_weekday_panics() {
+        WebWorkload::new(WebConfig {
+            start_weekday: 7,
+            ..WebConfig::default()
+        });
+    }
+}

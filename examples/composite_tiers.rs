@@ -1,0 +1,65 @@
+//! Multi-tier provisioning (the paper's "composite services" future
+//! work): size a three-tier web stack with the Jackson-network planner
+//! and cross-check the end-to-end response prediction.
+//!
+//! ```text
+//! cargo run --release --example composite_tiers
+//! ```
+
+use vmprov::core::composite::{CompositePlanner, TierSpec};
+use vmprov::core::AnalyticBackend;
+
+fn tier(name: &str, service_ms: f64, external: f64) -> TierSpec {
+    TierSpec {
+        name: name.into(),
+        mean_service_time: service_ms / 1e3,
+        service_scv: 0.25,
+        external_arrival_rate: external,
+    }
+}
+
+fn main() {
+    // Front-end receives 800 req/s; 75% continue to the app tier; 60% of
+    // app-tier work hits the data tier; 10% of data-tier work retries.
+    let tiers = [
+        tier("front-end", 8.0, 800.0),
+        tier("app-logic", 35.0, 0.0),
+        tier("data", 15.0, 0.0),
+    ];
+    let routing = vec![
+        vec![0.00, 0.75, 0.00],
+        vec![0.00, 0.00, 0.60],
+        vec![0.00, 0.10, 0.00], // data-tier retry loops back to app
+    ];
+
+    let planner = CompositePlanner::new(0.250, AnalyticBackend::TwoMoment, 10_000);
+    let plan = planner.plan(&tiers, &routing).expect("feasible plan");
+
+    println!("three-tier plan for 800 req/s, end-to-end bound 250 ms:\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "tier", "flow req/s", "budget ms", "instances"
+    );
+    for (i, t) in tiers.iter().enumerate() {
+        println!(
+            "{:<10} {:>10.1} {:>12.1} {:>12}",
+            t.name,
+            plan.tier_arrival_rates[i],
+            1e3 * plan.tier_budgets[i],
+            plan.instances[i]
+        );
+    }
+    println!(
+        "\npredicted end-to-end response: {:.1} ms (target 250 ms)",
+        1e3 * plan.predicted_end_to_end
+    );
+
+    // Traffic equations: app = 800·0.75 + data·0.10; data = app·0.60.
+    let app = plan.tier_arrival_rates[1];
+    let data = plan.tier_arrival_rates[2];
+    assert!((data - 0.6 * app).abs() < 1e-6);
+    assert!((app - (600.0 + 0.1 * data)).abs() < 1e-6);
+    assert!(plan.predicted_end_to_end <= 0.250);
+    // The slowest, busiest tier gets the most instances.
+    assert!(plan.instances[1] > plan.instances[0]);
+}

@@ -1,0 +1,85 @@
+//! The paper's remaining future-work items in action:
+//!
+//! * **priority classes** — "ensure that high-priority requests are
+//!   served first in case of intense competition for resources": a slot
+//!   of every instance queue is reserved for the high class, so under
+//!   overload the low class absorbs the rejections;
+//! * **uncertain behavior** — instances crash (exponential MTBF) and the
+//!   provisioner replaces them at the failure-triggered re-evaluation.
+//!
+//! ```text
+//! cargo run --release --example priority_and_failures
+//! ```
+
+use std::sync::Arc;
+use vmprov::cloudsim::config::PriorityConfig;
+use vmprov::cloudsim::{run_scenario, SimConfig};
+use vmprov::core::analyzer::ScheduleAnalyzer;
+use vmprov::core::modeler::{ModelerOptions, PerformanceModeler};
+use vmprov::core::policy::AdaptivePolicy;
+use vmprov::core::{QosTargets, RoundRobin, StaticPolicy};
+use vmprov::des::{RngFactory, SimTime};
+use vmprov::workloads::synthetic::PoissonProcess;
+use vmprov::workloads::ServiceModel;
+
+fn main() {
+    let qos = QosTargets::new(0.250, 0.0, 0.80);
+
+    // Part 1: an overloaded static pool with and without a reserved slot.
+    println!("— priority under overload (5 instances, offered load ρ ≈ 1.26) —");
+    for (label, priority) in [
+        ("no classes     ", None),
+        ("20% high, r = 1", Some(PriorityConfig::new(0.20, 1))),
+    ] {
+        let mut cfg = SimConfig::paper(0.100, 0.250);
+        cfg.priority = priority;
+        let s = run_scenario(
+            cfg,
+            Box::new(PoissonProcess::new(60.0, SimTime::from_mins(30.0))),
+            ServiceModel::new(0.100, 0.10),
+            Box::new(StaticPolicy::new(5, qos)),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(3),
+        );
+        println!(
+            "  {label}: overall rejection {:>5.1}%  high {:>5.1}%  low {:>5.1}%",
+            100.0 * s.rejection_rate,
+            100.0 * s.rejection_rate_high,
+            100.0 * s.rejection_rate_low
+        );
+        if priority.is_some() {
+            assert!(s.rejection_rate_high < 0.3 * s.rejection_rate_low);
+        }
+    }
+
+    // Part 2: adaptive provisioning through a hail of instance crashes.
+    println!("\n— failure injection (instance MTBF 10 min, adaptive pool) —");
+    let mut cfg = SimConfig::paper(0.100, 0.250);
+    cfg.instance_mtbf = Some(600.0);
+    let analyzer = ScheduleAnalyzer::new(Arc::new(|_| 120.0), 120.0, 0.0);
+    let modeler = PerformanceModeler::new(qos, 1000, ModelerOptions::default());
+    let s = run_scenario(
+        cfg,
+        Box::new(PoissonProcess::new(120.0, SimTime::from_hours(1.0))),
+        ServiceModel::new(0.100, 0.10),
+        Box::new(AdaptivePolicy::new(Box::new(analyzer), modeler, 180.0, 16)),
+        Box::new(RoundRobin::new()),
+        &RngFactory::new(5),
+    );
+    println!(
+        "  {} crashes killed {} in-flight requests;",
+        s.instance_failures, s.requests_lost_to_failures
+    );
+    println!(
+        "  the pool was rebuilt {} times over (VMs created: {}), and",
+        s.vms_created / s.max_instances.max(1) as u64,
+        s.vms_created
+    );
+    println!(
+        "  rejection still stayed at {:.2}% with utilization {:.0}%.",
+        100.0 * s.rejection_rate,
+        100.0 * s.utilization
+    );
+    assert!(s.instance_failures > 20);
+    assert!(s.rejection_rate < 0.05);
+}

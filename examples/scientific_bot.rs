@@ -1,0 +1,51 @@
+//! The paper's scientific scenario: a day of Bag-of-Tasks jobs (Iosup
+//! et al. model) served by the adaptive provisioner, compared against
+//! the largest static pool of Fig. 6.
+//!
+//! ```text
+//! cargo run --release --example scientific_bot
+//! ```
+
+use vmprov::experiments::report::one_line;
+use vmprov::experiments::{run_once, PolicySpec, Scenario};
+use vmprov::workloads::scientific::{
+    OFFPEAK_JOBS_MODE, OFFPEAK_WINDOW, PEAK_INTERARRIVAL_MODE, SIZE_CLASS_MODE,
+};
+
+fn main() {
+    // The analyzer's mode-based estimates from §V-B2.
+    let peak_estimate = SIZE_CLASS_MODE * 1.2 / PEAK_INTERARRIVAL_MODE;
+    let off_estimate = OFFPEAK_JOBS_MODE * 2.6 / OFFPEAK_WINDOW;
+    println!("analyzer estimates: peak {peak_estimate:.4} tasks/s, off-peak {off_estimate:.4} tasks/s");
+    println!("(modes: interarrival {PEAK_INTERARRIVAL_MODE} s, size {SIZE_CLASS_MODE}, {OFFPEAK_JOBS_MODE} jobs/30 min)\n");
+
+    let adaptive = run_once(&Scenario::scientific(PolicySpec::Adaptive, 3), 0);
+    let static75 = run_once(&Scenario::scientific(PolicySpec::Static(75), 3), 0);
+
+    println!("{}", one_line(&adaptive));
+    println!("{}", one_line(&static75));
+    println!();
+    println!(
+        "tasks offered: {} (paper: ≈8286 per day)",
+        adaptive.offered_requests
+    );
+    println!(
+        "adaptive pool ranged {}..{} instances (paper: 13..80)",
+        adaptive.min_instances, adaptive.max_instances
+    );
+    println!(
+        "VM hours: adaptive {:.0} vs Static-75 {:.0} — {:.0}% saved (paper: 46%)",
+        adaptive.vm_hours,
+        static75.vm_hours,
+        100.0 * (1.0 - adaptive.vm_hours / static75.vm_hours)
+    );
+    println!(
+        "utilization: adaptive {:.1}% (paper: 78%), Static-75 {:.1}% (paper: 42%)",
+        100.0 * adaptive.utilization,
+        100.0 * static75.utilization
+    );
+
+    // Every admitted task finishes within Ts = 700 s (admission control).
+    assert!(adaptive.max_response_time <= 700.0);
+    assert!(adaptive.vm_hours < 0.65 * static75.vm_hours);
+}

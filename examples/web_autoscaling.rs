@@ -1,0 +1,60 @@
+//! The paper's web scenario in miniature: the Wikipedia-style diurnal
+//! workload served by the adaptive provisioner vs a static pool, over
+//! six simulated hours spanning the morning ramp (6 a.m. → noon).
+//!
+//! ```text
+//! cargo run --release --example web_autoscaling
+//! ```
+
+use vmprov::des::SimTime;
+use vmprov::experiments::report::one_line;
+use vmprov::experiments::{run_once, PolicySpec, Scenario};
+
+fn main() {
+    // The full paper scenario is a one-week horizon; a quarter-day is
+    // enough to watch the provisioner ride the morning ramp.
+    let horizon = SimTime::from_hours(6.0);
+
+    println!("web workload, 6 simulated hours (Monday 12am–6am)\n");
+    let mut rows = Vec::new();
+    for policy in [
+        PolicySpec::Adaptive,
+        PolicySpec::Static(60),
+        PolicySpec::Static(100),
+    ] {
+        let scenario = Scenario::web(policy, 1).with_horizon(horizon);
+        let summary = run_once(&scenario, 0);
+        println!("{}", one_line(&summary));
+        rows.push(summary);
+    }
+
+    let adaptive = &rows[0];
+    let static60 = &rows[1];
+    let static100 = &rows[2];
+
+    // The morning rates (500 → ~740 req/s) need ≈66–97 instances at 80%
+    // utilization: Static-60 is under-provisioned and rejects, the
+    // adaptive pool tracks the ramp with almost no rejections and fewer
+    // VM hours than the safe static size.
+    println!();
+    println!(
+        "adaptive tracked {}..{} instances; static pools stayed fixed",
+        adaptive.min_instances, adaptive.max_instances
+    );
+    println!(
+        "rejections: adaptive {:.3}%, Static-60 {:.2}%, Static-100 {:.3}%",
+        100.0 * adaptive.rejection_rate,
+        100.0 * static60.rejection_rate,
+        100.0 * static100.rejection_rate
+    );
+    println!(
+        "VM hours:   adaptive {:.0}, Static-100 {:.0} ({:.0}% saved)",
+        adaptive.vm_hours,
+        static100.vm_hours,
+        100.0 * (1.0 - adaptive.vm_hours / static100.vm_hours)
+    );
+
+    assert!(adaptive.rejection_rate < 0.01);
+    assert!(static60.rejection_rate > adaptive.rejection_rate);
+    assert!(adaptive.vm_hours < static100.vm_hours);
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fills the Fig. 5 placeholders in EXPERIMENTS.md from results/fig5.json."""
+import json
+import sys
+
+RESULTS = sys.argv[1] if len(sys.argv) > 1 else "results/fig5.json"
+EXPERIMENTS = "EXPERIMENTS.md"
+
+with open(RESULTS) as f:
+    reps = json.load(f)
+
+
+def agg(policy, key):
+    for rep in reps:
+        if rep["policy"] == policy:
+            vals = [r[key] for r in rep["runs"]]
+            return sum(vals) / len(vals)
+    raise KeyError(policy)
+
+
+def row(policy):
+    return (
+        f"| {policy} | {agg(policy, 'min_instances'):.0f} | "
+        f"{agg(policy, 'max_instances'):.0f} | "
+        f"{100 * agg(policy, 'rejection_rate'):.2f} | "
+        f"{100 * agg(policy, 'utilization'):.1f} | "
+        f"{agg(policy, 'vm_hours'):.0f} | "
+        f"{agg(policy, 'mean_response_time'):.4f} | "
+        f"{agg(policy, 'std_response_time'):.4f} |"
+    )
+
+
+policies = [rep["policy"] for rep in reps]
+table = [
+    "| Policy | MinInst | MaxInst | Reject% | Util% | VM-hours | MeanResp s | StdResp s |",
+    "|---|---|---|---|---|---|---|---|",
+] + [row(p) for p in policies]
+
+ad_vmh = agg("Adaptive", "vm_hours")
+s150_vmh = agg("Static-150", "vm_hours")
+end_hours = agg("Adaptive", "end_time") / 3600.0
+
+subs = {
+    "<!-- FIG5_TABLE -->": "\n".join(table),
+    "<!-- FIG5_RANGE -->": f"{agg('Adaptive', 'min_instances'):.0f} – {agg('Adaptive', 'max_instances'):.0f}",
+    "<!-- FIG5_EQUIV -->": f"{ad_vmh:.0f} VMh / {end_hours:.0f} h = {ad_vmh / end_hours:.0f}",
+    "<!-- FIG5_S125 -->": f"{100 * agg('Static-125', 'rejection_rate'):.2f}%",
+    "<!-- FIG5_S150U -->": f"{100 * agg('Static-150', 'utilization'):.1f}%",
+    "<!-- FIG5_SAVE -->": f"{100 * (1 - ad_vmh / s150_vmh):.0f}%",
+    "<!-- FIG5_UTIL -->": f"{100 * agg('Adaptive', 'utilization'):.1f}%",
+    "<!-- FIG5_REJ -->": f"{100 * agg('Adaptive', 'rejection_rate'):.3f}%",
+}
+
+with open(EXPERIMENTS) as f:
+    text = f.read()
+for k, v in subs.items():
+    if k not in text:
+        print(f"warning: placeholder {k} not found", file=sys.stderr)
+    text = text.replace(k, v)
+with open(EXPERIMENTS, "w") as f:
+    f.write(text)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,21 @@
+//! # vmprov — adaptive QoS-driven VM provisioning
+//!
+//! Facade crate re-exporting the full reproduction of *"Virtual Machine
+//! Provisioning Based on Analytical Performance and QoS in Cloud
+//! Computing Environments"* (Calheiros, Ranjan & Buyya, ICPP 2011).
+//!
+//! See the individual crates for details:
+//!
+//! * [`des`] — discrete-event simulation kernel;
+//! * [`queueing`] — analytical queueing models;
+//! * [`workloads`] — the evaluation's production workload models;
+//! * [`cloudsim`] — the cloud data-center simulation substrate;
+//! * [`core`] — the paper's contribution: the adaptive provisioner;
+//! * [`experiments`] — the harness regenerating every table and figure.
+
+pub use vmprov_cloudsim as cloudsim;
+pub use vmprov_core as core;
+pub use vmprov_des as des;
+pub use vmprov_experiments as experiments;
+pub use vmprov_queueing as queueing;
+pub use vmprov_workloads as workloads;
