@@ -1,0 +1,225 @@
+//! `quickbench` — offline micro-benchmarks of the DES core.
+//!
+//! ```text
+//! quickbench [--out PATH] [--quick]
+//! ```
+//!
+//! Covers the future-event-list backends (calendar queue vs binary
+//! heap) at small and large pending sizes, cancellation churn, and one
+//! full small web simulation, then writes the results as JSON (default
+//! `BENCH_des.json` in the current directory). `--quick` shrinks the
+//! workloads so the suite stays fast in debug builds; headline numbers
+//! should come from `--release` runs.
+
+use vmprov_bench::{bench, bench_report, black_box, Timing};
+use vmprov_des::{EventQueue, FelBackend, RngFactory, SimTime};
+use vmprov_experiments::runner::run_once;
+use vmprov_experiments::scenario::{PolicySpec, Scenario};
+
+/// Workload sizes, shrunk by `--quick`.
+struct Sizes {
+    /// Pending events for the small hold-model benchmark (paper-scale
+    /// FELs hold ~10⁴ events).
+    hold_small: usize,
+    /// Pending events for the large hold-model benchmark, where O(1)
+    /// calendar access should beat the heap's O(log n).
+    hold_large: usize,
+    /// Pop+push pairs per hold-model run.
+    churn: usize,
+    /// Events per fill/drain and cancel run.
+    fill: usize,
+    /// Simulated seconds of the small web run.
+    web_horizon: f64,
+    /// Measured runs per benchmark.
+    runs: u32,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            hold_small: 10_000,
+            hold_large: 1_000_000,
+            churn: 200_000,
+            fill: 100_000,
+            web_horizon: 600.0,
+            runs: 5,
+        }
+    }
+
+    fn quick() -> Sizes {
+        Sizes {
+            hold_small: 1_000,
+            hold_large: 20_000,
+            churn: 10_000,
+            fill: 10_000,
+            web_horizon: 60.0,
+            runs: 3,
+        }
+    }
+}
+
+fn backend_tag(backend: FelBackend) -> &'static str {
+    match backend {
+        FelBackend::Calendar => "calendar",
+        FelBackend::BinaryHeap => "heap",
+    }
+}
+
+/// Classic hold model: a queue held at a steady `pending` size while
+/// `churn` (pop, schedule-ahead) pairs cycle through it. This is the
+/// steady-state access pattern of a running simulation.
+fn bench_hold(backend: FelBackend, pending: usize, churn: usize, runs: u32) -> Timing {
+    let mut rng = RngFactory::new(0xBE7C).stream("hold");
+    let mut q = EventQueue::with_capacity_and_backend(pending, backend);
+    let mut t = 0.0f64;
+    for i in 0..pending {
+        t += rng.uniform01();
+        q.schedule(SimTime::from_secs(t), i);
+    }
+    let name = format!("fel_hold_{}_pending_{}", pending, backend_tag(backend));
+    bench(&name, 2 * churn as u64, 1, runs, || {
+        for _ in 0..churn {
+            let (now, payload) = q.pop().expect("hold queue never empties");
+            // Reschedule ahead of `now` by a mean-1.0 increment so the
+            // queue size and time density stay constant.
+            let ahead = now + (2.0 * rng.uniform01() + 1e-9);
+            q.schedule(ahead, black_box(payload));
+        }
+    })
+}
+
+/// Fill-then-drain: schedule `n` events in random time order, then pop
+/// all of them (the transient pattern of batch priming and shutdown).
+fn bench_fill_drain(backend: FelBackend, n: usize, runs: u32) -> Timing {
+    let mut rng = RngFactory::new(0xF17D).stream("fill");
+    let name = format!("fel_fill_drain_{}_{}", n, backend_tag(backend));
+    bench(&name, 2 * n as u64, 1, runs, || {
+        let mut q = EventQueue::with_capacity_and_backend(n, backend);
+        for i in 0..n {
+            q.schedule(SimTime::from_secs(rng.uniform(0.0, 1e4)), i);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    })
+}
+
+/// Cancellation churn: schedule `n`, cancel every other handle, drain
+/// the survivors (the pattern of timer-heavy simulations).
+fn bench_cancel(backend: FelBackend, n: usize, runs: u32) -> Timing {
+    let mut rng = RngFactory::new(0xCA7CE1).stream("cancel");
+    let name = format!("fel_cancel_churn_{}_{}", n, backend_tag(backend));
+    bench(&name, 2 * n as u64 + n as u64 / 2, 1, runs, || {
+        let mut q = EventQueue::with_capacity_and_backend(n, backend);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            handles.push(q.schedule(SimTime::from_secs(rng.uniform(0.0, 1e4)), i));
+        }
+        for h in handles.iter().step_by(2) {
+            assert!(q.cancel(*h), "fresh handles always cancel");
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    })
+}
+
+/// One full small web simulation end to end (events, policy, metrics).
+fn bench_web_run(horizon: f64, runs: u32) -> Timing {
+    let scenario =
+        Scenario::web(PolicySpec::Static(60), 0xBE7C).with_horizon(SimTime::from_secs(horizon));
+    let mut offered = 0u64;
+    let timing = bench("web_small_run", 1, 1, runs, || {
+        let summary = run_once(&scenario, 0);
+        offered = summary.offered_requests;
+        black_box(summary);
+    });
+    // Re-label ops with the real event count proxy now that it's known.
+    Timing {
+        ops: offered.max(1),
+        ..timing
+    }
+}
+
+fn parse_args() -> (std::path::PathBuf, Sizes) {
+    let mut out = std::path::PathBuf::from("BENCH_des.json");
+    let mut sizes = Sizes::full();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(path) => out = std::path::PathBuf::from(path),
+                None => {
+                    eprintln!("--out needs a value (try --help)");
+                    std::process::exit(2);
+                }
+            },
+            "--quick" => sizes = Sizes::quick(),
+            "--help" | "-h" => {
+                eprintln!("usage: quickbench [--out PATH] [--quick]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (out, sizes)
+}
+
+fn main() {
+    let (out, sizes) = parse_args();
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    println!("quickbench ({profile} profile), writing {}", out.display());
+
+    let backends = [FelBackend::Calendar, FelBackend::BinaryHeap];
+    let mut timings: Vec<Timing> = Vec::new();
+    for backend in backends {
+        timings.push(bench_hold(
+            backend,
+            sizes.hold_small,
+            sizes.churn,
+            sizes.runs,
+        ));
+        println!("  {}", timings.last().unwrap().summary());
+        timings.push(bench_hold(
+            backend,
+            sizes.hold_large,
+            sizes.churn,
+            sizes.runs,
+        ));
+        println!("  {}", timings.last().unwrap().summary());
+        timings.push(bench_fill_drain(backend, sizes.fill, sizes.runs));
+        println!("  {}", timings.last().unwrap().summary());
+        timings.push(bench_cancel(backend, sizes.fill, sizes.runs));
+        println!("  {}", timings.last().unwrap().summary());
+    }
+    timings.push(bench_web_run(sizes.web_horizon, sizes.runs));
+    println!("  {}", timings.last().unwrap().summary());
+
+    // Headline comparison: calendar vs heap on the hold model.
+    let rate = |name: &str| {
+        timings
+            .iter()
+            .find(|t| t.name == name)
+            .map(Timing::ops_per_sec)
+            .unwrap_or(0.0)
+    };
+    for pending in [sizes.hold_small, sizes.hold_large] {
+        let cal = rate(&format!("fel_hold_{pending}_pending_calendar"));
+        let heap = rate(&format!("fel_hold_{pending}_pending_heap"));
+        println!(
+            "  hold @ {pending} pending: calendar {:.2}x heap ({cal:.0} vs {heap:.0} ops/s)",
+            cal / heap
+        );
+    }
+
+    let doc = bench_report(profile, &timings);
+    std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write bench report");
+    println!("wrote {}", out.display());
+}

@@ -1,1 +1,179 @@
-//! Shared bench helpers live in the individual bench files.
+//! Registry-free micro-benchmark harness.
+//!
+//! Criterion needs registry access, which this repo's offline build
+//! environment does not have; this harness covers the need with std
+//! only: wall-clock timing via [`std::time::Instant`], explicit warmup
+//! runs, and median-of-N reporting (the median is robust against
+//! scheduler noise on shared CI runners). The `quickbench` binary runs
+//! the suite and writes `BENCH_des.json`.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::Instant;
+use vmprov_json::{Json, ToJson};
+
+/// Timing record of one benchmark: `runs` measured wall-clock samples of
+/// a workload that performs `ops` operations per run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timing {
+    /// Stable snake_case benchmark identifier.
+    pub name: String,
+    /// Operations performed per measured run (basis for per-op rates).
+    pub ops: u64,
+    /// Unmeasured warmup runs that preceded the samples.
+    pub warmup: u32,
+    /// Wall-clock nanoseconds of each measured run, in run order.
+    pub samples_ns: Vec<u128>,
+}
+
+impl Timing {
+    /// Median run time in nanoseconds (lower-middle for even counts, so
+    /// the value is always one actually-observed sample).
+    pub fn median_ns(&self) -> u128 {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s[(s.len() - 1) / 2]
+    }
+
+    /// Fastest run in nanoseconds.
+    pub fn min_ns(&self) -> u128 {
+        *self.samples_ns.iter().min().expect("at least one sample")
+    }
+
+    /// Mean run time in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.samples_ns.iter().sum::<u128>() as f64 / self.samples_ns.len() as f64
+    }
+
+    /// Median nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.median_ns() as f64 / self.ops as f64
+    }
+
+    /// Median operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.median_ns() as f64
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<38} {:>9.1} ns/op  {:>13.0} ops/s  (median of {}, {} ops/run)",
+            self.name,
+            self.ns_per_op(),
+            self.ops_per_sec(),
+            self.samples_ns.len(),
+            self.ops
+        )
+    }
+}
+
+impl ToJson for Timing {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.clone())),
+            ("ops_per_run", Json::from(self.ops)),
+            ("warmup_runs", Json::from(u64::from(self.warmup))),
+            ("measured_runs", Json::from(self.samples_ns.len() as u64)),
+            ("median_ns", Json::from(self.median_ns() as u64)),
+            ("min_ns", Json::from(self.min_ns() as u64)),
+            ("mean_ns", Json::from(self.mean_ns())),
+            ("ns_per_op", Json::from(self.ns_per_op())),
+            ("ops_per_sec", Json::from(self.ops_per_sec())),
+        ])
+    }
+}
+
+/// Runs `f` `warmup` unmeasured times, then `runs` measured times, and
+/// returns the samples. `ops` is how many logical operations one call
+/// of `f` performs; it only scales the reported rates.
+///
+/// # Panics
+/// Panics if `runs` is zero or `ops` is zero.
+pub fn bench(name: &str, ops: u64, warmup: u32, runs: u32, mut f: impl FnMut()) -> Timing {
+    assert!(runs >= 1, "need at least one measured run");
+    assert!(ops >= 1, "ops must be positive");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples_ns = Vec::with_capacity(runs as usize);
+    for _ in 0..runs {
+        let started = Instant::now();
+        f();
+        samples_ns.push(started.elapsed().as_nanos());
+    }
+    Timing {
+        name: name.to_string(),
+        ops,
+        warmup,
+        samples_ns,
+    }
+}
+
+/// Wraps a list of timings into the `BENCH_des.json` document.
+pub fn bench_report(profile: &str, timings: &[Timing]) -> Json {
+    Json::obj([
+        ("suite", Json::from("quickbench".to_string())),
+        ("profile", Json::from(profile.to_string())),
+        ("benchmarks", timings.to_vec().to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing(samples: &[u128]) -> Timing {
+        Timing {
+            name: "t".into(),
+            ops: 100,
+            warmup: 0,
+            samples_ns: samples.to_vec(),
+        }
+    }
+
+    #[test]
+    fn median_is_an_observed_sample() {
+        assert_eq!(timing(&[5, 1, 9]).median_ns(), 5);
+        // Even count: lower-middle.
+        assert_eq!(timing(&[8, 2, 4, 6]).median_ns(), 4);
+        assert_eq!(timing(&[7]).median_ns(), 7);
+    }
+
+    #[test]
+    fn rates_derive_from_median() {
+        let t = timing(&[1_000, 2_000, 3_000]);
+        assert_eq!(t.median_ns(), 2_000);
+        assert!((t.ns_per_op() - 20.0).abs() < 1e-12);
+        assert!((t.ops_per_sec() - 50_000_000.0).abs() < 1e-3);
+        assert_eq!(t.min_ns(), 1_000);
+        assert!((t.mean_ns() - 2_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_runs_warmup_plus_measured() {
+        let mut calls = 0u32;
+        let t = bench("count", 10, 2, 3, || calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(t.samples_ns.len(), 3);
+        assert_eq!(t.warmup, 2);
+    }
+
+    #[test]
+    fn report_shape() {
+        let t = bench("noop", 1, 0, 1, || {});
+        let doc = bench_report("debug", &[t]);
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.get("suite").and_then(Json::as_str),
+            Some("quickbench")
+        );
+        let benches = parsed.get("benchmarks").unwrap();
+        assert_eq!(benches.as_array().unwrap().len(), 1);
+        let b = &benches.as_array().unwrap()[0];
+        assert_eq!(b.get("name").and_then(Json::as_str), Some("noop"));
+        assert!(b.get("median_ns").is_some());
+    }
+}

@@ -1,9 +1,10 @@
 //! Simulation configuration.
 
 use crate::host::{PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
+use vmprov_des::FelBackend;
 
 /// Configuration of the simulated data center and measurement set-up.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     /// Number of physical hosts (paper: 1000).
     pub hosts: usize,
@@ -37,13 +38,16 @@ pub struct SimConfig {
     /// Mean time between failures of one *instance* (exponential), the
     /// "uncertain behavior" of §I. `None` disables failures.
     pub instance_mtbf: Option<f64>,
+    /// Future-event-list backend for the engine. The calendar queue is
+    /// the default; the binary heap is kept for A/B determinism checks.
+    pub fel_backend: FelBackend,
 }
 
 /// Two-class priority admission: a fraction of requests is high
 /// priority; low-priority requests may only occupy `k − reserved_slots`
 /// of each instance's queue, so the reserved headroom is always
 /// available to high-priority traffic.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PriorityConfig {
     /// Fraction of arrivals that are high priority, in [0, 1].
     pub high_fraction: f64,
@@ -79,6 +83,7 @@ impl SimConfig {
             collect_histogram: false,
             priority: None,
             instance_mtbf: None,
+            fel_backend: FelBackend::default(),
         }
     }
 

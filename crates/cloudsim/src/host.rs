@@ -5,10 +5,8 @@
 //! processors (8 cores) and 16 GB of RAM; application VMs take one core
 //! and 2 GB, and cores are never time-shared between VMs (§V-A).
 
-use serde::{Deserialize, Serialize};
-
 /// Resource capacity/request description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Resources {
     /// Processor cores.
     pub cores: u32,
@@ -44,7 +42,7 @@ impl Host {
 }
 
 /// Host-selection strategy for new VMs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlacementPolicy {
     /// The paper's policy: the host with the fewest running instances
     /// that still fits the request ("new VMs are created, if possible,
@@ -71,7 +69,10 @@ impl HostPool {
             hosts: vec![
                 Host {
                     capacity: shape,
-                    used: Resources { cores: 0, ram_mb: 0 },
+                    used: Resources {
+                        cores: 0,
+                        ram_mb: 0
+                    },
                     vm_count: 0,
                 };
                 n

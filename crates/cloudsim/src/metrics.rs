@@ -5,6 +5,7 @@
 
 use vmprov_des::stats::{LogHistogram, OnlineStats, TimeWeighted};
 use vmprov_des::SimTime;
+use vmprov_json::{field, field_f64, field_str, field_u64, FromJson, Json, ToJson};
 
 /// Live metric accumulators updated by the simulation.
 #[derive(Debug)]
@@ -100,10 +101,7 @@ impl RunMetrics {
             } else {
                 0.0
             },
-            p99_response_time: self
-                .response_hist
-                .as_ref()
-                .and_then(|h| h.quantile(0.99)),
+            p99_response_time: self.response_hist.as_ref().and_then(|h| h.quantile(0.99)),
             min_instances: self.instances.min() as u32,
             max_instances: self.instances.max() as u32,
             mean_instances: self.instances.average(end),
@@ -138,7 +136,7 @@ impl RunMetrics {
 }
 
 /// Final metrics of one simulation run (one policy × one replication).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
     /// Policy name ("Adaptive", "Static-50", …).
     pub policy: String,
@@ -190,6 +188,84 @@ pub struct RunSummary {
     pub requests_lost_to_failures: u64,
 }
 
+impl ToJson for RunSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", Json::from(self.policy.clone())),
+            ("end_time", Json::from(self.end_time)),
+            ("offered_requests", Json::from(self.offered_requests)),
+            ("accepted_requests", Json::from(self.accepted_requests)),
+            ("rejected_requests", Json::from(self.rejected_requests)),
+            ("rejection_rate", Json::from(self.rejection_rate)),
+            ("qos_violations", Json::from(self.qos_violations)),
+            ("mean_response_time", Json::from(self.mean_response_time)),
+            ("std_response_time", Json::from(self.std_response_time)),
+            ("max_response_time", Json::from(self.max_response_time)),
+            ("p99_response_time", Json::from(self.p99_response_time)),
+            ("min_instances", Json::from(self.min_instances)),
+            ("max_instances", Json::from(self.max_instances)),
+            ("mean_instances", Json::from(self.mean_instances)),
+            ("vm_hours", Json::from(self.vm_hours)),
+            ("utilization", Json::from(self.utilization)),
+            ("vms_created", Json::from(self.vms_created)),
+            (
+                "vm_creation_failures",
+                Json::from(self.vm_creation_failures),
+            ),
+            ("rejected_high", Json::from(self.rejected_high)),
+            ("offered_high", Json::from(self.offered_high)),
+            ("rejection_rate_high", Json::from(self.rejection_rate_high)),
+            ("rejection_rate_low", Json::from(self.rejection_rate_low)),
+            ("instance_failures", Json::from(self.instance_failures)),
+            (
+                "requests_lost_to_failures",
+                Json::from(self.requests_lost_to_failures),
+            ),
+        ])
+    }
+}
+
+impl FromJson for RunSummary {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let u32_field = |key: &str| -> Result<u32, String> {
+            u32::try_from(field_u64(v, key)?).map_err(|_| format!("field `{key}` overflows u32"))
+        };
+        Ok(RunSummary {
+            policy: field_str(v, "policy")?,
+            end_time: field_f64(v, "end_time")?,
+            offered_requests: field_u64(v, "offered_requests")?,
+            accepted_requests: field_u64(v, "accepted_requests")?,
+            rejected_requests: field_u64(v, "rejected_requests")?,
+            rejection_rate: field_f64(v, "rejection_rate")?,
+            qos_violations: field_u64(v, "qos_violations")?,
+            mean_response_time: field_f64(v, "mean_response_time")?,
+            std_response_time: field_f64(v, "std_response_time")?,
+            max_response_time: field_f64(v, "max_response_time")?,
+            p99_response_time: match field(v, "p99_response_time")? {
+                Json::Null => None,
+                other => Some(
+                    other
+                        .as_f64()
+                        .ok_or_else(|| "field `p99_response_time` is not a number".to_string())?,
+                ),
+            },
+            min_instances: u32_field("min_instances")?,
+            max_instances: u32_field("max_instances")?,
+            mean_instances: field_f64(v, "mean_instances")?,
+            vm_hours: field_f64(v, "vm_hours")?,
+            utilization: field_f64(v, "utilization")?,
+            vms_created: field_u64(v, "vms_created")?,
+            vm_creation_failures: field_u64(v, "vm_creation_failures")?,
+            rejected_high: field_u64(v, "rejected_high")?,
+            offered_high: field_u64(v, "offered_high")?,
+            rejection_rate_high: field_f64(v, "rejection_rate_high")?,
+            rejection_rate_low: field_f64(v, "rejection_rate_low")?,
+            instance_failures: field_u64(v, "instance_failures")?,
+            requests_lost_to_failures: field_u64(v, "requests_lost_to_failures")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +290,26 @@ mod tests {
         assert!((s.vm_hours - 2.0).abs() < 1e-12);
         assert!((s.utilization - 0.2 / 7200.0).abs() < 1e-12);
         assert!(s.p99_response_time.is_some());
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let mut m = RunMetrics::new(2, true);
+        m.offered = 10;
+        m.rejected = 2;
+        m.record_completion(0.2, 0.1, 0.25);
+        m.vm_seconds = 7200.0;
+        m.instances.update(SimTime::from_secs(100.0), 5.0);
+        let s = m.finalize(SimTime::from_secs(200.0), "Test");
+        let text = s.to_json().to_string_pretty();
+        let back = RunSummary::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // And the Option field serializes as null when absent.
+        let empty = RunMetrics::new(1, false).finalize(SimTime::from_secs(1.0), "E");
+        let back =
+            RunSummary::from_json(&Json::parse(&empty.to_json().to_string_pretty()).unwrap())
+                .unwrap();
+        assert_eq!(back.p99_response_time, None);
     }
 
     #[test]

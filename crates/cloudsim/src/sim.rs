@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
 use vmprov_des::stats::{OnlineStats, TimeWeighted};
-use vmprov_des::{Engine, RngFactory, Scheduler, SimRng, SimTime, World};
+use vmprov_des::{Engine, EventHandle, RngFactory, Scheduler, SimRng, SimTime, World};
 use vmprov_workloads::{ArrivalBatch, ArrivalProcess, ServiceModel};
 
 /// Simulation events.
@@ -69,6 +69,15 @@ struct Instance {
     created_at: SimTime,
     /// FIFO of (arrival time, service time); the head is in service.
     queue: VecDeque<(f64, f64)>,
+    /// Pending [`Event::Booted`] timer while `Booting`; withdrawn when a
+    /// scale-down cancels the boot.
+    boot_timer: Option<EventHandle>,
+    /// Pending [`Event::Failure`] clock; withdrawn when the instance is
+    /// destroyed before its crash (and at end-of-workload teardown).
+    failure_timer: Option<EventHandle>,
+    /// Pending [`Event::Completion`] for the request in service;
+    /// withdrawn when a crash discards the queue.
+    completion_timer: Option<EventHandle>,
 }
 
 /// Admission probe over the active instances. `capacity` is the
@@ -184,13 +193,15 @@ impl CloudSim {
             ts,
             cfg,
         };
-        let mut engine = Engine::new(world);
+        let backend = world.cfg.fel_backend;
+        let mut engine = Engine::with_backend(world, backend);
         // Initial fleet exists (active) at t = 0, as in the paper.
         for _ in 0..initial {
             let w = engine.world_mut();
             if let Some(slot) = w.create_instance_immediately(SimTime::ZERO) {
                 if let Some(ttf) = w.draw_ttf() {
-                    engine.schedule(SimTime::from_secs(ttf), Event::Failure { slot });
+                    let h = engine.schedule(SimTime::from_secs(ttf), Event::Failure { slot });
+                    engine.world_mut().instances[slot as usize].failure_timer = Some(h);
                 }
             }
         }
@@ -252,18 +263,32 @@ impl CloudSim {
             host,
             created_at: now,
             queue: VecDeque::with_capacity(self.k as usize + 1),
+            boot_timer: None,
+            failure_timer: None,
+            completion_timer: None,
         });
         self.metrics.vms_created += 1;
         self.metrics.instances.add(now, 1.0);
         Some(slot)
     }
 
-    /// Destroys an instance (must hold no requests).
-    fn destroy_instance(&mut self, slot: u32, now: SimTime) {
+    /// Destroys an instance (must hold no requests), withdrawing every
+    /// timer still armed for it so no dead-instance event ever fires.
+    fn destroy_instance(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let inst = &mut self.instances[slot as usize];
         debug_assert!(inst.queue.is_empty(), "destroying a busy instance");
         debug_assert!(inst.state != InstState::Dead);
         inst.state = InstState::Dead;
+        for timer in [
+            inst.boot_timer.take(),
+            inst.failure_timer.take(),
+            inst.completion_timer.take(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            sched.cancel(timer);
+        }
         self.metrics.vm_seconds += now - inst.created_at;
         self.metrics.instances.add(now, -1.0);
         let host = inst.host;
@@ -288,7 +313,9 @@ impl CloudSim {
             let mut need = target - existing_serving;
             // Revive draining instances first (§IV-C).
             while need > 0 {
-                let Some(slot) = self.draining.pop() else { break };
+                let Some(slot) = self.draining.pop() else {
+                    break;
+                };
                 let inst = &mut self.instances[slot as usize];
                 debug_assert_eq!(inst.state, InstState::Draining);
                 inst.state = InstState::Active;
@@ -304,14 +331,17 @@ impl CloudSim {
                     self.create_instance_immediately(now)
                 } else if let Some(slot) = self.allocate_instance(now) {
                     self.booting += 1;
-                    sched.after(self.cfg.boot_delay, Event::Booted { slot });
+                    let h = sched.after(self.cfg.boot_delay, Event::Booted { slot });
+                    self.instances[slot as usize].boot_timer = Some(h);
                     Some(slot)
                 } else {
                     None
                 };
                 if let Some(slot) = created {
                     if let Some(ttf) = self.draw_ttf() {
-                        sched.after(self.cfg.boot_delay.max(0.0) + ttf, Event::Failure { slot });
+                        let h = sched
+                            .after(self.cfg.boot_delay.max(0.0) + ttf, Event::Failure { slot });
+                        self.instances[slot as usize].failure_timer = Some(h);
                     }
                 }
             }
@@ -324,7 +354,7 @@ impl CloudSim {
                 if self.instances[slot as usize].queue.is_empty() {
                     self.active.swap_remove(i);
                     self.free_count -= 1; // idle ⇒ had room
-                    self.destroy_instance(slot, now);
+                    self.destroy_instance(slot, now, sched);
                     excess -= 1;
                 } else {
                     i += 1;
@@ -338,7 +368,7 @@ impl CloudSim {
                     }
                     if self.instances[slot as usize].state == InstState::Booting {
                         self.booting -= 1;
-                        self.destroy_instance(slot, now);
+                        self.destroy_instance(slot, now, sched);
                         excess -= 1;
                     }
                 }
@@ -420,7 +450,7 @@ impl CloudSim {
         if len == 1 {
             // Idle instance starts serving right away.
             self.busy_count += 1;
-            sched.after(svc, Event::Completion { slot });
+            inst.completion_timer = Some(sched.after(svc, Event::Completion { slot }));
         }
         if len == self.k {
             self.free_count -= 1;
@@ -429,10 +459,13 @@ impl CloudSim {
 
     fn handle_completion(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let state = self.instances[slot as usize].state;
-        if state == InstState::Dead {
-            // The instance crashed while this completion was in flight.
-            return;
-        }
+        // Crashes withdraw the pending completion, so this event can
+        // only reach a live instance.
+        debug_assert!(
+            state != InstState::Dead,
+            "completion leaked past cancellation"
+        );
+        self.instances[slot as usize].completion_timer = None;
         let (arr, svc) = self.instances[slot as usize]
             .queue
             .pop_front()
@@ -443,7 +476,8 @@ impl CloudSim {
         let remaining = self.instances[slot as usize].queue.len() as u32;
         if remaining > 0 {
             let next_svc = self.instances[slot as usize].queue[0].1;
-            sched.after(next_svc, Event::Completion { slot });
+            let h = sched.after(next_svc, Event::Completion { slot });
+            self.instances[slot as usize].completion_timer = Some(h);
         } else {
             self.busy_count -= 1;
         }
@@ -457,11 +491,11 @@ impl CloudSim {
             InstState::Draining => {
                 if remaining == 0 {
                     self.draining.retain(|&s| s != slot);
-                    self.destroy_instance(slot, now);
+                    self.destroy_instance(slot, now, sched);
                 }
             }
             InstState::Booting | InstState::Dead => {
-                unreachable!("completions never target booting instances; dead handled above")
+                unreachable!("completions never target booting or dead instances")
             }
         }
     }
@@ -471,9 +505,10 @@ impl CloudSim {
     /// immediately (idealized instant failure detection).
     fn handle_failure(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let state = self.instances[slot as usize].state;
-        if state == InstState::Dead {
-            return; // already destroyed (scale-down beat the failure)
-        }
+        // Destruction withdraws the failure clock, so this event can
+        // only reach a live instance.
+        debug_assert!(state != InstState::Dead, "failure leaked past cancellation");
+        self.instances[slot as usize].failure_timer = None;
         match state {
             InstState::Active => {
                 let idx = self
@@ -501,13 +536,20 @@ impl CloudSim {
         self.metrics.requests_lost_to_failures += lost;
         self.metrics.instance_failures += 1;
         self.instances[slot as usize].queue.clear();
-        self.destroy_instance(slot, now);
+        // destroy_instance withdraws the in-flight completion timer of
+        // the request that just died with the instance.
+        self.destroy_instance(slot, now, sched);
         // Monitoring notices and the provisioner replaces the capacity
         // (without disturbing the periodic evaluation schedule).
         self.handle_evaluate(now, sched, false);
     }
 
-    fn handle_evaluate(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>, reschedule: bool) {
+    fn handle_evaluate(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+        reschedule: bool,
+    ) {
         let (tm, scv) = self.monitored_service();
         let new_k = self.policy.queue_capacity(tm);
         if new_k != self.k {
@@ -549,7 +591,10 @@ impl World for CloudSim {
             Event::Arrival => self.handle_arrival(now, sched),
             Event::Completion { slot } => self.handle_completion(slot, now, sched),
             Event::Batch => {
-                let batch = self.pending_batch.take().expect("batch event without batch");
+                let batch = self
+                    .pending_batch
+                    .take()
+                    .expect("batch event without batch");
                 debug_assert!(batch.time <= now);
                 for _ in 0..batch.count {
                     let offset = if batch.spread > 0.0 {
@@ -566,24 +611,26 @@ impl World for CloudSim {
             }
             Event::Booted { slot } => {
                 let inst = &mut self.instances[slot as usize];
-                if inst.state == InstState::Booting {
-                    inst.state = InstState::Active;
-                    self.booting -= 1;
-                    self.active.push(slot);
-                    if self.instance_has_room(slot) {
-                        self.free_count += 1;
-                    }
+                // Scale-downs withdraw the boot timer when they cancel a
+                // boot, so this event always finds the instance booting.
+                debug_assert_eq!(
+                    inst.state,
+                    InstState::Booting,
+                    "boot leaked past cancellation"
+                );
+                inst.boot_timer = None;
+                inst.state = InstState::Active;
+                self.booting -= 1;
+                self.active.push(slot);
+                if self.instance_has_room(slot) {
+                    self.free_count += 1;
                 }
-                // Dead: the boot was cancelled by a scale-down.
             }
             Event::Evaluate => self.handle_evaluate(now, sched, true),
             Event::Failure { slot } => self.handle_failure(slot, now, sched),
             Event::Monitor => {
-                self.policy.observe_arrivals(
-                    now,
-                    self.window_arrivals,
-                    self.cfg.monitor_interval,
-                );
+                self.policy
+                    .observe_arrivals(now, self.window_arrivals, self.cfg.monitor_interval);
                 self.window_arrivals = 0;
                 let next = now + self.cfg.monitor_interval;
                 if next <= self.horizon {
@@ -609,6 +656,23 @@ pub fn run_scenario(
 ) -> RunSummary {
     let mut engine = CloudSim::engine(cfg, workload, service, policy, dispatcher, rngs);
     let name = engine.world().policy.name();
+    let horizon = engine.world().horizon;
+    engine.run_until(horizon);
+    // The workload is exhausted: withdraw the failure clocks still armed
+    // for surviving instances. Left in place they would fire during the
+    // drain — each crash re-evaluates the policy, which boots a
+    // replacement with a fresh clock, so the run would never end, and
+    // every ghost crash would push the billed end time further out.
+    let clocks: Vec<EventHandle> = engine
+        .world_mut()
+        .instances
+        .iter_mut()
+        .filter_map(|inst| inst.failure_timer.take())
+        .collect();
+    for clock in clocks {
+        engine.cancel(clock);
+    }
+    // Drain the accepted work that is still in flight.
     engine.run();
     let end = engine.now();
     let world = engine.world_mut();
@@ -651,12 +715,7 @@ mod tests {
         Box::new(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
     }
 
-    fn run_static(
-        m: u32,
-        rate: f64,
-        horizon: f64,
-        seed: u64,
-    ) -> RunSummary {
+    fn run_static(m: u32, rate: f64, horizon: f64, seed: u64) -> RunSummary {
         run_scenario(
             small_config(),
             poisson(rate, horizon),
@@ -680,7 +739,11 @@ mod tests {
         assert_eq!(s.min_instances, 10);
         assert_eq!(s.max_instances, 10);
         // Utilization ≈ ρ = 2.1/10.
-        assert!((s.utilization - 0.21).abs() < 0.02, "util {}", s.utilization);
+        assert!(
+            (s.utilization - 0.21).abs() < 0.02,
+            "util {}",
+            s.utilization
+        );
     }
 
     #[test]
@@ -772,14 +835,12 @@ mod tests {
         let rate_fn = Arc::new(|t: SimTime| if t.as_secs() < 2_000.0 { 100.0 } else { 20.0 });
         let s = run_scenario(
             small_config(),
-            Box::new(
-                vmprov_workloads::synthetic::PiecewiseRateProcess::step(
-                    100.0,
-                    20.0,
-                    2_000.0,
-                    SimTime::from_secs(4_000.0),
-                ),
-            ),
+            Box::new(vmprov_workloads::synthetic::PiecewiseRateProcess::step(
+                100.0,
+                20.0,
+                2_000.0,
+                SimTime::from_secs(4_000.0),
+            )),
             service(),
             adaptive_policy(rate_fn),
             Box::new(RoundRobin::new()),
@@ -868,9 +929,12 @@ mod tests {
 
     #[test]
     fn scale_up_revives_draining_instances_before_booting_new() {
-        // Long 100 s requests keep instances busy, so the scale-down to
-        // 2 leaves 8 instances *draining*; the scale-up back to 10 must
-        // revive them instead of booting new VMs (§IV-C).
+        // A deterministic trace puts one long 100 s request on each of
+        // the 10 instances at t = 5, so the t = 30 scale-down to 2 finds
+        // every instance busy and leaves 8 *draining*; the t = 60
+        // scale-up back to 10 must revive them instead of booting new
+        // VMs (§IV-C). A second burst after the first finishes checks
+        // the revived fleet actually serves.
         let mut cfg = SimConfig::paper(100.0, 250.0);
         cfg.hosts = 10;
         cfg.monitor_interval = 10.0;
@@ -879,9 +943,15 @@ mod tests {
             idx: std::cell::Cell::new(0),
             period: 30.0,
         };
+        let burst = |t: f64| ArrivalBatch {
+            time: SimTime::from_secs(t),
+            count: 10,
+            spread: 0.0,
+        };
+        let trace = vmprov_workloads::Trace::new(vec![burst(5.0), burst(120.0)]);
         let s = run_scenario(
             cfg,
-            poisson(0.2, 300.0),
+            Box::new(trace.replay()),
             ServiceModel::new(100.0, 0.0),
             Box::new(policy),
             Box::new(RoundRobin::new()),
@@ -891,7 +961,9 @@ mod tests {
         // revive path avoided fresh boots.
         assert_eq!(s.vms_created, 10, "revive must not boot new VMs: {s:?}");
         assert_eq!(s.max_instances, 10);
+        assert_eq!(s.min_instances, 10, "draining instances still exist");
         assert_eq!(s.rejected_requests, 0);
+        assert_eq!(s.accepted_requests, 20);
     }
 
     #[test]
@@ -915,9 +987,15 @@ mod tests {
             high_rate < 0.3 * low_rate,
             "high {high_rate} vs low {low_rate}"
         );
-        assert!(low_rate > 0.3, "low class must bear the overload: {low_rate}");
+        assert!(
+            low_rate > 0.3,
+            "low class must bear the overload: {low_rate}"
+        );
         // Overall accounting still consistent.
-        assert_eq!(s.offered_requests, s.accepted_requests + s.rejected_requests);
+        assert_eq!(
+            s.offered_requests,
+            s.accepted_requests + s.rejected_requests
+        );
     }
 
     #[test]

@@ -428,7 +428,10 @@ mod tests {
         // before the 30-min refresh.
         let now = t(100.0 * 60.0);
         let alert = a.next_alert(now);
-        assert!((alert.as_secs() - (2.0 * 3600.0 - 120.0)).abs() < 1.0, "{alert}");
+        assert!(
+            (alert.as_secs() - (2.0 * 3600.0 - 120.0)).abs() < 1.0,
+            "{alert}"
+        );
         // Mid-period (e.g. 21:00), the refresh grid wins.
         let now = t(21.0 * 3600.0);
         let alert = a.next_alert(now);

@@ -10,7 +10,7 @@
 use vmprov_queueing::{QueueMetrics, GG1K, MM1K};
 
 /// Which analytic queueing model predicts per-instance performance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnalyticBackend {
     /// Paper-verbatim: each instance is M/M/1/k fed by λ/m
     /// (Poisson-splitting assumption, exponential service).

@@ -19,7 +19,7 @@ use crate::backend::AnalyticBackend;
 use vmprov_queueing::{JacksonNetwork, NodeSpec, QueueError};
 
 /// One tier of a composite service.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TierSpec {
     /// Display name.
     pub name: String,
@@ -96,9 +96,7 @@ impl CompositePlanner {
         // Step 2: split the end-to-end budget by visit-weighted demand.
         let total_external: f64 = tiers.iter().map(|t| t.external_arrival_rate).sum();
         if total_external <= 0.0 {
-            return Err(QueueError::InvalidParameter(
-                "no external arrivals".into(),
-            ));
+            return Err(QueueError::InvalidParameter("no external arrivals".into()));
         }
         let weights: Vec<f64> = tiers
             .iter()
@@ -140,11 +138,14 @@ impl CompositePlanner {
             }
             let k = ((budget / tier.mean_service_time).floor() as u32).max(1);
             let ok = |m: u32| {
-                let q = self
-                    .backend
-                    .per_instance(lambda, m, tier.mean_service_time, tier.service_scv, k);
-                q.mean_response_time <= budget
-                    && q.blocking_probability <= self.rejection_tolerance
+                let q = self.backend.per_instance(
+                    lambda,
+                    m,
+                    tier.mean_service_time,
+                    tier.service_scv,
+                    k,
+                );
+                q.mean_response_time <= budget && q.blocking_probability <= self.rejection_tolerance
             };
             if !ok(self.max_per_tier) {
                 return Err(QueueError::InvalidParameter(format!(

@@ -137,7 +137,7 @@ impl Dispatcher for LeastOutstanding {
         let mut best: Option<(usize, u32)> = None;
         for i in 0..pool.len() {
             let v = pool.view(i);
-            if v.has_room() && best.map_or(true, |(_, b)| v.in_system < b) {
+            if v.has_room() && best.is_none_or(|(_, b)| v.in_system < b) {
                 best = Some((i, v.in_system));
                 if v.in_system == 0 {
                     break; // cannot do better than idle
@@ -204,9 +204,7 @@ mod tests {
     fn round_robin_cycles() {
         let mut rr = RoundRobin::new();
         let views = vec![view(0, 2, true); 3];
-        let picks: Vec<_> = (0..6)
-            .map(|_| rr.pick(&views, 0.0).unwrap())
-            .collect();
+        let picks: Vec<_> = (0..6).map(|_| rr.pick(&views, 0.0).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 

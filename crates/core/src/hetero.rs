@@ -12,7 +12,7 @@ use crate::backend::AnalyticBackend;
 use crate::qos::QosTargets;
 
 /// One VM class offered by the IaaS provider.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VmClass {
     /// Display name ("small", "xlarge", …).
     pub name: String,
@@ -136,7 +136,10 @@ impl HeteroPlanner {
         let lambda = inputs.expected_arrival_rate;
         let mut best: Option<Fleet> = None;
         let mut consider = |fleet: Fleet| {
-            if best.as_ref().map_or(true, |b| fleet.hourly_cost < b.hourly_cost) {
+            if best
+                .as_ref()
+                .is_none_or(|b| fleet.hourly_cost < b.hourly_cost)
+            {
                 best = Some(fleet);
             }
         };
@@ -161,7 +164,9 @@ impl HeteroPlanner {
                 }
                 // Sweeping more instances of `a` than it needs alone is
                 // pointless.
-                let a_alone = self.min_instances(a, lambda, inputs).unwrap_or(self.max_per_class);
+                let a_alone = self
+                    .min_instances(a, lambda, inputs)
+                    .unwrap_or(self.max_per_class);
                 for na in 1..a_alone.min(self.max_per_class) {
                     // Split load proportional to capacity: the dispatcher
                     // weights instances by their speed.

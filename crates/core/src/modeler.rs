@@ -21,7 +21,7 @@ use crate::qos::QosTargets;
 use vmprov_queueing::QueueMetrics;
 
 /// Tuning knobs of the modeler.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelerOptions {
     /// Analytic model used for per-instance predictions.
     pub backend: AnalyticBackend,
@@ -49,7 +49,7 @@ impl Default for ModelerOptions {
 }
 
 /// Monitored state fed into a sizing decision.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizingInputs {
     /// Predicted total arrival rate λ (requests/second) from the
     /// workload analyzer.

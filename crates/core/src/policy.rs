@@ -140,7 +140,6 @@ impl AdaptivePolicy {
     pub fn last_decision(&self) -> Option<&SizingDecision> {
         self.last_decision.as_ref()
     }
-
 }
 
 impl ProvisioningPolicy for AdaptivePolicy {

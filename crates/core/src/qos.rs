@@ -3,7 +3,7 @@
 /// The negotiated Quality-of-Service targets of an application (§III-B):
 /// response time, rejection rate, and the provider-side utilization floor
 /// that prevents over-provisioning.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosTargets {
     /// Maximum acceptable response time of a request, Ts (seconds).
     pub max_response_time: f64,

@@ -424,7 +424,11 @@ mod tests {
         let n = 100_000;
         let over = (0..n).filter(|_| d.sample(&mut rng) > 3.0).count();
         let p = over as f64 / n as f64;
-        assert!((p - d.survival(3.0)).abs() < 0.01, "{p} vs {}", d.survival(3.0));
+        assert!(
+            (p - d.survival(3.0)).abs() < 0.01,
+            "{p} vs {}",
+            d.survival(3.0)
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! assert_eq!(engine.now().as_secs(), 9.0);
 //! ```
 
-use crate::event::EventQueue;
+use crate::event::{EventHandle, EventQueue, FelBackend};
 use crate::time::SimTime;
 
 /// Model state driven by an [`Engine`].
@@ -52,33 +52,42 @@ pub struct Scheduler<'a, E> {
 }
 
 impl<'a, E> Scheduler<'a, E> {
-    /// Schedules `event` at absolute time `time`.
+    /// Schedules `event` at absolute time `time`, returning a handle
+    /// that can later [`cancel`](Self::cancel) it.
     ///
     /// # Panics
     /// Panics if `time` is earlier than the current clock (causality).
     #[inline]
-    pub fn at(&mut self, time: SimTime, event: E) {
+    pub fn at(&mut self, time: SimTime, event: E) -> EventHandle {
         assert!(
             time >= self.now,
             "cannot schedule into the past: now={}, requested={}",
             self.now,
             time
         );
-        self.queue.schedule(time, event);
+        self.queue.schedule(time, event)
     }
 
     /// Schedules `event` after a relative delay of `delay` seconds.
     #[inline]
-    pub fn after(&mut self, delay: f64, event: E) {
+    pub fn after(&mut self, delay: f64, event: E) -> EventHandle {
         debug_assert!(delay >= 0.0, "negative delay {delay}");
-        self.queue.schedule(self.now + delay, event);
+        self.queue.schedule(self.now + delay, event)
     }
 
     /// Schedules `event` at the current instant (it will fire after all
     /// other events already scheduled for this instant).
     #[inline]
-    pub fn now(&mut self, event: E) {
-        self.queue.schedule(self.now, event);
+    pub fn now(&mut self, event: E) -> EventHandle {
+        self.queue.schedule(self.now, event)
+    }
+
+    /// Cancels a pending event scheduled earlier. Returns whether an
+    /// entry was withdrawn; see [`EventQueue::cancel`] for the handle
+    /// liveness contract.
+    #[inline]
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// The current simulation time.
@@ -103,20 +112,36 @@ pub struct Engine<W: World> {
 }
 
 impl<W: World> Engine<W> {
-    /// Creates an engine at time zero around `world`.
+    /// Creates an engine at time zero around `world`, using the default
+    /// (calendar) future-event list.
     pub fn new(world: W) -> Self {
+        Self::with_backend(world, FelBackend::default())
+    }
+
+    /// Creates an engine whose future-event list runs on `backend`.
+    pub fn with_backend(world: W, backend: FelBackend) -> Self {
         Engine {
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             now: SimTime::ZERO,
             world,
             steps: 0,
         }
     }
 
+    /// Which future-event-list backend this engine runs on.
+    pub fn fel_backend(&self) -> FelBackend {
+        self.queue.backend()
+    }
+
     /// Schedules an event from outside a handler (e.g. initial events).
-    pub fn schedule(&mut self, time: SimTime, event: W::Event) {
+    pub fn schedule(&mut self, time: SimTime, event: W::Event) -> EventHandle {
         assert!(time >= self.now, "cannot schedule into the past");
-        self.queue.schedule(time, event);
+        self.queue.schedule(time, event)
+    }
+
+    /// Cancels a pending event from outside a handler.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// Current simulation clock.
@@ -276,6 +301,48 @@ mod tests {
         let n = eng.run_until(SimTime::from_secs(100.0));
         assert_eq!(n, 2); // 8, 9
         assert_eq!(eng.now().as_secs(), 100.0);
+    }
+
+    #[test]
+    fn handlers_can_cancel_pending_events() {
+        /// Schedules a timer, then cancels it from a later handler.
+        struct Canceller {
+            timer: Option<crate::EventHandle>,
+            timer_fired: bool,
+        }
+        enum CEv {
+            Arm,
+            Timer,
+            Disarm,
+        }
+        impl World for Canceller {
+            type Event = CEv;
+            fn handle(&mut self, _now: SimTime, ev: CEv, sched: &mut Scheduler<'_, CEv>) {
+                match ev {
+                    CEv::Arm => self.timer = Some(sched.after(10.0, CEv::Timer)),
+                    CEv::Timer => self.timer_fired = true,
+                    CEv::Disarm => {
+                        let h = self.timer.take().expect("armed");
+                        assert!(sched.cancel(h));
+                    }
+                }
+            }
+        }
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let mut eng = Engine::with_backend(
+                Canceller {
+                    timer: None,
+                    timer_fired: false,
+                },
+                backend,
+            );
+            assert_eq!(eng.fel_backend(), backend);
+            eng.schedule(SimTime::ZERO, CEv::Arm);
+            eng.schedule(SimTime::from_secs(5.0), CEv::Disarm);
+            eng.run();
+            assert!(!eng.world().timer_fired, "{backend:?}");
+            assert_eq!(eng.now().as_secs(), 5.0, "cancelled timer moved the clock");
+        }
     }
 
     #[test]

@@ -1,46 +1,460 @@
-//! Pending-event set.
+//! Pending-event set (future-event list).
 //!
-//! [`EventQueue`] is a future-event list keyed by [`SimTime`]. Events with
-//! equal timestamps are delivered in insertion (FIFO) order, which keeps
-//! simulations deterministic regardless of heap internals.
+//! [`EventQueue`] is a future-event list keyed by [`SimTime`]. Events
+//! with equal timestamps are delivered in insertion (FIFO) order, which
+//! keeps simulations deterministic regardless of the backing structure.
+//!
+//! Two interchangeable backends implement the set ([`FelBackend`]):
+//!
+//! * **Calendar queue** (default) — Brown's bucketed priority queue
+//!   ("Calendar Queues: A Fast O(1) Priority Queue Implementation for
+//!   the Simulation Event Set Problem", CACM 1988) with an
+//!   auto-resizing bucket count and width. Amortized O(1) schedule and
+//!   pop, which is what the day-long trace replays of Figs. 5–8 spend
+//!   their time on.
+//! * **Binary heap** — the previous `BinaryHeap` implementation, kept
+//!   as the reference backend; the A/B determinism tests assert both
+//!   produce bit-identical simulations.
+//!
+//! [`EventQueue::schedule`] returns an [`EventHandle`] that can later be
+//! passed to [`EventQueue::cancel`], so models can withdraw timers
+//! (boot deadlines, failure clocks) outright instead of filtering
+//! tombstones at dispatch time.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
-struct Entry<E> {
+/// Identifies one scheduled (and not yet delivered) event.
+///
+/// Handles are cheap to copy and carry the event's timestamp so the
+/// calendar backend can locate the entry without a search. A handle is
+/// *live* from [`EventQueue::schedule`] until the event is popped or
+/// cancelled; cancelling a handle that is no longer live returns
+/// `false` on the calendar backend and is a caller contract violation
+/// on the heap backend (see [`EventQueue::cancel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    id: u64,
     time: SimTime,
-    seq: u64,
+}
+
+impl EventHandle {
+    /// The scheduled firing time of the event this handle refers to.
+    #[inline]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+}
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FelBackend {
+    /// Auto-resizing calendar queue (amortized O(1)).
+    #[default]
+    Calendar,
+    /// Binary heap (O(log n)); the reference implementation.
+    BinaryHeap,
+}
+
+// ---------------------------------------------------------------------
+// Binary-heap backend
+// ---------------------------------------------------------------------
+
+struct HeapEntry<E> {
+    time: SimTime,
+    id: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E> PartialEq for HeapEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.id == other.id
     }
 }
-impl<E> Eq for Entry<E> {}
+impl<E> Eq for HeapEntry<E> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E> PartialOrd for HeapEntry<E> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E> Ord for HeapEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        // BinaryHeap is a max-heap; invert so the earliest (time, id)
+        // pops first.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.id.cmp(&self.id))
     }
 }
 
-/// A future-event list with deterministic FIFO tie-breaking.
+/// Heap backend: O(log n) schedule/pop, *lazy* cancellation (cancelled
+/// ids are skipped when they surface at the top of the heap).
+struct HeapFel<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: HashSet<u64>,
+}
+
+impl<E> HeapFel<E> {
+    fn with_capacity(cap: usize) -> Self {
+        HeapFel {
+            heap: BinaryHeap::with_capacity(cap),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, time: SimTime, id: u64, event: E) {
+        self.heap.push(HeapEntry { time, id, event });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(e) = self.heap.pop() {
+            if self.cancelled.is_empty() || !self.cancelled.remove(&e.id) {
+                return Some((e.time, e.event));
+            }
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(e) = self.heap.peek() {
+            if self.cancelled.is_empty() || !self.cancelled.contains(&e.id) {
+                return Some(e.time);
+            }
+            let e = self.heap.pop().expect("peeked");
+            self.cancelled.remove(&e.id);
+        }
+        None
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        // Lazy: the entry stays in the heap until it surfaces. We cannot
+        // tell a live handle from an already-fired one here, which is
+        // why `EventQueue::cancel` documents the liveness contract.
+        self.cancelled.insert(handle.id)
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.cancelled.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calendar-queue backend
+// ---------------------------------------------------------------------
+
+struct CalEntry<E> {
+    time: f64,
+    id: u64,
+    event: E,
+}
+
+/// Cached location of the earliest entry (filled by `peek_time`, reused
+/// by the next `pop` so `run_until` does not scan twice per step).
+#[derive(Clone, Copy)]
+struct PeekCache {
+    bucket: usize,
+    index: usize,
+    time: f64,
+    window: u64,
+}
+
+/// Brown's calendar queue with power-of-two bucket counts.
+///
+/// Time is divided into windows of `width` seconds; window `k` (an
+/// absolute `u64` index) maps to bucket `k % nbuckets`. The cursor
+/// walks windows in order; a pop scans the cursor's bucket for the
+/// minimum `(time, id)` entry belonging to the current window and
+/// advances the cursor across empty windows. If a whole lap (one full
+/// wrap of the buckets) finds nothing, the minimum seen during the lap
+/// is taken directly — the "long jump" across sparse stretches.
+///
+/// Window membership is decided by the integer window index
+/// `(time * inv_width) as u64`, never by comparing against a
+/// floating-point window boundary, so bucketing and the pop scan can
+/// never disagree about which window an entry belongs to.
+struct Calendar<E> {
+    buckets: Vec<Vec<CalEntry<E>>>,
+    mask: usize,
+    width: f64,
+    inv_width: f64,
+    len: usize,
+    /// Absolute window index the cursor is currently scanning.
+    window: u64,
+    /// Lower bound on every pending time (the last popped time).
+    floor: f64,
+    peek: Option<PeekCache>,
+    /// Consecutive pops resolved by the long-jump fallback; a streak
+    /// means the width no longer matches the event spacing.
+    famine_streak: u32,
+    /// Bucket entries scanned by pops since the last width
+    /// re-estimate. A crowd-triggered resize must be paid for by at
+    /// least `len + buckets` of scan work, so rebuilds cost a constant
+    /// factor of the scanning they eliminate — overfull buckets force
+    /// a re-estimate within ~`len / m` pops, while a distribution the
+    /// estimator cannot spread (e.g. thousands of identical
+    /// timestamps) never rebuilds faster than it scans.
+    scan_debt: usize,
+}
+
+const MIN_BUCKETS: usize = 16;
+/// Target mean entries per bucket after a resize (Brown recommends
+/// keeping buckets a small constant full).
+const WIDTH_GAP_FACTOR: f64 = 3.0;
+/// A pop that leaves this many entries in the scanned bucket signals a
+/// width far too coarse for the local event spacing (the grow rule keeps
+/// the *mean* occupancy at ≤ 2): time to re-estimate. Seen in hold-model
+/// churn, where the pending set contracts from its prefill span into a
+/// few mean-increments without the length ever changing.
+const CROWDED_BUCKET: usize = 32;
+
+impl<E> Calendar<E> {
+    fn with_capacity(cap: usize) -> Self {
+        let n = (cap / 2).next_power_of_two().max(MIN_BUCKETS);
+        Calendar {
+            buckets: (0..n).map(|_| Vec::new()).collect(),
+            mask: n - 1,
+            width: 1.0,
+            inv_width: 1.0,
+            len: 0,
+            window: 0,
+            floor: 0.0,
+            peek: None,
+            famine_streak: 0,
+            scan_debt: 0,
+        }
+    }
+
+    #[inline]
+    fn window_of(&self, t: f64) -> u64 {
+        (t * self.inv_width) as u64
+    }
+
+    #[inline]
+    fn schedule(&mut self, time: SimTime, id: u64, event: E) {
+        let t = time.as_secs();
+        let w = self.window_of(t);
+        // An entry landing behind the cursor (possible only through
+        // schedules at the current instant after the cursor advanced
+        // over empty windows) pulls the cursor back so the scan cannot
+        // miss it.
+        if w < self.window {
+            self.window = w;
+        }
+        if let Some(p) = self.peek {
+            if t < p.time {
+                self.peek = None;
+            }
+        }
+        let b = (w as usize) & self.mask;
+        self.buckets[b].push(CalEntry { time: t, id, event });
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// Finds the earliest live entry without removing it, advancing the
+    /// persistent cursor over empty windows on the way.
+    fn locate_min(&mut self) -> Option<PeekCache> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(p) = self.peek {
+            return Some(p);
+        }
+        let n = self.buckets.len();
+        // Track the global minimum for the long-jump fallback.
+        let mut global: Option<PeekCache> = None;
+        for (lap, window) in (self.window..).take(n).enumerate() {
+            let b = (window as usize) & self.mask;
+            let mut local: Option<PeekCache> = None;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                let ew = self.window_of(e.time);
+                debug_assert!(ew >= window || lap > 0, "stranded entry behind cursor");
+                let cand = PeekCache {
+                    bucket: b,
+                    index: i,
+                    time: e.time,
+                    window: ew,
+                };
+                if ew <= window
+                    && local.is_none_or(|m| {
+                        (e.time, e.id) < (m.time, self.buckets[m.bucket][m.index].id)
+                    })
+                {
+                    local = Some(cand);
+                }
+                if global
+                    .is_none_or(|m| (e.time, e.id) < (m.time, self.buckets[m.bucket][m.index].id))
+                {
+                    global = Some(cand);
+                }
+            }
+            if let Some(found) = local {
+                self.window = window;
+                self.famine_streak = 0;
+                self.peek = Some(found);
+                return Some(found);
+            }
+        }
+        // One full lap was empty: long-jump to the global minimum.
+        let found = global.expect("len > 0 but no entries in any bucket");
+        self.window = found.window;
+        self.famine_streak += 1;
+        self.peek = Some(found);
+        Some(found)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let p = self.locate_min()?;
+        self.peek = None;
+        let entry = self.buckets[p.bucket].swap_remove(p.index);
+        self.len -= 1;
+        self.scan_debt += self.buckets[p.bucket].len() + 1;
+        self.window = p.window;
+        self.floor = entry.time;
+        let n = self.buckets.len();
+        if self.famine_streak > 8 {
+            // The spacing estimate went stale (e.g. a burst drained and
+            // left sparse long-range timers): re-derive the width.
+            self.famine_streak = 0;
+            self.resize(n);
+        } else if self.buckets[p.bucket].len() >= CROWDED_BUCKET && self.scan_debt >= self.len + n {
+            // The opposite failure: the width is far too coarse, so the
+            // whole pending set crowds into a few windows and every pop
+            // scans one overfull bucket. Re-estimate (paid for by the
+            // scans since the last rebuild).
+            self.resize(n);
+        } else if n > MIN_BUCKETS && self.len < n / 2 {
+            self.resize(n / 2);
+        }
+        Some((SimTime::from_secs(entry.time), entry.event))
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.locate_min().map(|p| SimTime::from_secs(p.time))
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        let b = (self.window_of(handle.time.as_secs()) as usize) & self.mask;
+        match self.buckets[b].iter().position(|e| e.id == handle.id) {
+            Some(i) => {
+                self.buckets[b].swap_remove(i);
+                self.len -= 1;
+                self.peek = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds with `n` buckets and a bucket width re-estimated from
+    /// the current entries' spacing.
+    fn resize(&mut self, n: usize) {
+        let entries: Vec<CalEntry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        self.width = estimate_width(&entries, self.floor).unwrap_or(self.width);
+        self.inv_width = 1.0 / self.width;
+        if self.buckets.len() != n {
+            self.buckets = (0..n).map(|_| Vec::new()).collect();
+            self.mask = n - 1;
+        }
+        self.window = self.window_of(self.floor);
+        self.peek = None;
+        self.scan_debt = 0;
+        for e in entries {
+            let b = (self.window_of(e.time) as usize) & self.mask;
+            self.buckets[b].push(e);
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.len = 0;
+        self.window = 0;
+        self.floor = 0.0;
+        self.peek = None;
+        self.famine_streak = 0;
+        self.scan_debt = 0;
+    }
+}
+
+/// Estimates a bucket width targeting [`WIDTH_GAP_FACTOR`] entries per
+/// window, from the typical spacing at the *head* (earliest times) of
+/// the pending set — the events the cursor will meet next. A global
+/// estimate fails on bimodal sets: a handful of far-future timers
+/// (failure clocks, horizon markers) would stretch the width until the
+/// dense near-term cluster shares one bucket, and a dense head cluster
+/// would equally hide behind a long sparse tail.
+fn estimate_width<E>(entries: &[CalEntry<E>], floor: f64) -> Option<f64> {
+    if entries.len() < 2 {
+        return None;
+    }
+    // The width must match the spacing of the events about to be
+    // dequeued (Brown's rule), so sample the true head: the smallest
+    // `MAX_SAMPLE + 1` times, selected in O(len). A strided global
+    // sample misses a dense head cluster entirely once the stride
+    // exceeds the cluster size.
+    const MAX_SAMPLE: usize = 256;
+    let finite = |a: &f64, b: &f64| a.partial_cmp(b).expect("times are finite");
+    let mut times: Vec<f64> = entries.iter().map(|e| e.time).collect();
+    let last = (times.len() - 1).min(MAX_SAMPLE);
+    times.select_nth_unstable_by(last, finite);
+    let sample = &mut times[..=last];
+    sample.sort_by(finite);
+    // Scan cost is set by the *densest* region at the head, so take
+    // the minimum per-entry gap over geometric head prefixes: a short
+    // prefix inside a dense cluster sees the cluster's true spacing
+    // even when a longer span would be diluted by a sparser tail.
+    // Prefixes start at 4 gaps so one coincidentally-close pair cannot
+    // collapse the width.
+    let mut gap = f64::INFINITY;
+    let mut k = 4.min(last);
+    loop {
+        let span = sample[k] - sample[0];
+        if span > 0.0 {
+            gap = gap.min(span / k as f64);
+        }
+        if k == last {
+            break;
+        }
+        k = (k * 2).min(last);
+    }
+    if !gap.is_finite() {
+        // The whole head is one burst of identical timestamps: no
+        // width can spread it, so keep the current one.
+        return None;
+    }
+    let width = WIDTH_GAP_FACTOR * gap;
+    // Keep the width positive and large enough that absolute window
+    // indices fit comfortably in u64 even at the end of a long run.
+    let hi = sample[last];
+    let min_width = (floor.abs().max(hi.abs()) * 1e-12).max(1e-9);
+    Some(width.max(min_width))
+}
+
+// ---------------------------------------------------------------------
+// Public queue
+// ---------------------------------------------------------------------
+
+enum Fel<E> {
+    Heap(HeapFel<E>),
+    Calendar(Calendar<E>),
+}
+
+/// A future-event list with deterministic FIFO tie-breaking and event
+/// cancellation.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    fel: Fel<E>,
+    next_id: u64,
+    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -50,57 +464,124 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (calendar) backend.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-        }
+        Self::with_capacity_and_backend(0, FelBackend::default())
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty queue on the given backend.
+    pub fn with_backend(backend: FelBackend) -> Self {
+        Self::with_capacity_and_backend(0, backend)
+    }
+
+    /// Creates an empty queue with pre-allocated capacity (default
+    /// backend).
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_backend(cap, FelBackend::default())
+    }
+
+    /// Creates an empty queue with pre-allocated capacity on the given
+    /// backend.
+    pub fn with_capacity_and_backend(cap: usize, backend: FelBackend) -> Self {
+        let fel = match backend {
+            FelBackend::BinaryHeap => Fel::Heap(HeapFel::with_capacity(cap)),
+            FelBackend::Calendar => Fel::Calendar(Calendar::with_capacity(cap)),
+        };
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
+            fel,
+            next_id: 0,
+            live: 0,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `time`.
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> FelBackend {
+        match self.fel {
+            Fel::Heap(_) => FelBackend::BinaryHeap,
+            Fel::Calendar(_) => FelBackend::Calendar,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`; the returned
+    /// handle can cancel it while it is still pending.
     #[inline]
-    pub fn schedule(&mut self, time: SimTime, event: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        match &mut self.fel {
+            Fel::Heap(h) => h.schedule(time, id, event),
+            Fel::Calendar(c) => c.schedule(time, id, event),
+        }
+        self.live += 1;
+        EventHandle { id, time }
+    }
+
+    /// Cancels a pending event. Returns whether the backend withdrew an
+    /// entry.
+    ///
+    /// The handle must be *live* (scheduled and neither popped nor
+    /// cancelled). The calendar backend verifies this and returns
+    /// `false` for a dead handle; the heap backend cancels lazily and
+    /// cannot distinguish a dead handle, so cancelling one corrupts its
+    /// pending count — callers must track liveness (as the cloud model
+    /// does by storing handles in `Option`s).
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        debug_assert!(handle.id < self.next_id, "foreign handle");
+        let removed = match &mut self.fel {
+            Fel::Heap(h) => h.cancel(handle),
+            Fel::Calendar(c) => c.cancel(handle),
+        };
+        if removed {
+            self.live -= 1;
+        }
+        removed
     }
 
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let popped = match &mut self.fel {
+            Fel::Heap(h) => h.pop(),
+            Fel::Calendar(c) => c.pop(),
+        };
+        if popped.is_some() {
+            self.live -= 1;
+        }
+        popped
     }
 
     /// Timestamp of the earliest pending event.
+    ///
+    /// Takes `&mut self` because both backends tidy internal state while
+    /// peeking (the heap drops surfaced cancelled entries; the calendar
+    /// advances its cursor and caches the found entry for the next pop).
     #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.fel {
+            Fel::Heap(h) => h.peek_time(),
+            Fel::Calendar(c) => c.peek_time(),
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 
     /// Drops every pending event.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.fel {
+            Fel::Heap(h) => h.clear(),
+            Fel::Calendar(c) => c.clear(),
+        }
+        self.live = 0;
     }
 }
 
@@ -112,48 +593,190 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    const BACKENDS: [FelBackend; 2] = [FelBackend::Calendar, FelBackend::BinaryHeap];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(3.0), "c");
-        q.schedule(t(1.0), "a");
-        q.schedule(t(2.0), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(t(3.0), "c");
+            q.schedule(t(1.0), "a");
+            q.schedule(t(2.0), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"], "{backend:?}");
+        }
     }
 
     #[test]
     fn equal_times_are_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(t(5.0), i);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..100 {
+                q.schedule(t(5.0), i);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{backend:?}");
         }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(t(10.0), 10);
-        q.schedule(t(1.0), 1);
-        assert_eq!(q.pop(), Some((t(1.0), 1)));
-        q.schedule(t(5.0), 5);
-        assert_eq!(q.peek_time(), Some(t(5.0)));
-        assert_eq!(q.pop(), Some((t(5.0), 5)));
-        assert_eq!(q.pop(), Some((t(10.0), 10)));
-        assert!(q.is_empty());
-        assert_eq!(q.pop(), None);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(t(10.0), 10);
+            q.schedule(t(1.0), 1);
+            assert_eq!(q.pop(), Some((t(1.0), 1)));
+            q.schedule(t(5.0), 5);
+            assert_eq!(q.peek_time(), Some(t(5.0)));
+            assert_eq!(q.pop(), Some((t(5.0), 5)));
+            assert_eq!(q.pop(), Some((t(10.0), 10)));
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn len_and_clear() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(t(1.0), ());
-        q.schedule(t(2.0), ());
-        assert_eq!(q.len(), 2);
-        q.clear();
-        assert!(q.is_empty());
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert!(q.is_empty());
+            q.schedule(t(1.0), ());
+            q.schedule(t(2.0), ());
+            assert_eq!(q.len(), 2);
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn cancel_withdraws_an_event() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.schedule(t(1.0), "keep-1");
+            let h = q.schedule(t(2.0), "drop");
+            q.schedule(t(3.0), "keep-3");
+            assert_eq!(h.time(), t(2.0));
+            assert!(q.cancel(h));
+            assert_eq!(q.len(), 2);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["keep-1", "keep-3"], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_everything_leaves_an_empty_queue() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let handles: Vec<_> = (0..50).map(|i| q.schedule(t(i as f64), i)).collect();
+            for h in handles {
+                assert!(q.cancel(h));
+            }
+            assert!(q.is_empty());
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn calendar_detects_dead_handles() {
+        let mut q = EventQueue::with_backend(FelBackend::Calendar);
+        let h = q.schedule(t(1.0), ());
+        assert_eq!(q.pop(), Some((t(1.0), ())));
+        assert!(!q.cancel(h), "popped handle must not cancel");
+        let h2 = q.schedule(t(2.0), ());
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2), "double cancel must fail");
+    }
+
+    #[test]
+    fn peek_after_cancel_skips_the_cancelled_head() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let h = q.schedule(t(1.0), "head");
+            q.schedule(t(2.0), "next");
+            q.cancel(h);
+            assert_eq!(q.peek_time(), Some(t(2.0)), "{backend:?}");
+            assert_eq!(q.pop(), Some((t(2.0), "next")));
+        }
+    }
+
+    #[test]
+    fn calendar_survives_resize_cycles() {
+        let mut q = EventQueue::with_backend(FelBackend::Calendar);
+        // Grow far past the initial 16 buckets, then drain to shrink.
+        let n = 10_000;
+        for i in 0..n {
+            q.schedule(t((i % 97) as f64 * 0.5 + (i / 97) as f64 * 60.0), i);
+        }
+        assert_eq!(q.len(), n as usize);
+        let mut last = t(-1.0);
+        let mut count = 0;
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last, "out of order: {time} after {last}");
+            last = time;
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn calendar_handles_sparse_far_future_events() {
+        let mut q = EventQueue::with_backend(FelBackend::Calendar);
+        // Dense burst now + sparse timers 10⁶ seconds out.
+        for i in 0..1000 {
+            q.schedule(t(i as f64 * 0.001), i);
+        }
+        for i in 0..10 {
+            q.schedule(t(1.0e6 + i as f64 * 1.0e4), 10_000 + i);
+        }
+        let mut last = t(-1.0);
+        while let Some((time, _)) = q.pop() {
+            assert!(time >= last);
+            last = time;
+        }
+        assert_eq!(last, t(1.0e6 + 9.0e4));
+    }
+
+    #[test]
+    fn backends_agree_under_interleaving() {
+        let mut heap = EventQueue::with_backend(FelBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(FelBackend::Calendar);
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut clock = 0.0;
+        let mut log = Vec::new();
+        for i in 0..5_000_u64 {
+            match next() % 4 {
+                0 | 1 => {
+                    let dt = (next() % 1000) as f64 / 250.0;
+                    heap.schedule(t(clock + dt), i);
+                    cal.schedule(t(clock + dt), i);
+                }
+                2 => {
+                    let a = heap.pop();
+                    assert_eq!(a, cal.pop());
+                    if let Some((time, ev)) = a {
+                        clock = time.as_secs();
+                        log.push((time, ev));
+                    }
+                }
+                _ => {
+                    assert_eq!(heap.peek_time(), cal.peek_time());
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop());
+            match a {
+                Some(e) => log.push(e),
+                None => break,
+            }
+        }
+        assert!(log.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

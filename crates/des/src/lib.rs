@@ -76,6 +76,6 @@ pub mod stats;
 mod time;
 
 pub use engine::{Engine, Scheduler, World};
-pub use event::EventQueue;
+pub use event::{EventHandle, EventQueue, FelBackend};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimTime, DAY, HOUR, MINUTE, WEEK};

@@ -7,9 +7,6 @@
 //! independent [`SimRng`] streams from a master seed and a stream label
 //! using a SplitMix64 mixer.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// SplitMix64 step: a high-quality 64-bit mixer used to derive stream
 /// seeds. See Steele, Lea & Flood, "Fast Splittable Pseudorandom Number
 /// Generators" (OOPSLA 2014).
@@ -65,52 +62,63 @@ impl RngFactory {
             .master_seed
             .wrapping_add(hash_label(label))
             .wrapping_add(index.wrapping_mul(0xA076_1D64_78BD_642F));
-        // Two mixing rounds to build the 128-bit SmallRng seed material.
-        let a = splitmix64(&mut state);
-        let b = splitmix64(&mut state);
-        SimRng::from_parts(a, b)
+        // Four mixing rounds to build the 256-bit xoshiro state.
+        SimRng::from_state([
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ])
     }
 }
 
 /// A single deterministic random stream.
 ///
-/// Wraps a non-cryptographic PRNG (`SmallRng`) behind a stable interface
-/// so the generator can be swapped without touching call sites.
+/// An in-repo xoshiro256++ generator (Blackman & Vigna, "Scrambled
+/// linear pseudorandom number generators", 2018) behind a stable
+/// interface so the algorithm can be swapped without touching call
+/// sites. Self-contained on purpose: the workspace must build without
+/// registry access, so it cannot lean on the `rand` crate.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream directly from a 64-bit seed (prefer
     /// [`RngFactory`] for labelled streams).
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut state = seed;
+        SimRng::from_state([
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ])
     }
 
-    fn from_parts(a: u64, b: u64) -> Self {
-        let mut seed = [0u8; 32];
-        seed[..8].copy_from_slice(&a.to_le_bytes());
-        seed[8..16].copy_from_slice(&b.to_le_bytes());
-        seed[16..24].copy_from_slice(&a.rotate_left(17).to_le_bytes());
-        seed[24..].copy_from_slice(&b.rotate_left(31).to_le_bytes());
-        SimRng {
-            inner: SmallRng::from_seed(seed),
+    fn from_state(s: [u64; 4]) -> Self {
+        // The all-zero state is the one fixed point of the linear
+        // engine; SplitMix64 output makes it astronomically unlikely,
+        // but guard anyway.
+        if s == [0; 4] {
+            SimRng { s: [1, 2, 3, 4] }
+        } else {
+            SimRng { s }
         }
     }
 
     /// Uniform draw in `[0, 1)`.
     #[inline]
     pub fn uniform01(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-rational mapping.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `(0, 1]` — safe as input to `ln`.
     #[inline]
     pub fn uniform01_open_left(&mut self) -> f64 {
-        1.0 - self.inner.gen::<f64>()
+        1.0 - self.uniform01()
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -120,16 +128,39 @@ impl SimRng {
         lo + (hi - lo) * self.uniform01()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift with
+    /// rejection, so the draw is exactly uniform).
     #[inline]
     pub fn below(&mut self, n: usize) -> usize {
-        self.inner.gen_range(0..n)
+        debug_assert!(n > 0);
+        let n = n as u64;
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                m = u128::from(self.next_u64()) * u128::from(n);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as usize
     }
 
-    /// Raw 64-bit draw.
+    /// Raw 64-bit draw (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 }
 

@@ -7,7 +7,9 @@
 /// distribution moments and Erlang/Poisson terms.
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
-    // Coefficients from Numerical Recipes (Lanczos, g = 7).
+    // Coefficients from Numerical Recipes (Lanczos, g = 7), kept at
+    // the reference precision.
+    #[allow(clippy::excessive_precision)]
     const COEFFS: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

@@ -119,10 +119,7 @@ impl BatchMeans {
         if var <= 1e-300 {
             return Some(0.0);
         }
-        let cov: f64 = means
-            .windows(2)
-            .map(|w| (w[0] - m) * (w[1] - m))
-            .sum();
+        let cov: f64 = means.windows(2).map(|w| (w[0] - m) * (w[1] - m)).sum();
         Some(cov / var)
     }
 }
@@ -139,7 +136,11 @@ mod tests {
         let mut bm = BatchMeans::new();
         let mut rng = RngFactory::new(1).stream("warm");
         for i in 0..2_000 {
-            let base = if i < 200 { 10.0 - i as f64 * 0.045 } else { 1.0 };
+            let base = if i < 200 {
+                10.0 - i as f64 * 0.045
+            } else {
+                1.0
+            };
             bm.push(base + 0.1 * (rng.uniform01() - 0.5));
         }
         let d = bm.mser_warmup();

@@ -49,7 +49,7 @@ fn critical(level: Level, df: u64) -> f64 {
 }
 
 /// A `mean ± half_width` interval.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Point estimate.
     pub mean: f64,

@@ -114,7 +114,10 @@ impl LogHistogram {
     /// Panics if the layouts differ.
     pub fn merge(&mut self, other: &LogHistogram) {
         assert_eq!(self.counts.len(), other.counts.len(), "layout mismatch");
-        assert!((self.log_min - other.log_min).abs() < 1e-12, "layout mismatch");
+        assert!(
+            (self.log_min - other.log_min).abs() < 1e-12,
+            "layout mismatch"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

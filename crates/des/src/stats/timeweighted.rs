@@ -118,7 +118,7 @@ mod tests {
         let mut tw = TimeWeighted::new(t(0.0), 0.0);
         tw.add(t(1.0), 3.0); // 0 for 1 s
         tw.add(t(3.0), -1.0); // 3 for 2 s
-        // now 2 for 2 s → integral = 0 + 6 + 4 = 10
+                              // now 2 for 2 s → integral = 0 + 6 + 4 = 10
         assert!((tw.integral(t(5.0)) - 10.0).abs() < 1e-12);
         assert!((tw.average(t(5.0)) - 2.0).abs() < 1e-12);
     }

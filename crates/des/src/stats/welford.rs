@@ -6,7 +6,7 @@
 
 /// Numerically stable streaming estimator of count, mean, variance,
 /// min and max.
-#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,

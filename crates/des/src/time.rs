@@ -9,8 +9,7 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Sub};
 
 /// Absolute simulation time in seconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(f64);
 
 /// Number of seconds in one minute.

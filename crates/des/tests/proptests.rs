@@ -1,102 +1,109 @@
 //! Property-based tests of the simulation kernel.
 
-use proptest::prelude::*;
+use vmprov_check::{cases, Gen};
 use vmprov_des::dist::{Clamped, Distribution, Exponential, Normal, Pareto, Uniform, Weibull};
 use vmprov_des::special::{gamma, ln_binomial, ln_factorial, ln_gamma};
 use vmprov_des::stats::{LogHistogram, OnlineStats, TimeWeighted};
-use vmprov_des::{EventQueue, RngFactory, SimTime};
+use vmprov_des::{EventQueue, FelBackend, RngFactory, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn samples_stay_in_support(
-        seed in any::<u64>(),
-        rate in 0.01f64..100.0,
-        shape in 0.2f64..8.0,
-        scale in 0.01f64..100.0,
-        lo in -50.0f64..50.0,
-        width in 0.0f64..100.0,
-    ) {
+#[test]
+fn samples_stay_in_support() {
+    cases(96, |g: &mut Gen| {
+        let seed = g.u64();
+        let rate = g.f64_in(0.01..100.0);
+        let shape = g.f64_in(0.2..8.0);
+        let scale = g.f64_in(0.01..100.0);
+        let lo = g.f64_in(-50.0..50.0);
+        let width = g.f64_in(0.0..100.0);
         let mut rng = RngFactory::new(seed).stream("support");
         for _ in 0..50 {
-            prop_assert!(Exponential::new(rate).sample(&mut rng) >= 0.0);
-            prop_assert!(Weibull::new(shape, scale).sample(&mut rng) >= 0.0);
-            prop_assert!(Pareto::new(scale, shape).sample(&mut rng) >= scale);
+            assert!(Exponential::new(rate).sample(&mut rng) >= 0.0);
+            assert!(Weibull::new(shape, scale).sample(&mut rng) >= 0.0);
+            assert!(Pareto::new(scale, shape).sample(&mut rng) >= scale);
             let u = Uniform::new(lo, lo + width).sample(&mut rng);
-            prop_assert!(u >= lo && u <= lo + width);
+            assert!(u >= lo && u <= lo + width);
         }
-    }
+    });
+}
 
-    #[test]
-    fn weibull_cdf_survival_complement(
-        shape in 0.2f64..8.0,
-        scale in 0.01f64..100.0,
-        x in 0.0f64..500.0,
-    ) {
+#[test]
+fn weibull_cdf_survival_complement() {
+    cases(96, |g: &mut Gen| {
+        let shape = g.f64_in(0.2..8.0);
+        let scale = g.f64_in(0.01..100.0);
+        let x = g.f64_in(0.0..500.0);
         let d = Weibull::new(shape, scale);
-        prop_assert!((d.cdf(x) + d.survival(x) - 1.0).abs() < 1e-12);
-        prop_assert!(d.survival(x) >= 0.0 && d.survival(x) <= 1.0);
+        assert!((d.cdf(x) + d.survival(x) - 1.0).abs() < 1e-12);
+        assert!(d.survival(x) >= 0.0 && d.survival(x) <= 1.0);
         // Survival is non-increasing.
-        prop_assert!(d.survival(x) >= d.survival(x + 1.0) - 1e-12);
-    }
+        assert!(d.survival(x) >= d.survival(x + 1.0) - 1e-12);
+    });
+}
 
-    #[test]
-    fn clamped_always_in_bounds(
-        seed in any::<u64>(),
-        mu in -100.0f64..100.0,
-        sigma in 0.0f64..50.0,
-        lo in -10.0f64..0.0,
-        hi in 0.0f64..10.0,
-    ) {
+#[test]
+fn clamped_always_in_bounds() {
+    cases(96, |g: &mut Gen| {
+        let seed = g.u64();
+        let mu = g.f64_in(-100.0..100.0);
+        let sigma = g.f64_in(0.0..50.0);
+        let lo = g.f64_in(-10.0..0.0);
+        let hi = g.f64_in(0.0..10.0);
         let d = Clamped::new(Normal::new(mu, sigma), lo, hi);
         let mut rng = RngFactory::new(seed).stream("clamp");
         for _ in 0..50 {
             let x = d.sample(&mut rng);
-            prop_assert!(x >= lo && x <= hi);
+            assert!(x >= lo && x <= hi);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gamma_recurrence_random(x in 0.05f64..60.0) {
+#[test]
+fn gamma_recurrence_random() {
+    cases(96, |g: &mut Gen| {
         // Γ(x+1) = x·Γ(x)
+        let x = g.f64_in(0.05..60.0);
         let lhs = ln_gamma(x + 1.0);
         let rhs = x.ln() + ln_gamma(x);
-        prop_assert!((lhs - rhs).abs() < 1e-9, "x = {x}: {lhs} vs {rhs}");
-    }
+        assert!((lhs - rhs).abs() < 1e-9, "x = {x}: {lhs} vs {rhs}");
+    });
+}
 
-    #[test]
-    fn binomial_symmetry(n in 0u64..60, k_frac in 0.0f64..1.0) {
-        let k = ((n as f64) * k_frac) as u64;
-        prop_assert!((ln_binomial(n, k) - ln_binomial(n, n - k)).abs() < 1e-9);
+#[test]
+fn binomial_symmetry() {
+    cases(96, |g: &mut Gen| {
+        let n = g.u64() % 60;
+        let k = ((n as f64) * g.f64()) as u64;
+        assert!((ln_binomial(n, k) - ln_binomial(n, n - k)).abs() < 1e-9);
         // Pascal: C(n+1, k+1) = C(n, k) + C(n, k+1) — verified in log space.
-        if k + 1 <= n {
+        if k < n {
             let lhs = ln_binomial(n + 1, k + 1).exp();
             let rhs = ln_binomial(n, k).exp() + ln_binomial(n, k + 1).exp();
-            prop_assert!((lhs - rhs).abs() / rhs < 1e-9);
+            assert!((lhs - rhs).abs() / rhs < 1e-9);
         }
         let _ = ln_factorial(n);
         let _ = gamma(1.0 + n as f64 / 10.0);
-    }
+    });
+}
 
-    #[test]
-    fn online_stats_bounds_and_ordering(
-        xs in prop::collection::vec(-1e9f64..1e9, 1..100),
-    ) {
+#[test]
+fn online_stats_bounds_and_ordering() {
+    cases(96, |g: &mut Gen| {
+        let xs = g.vec(1..100, |g| g.f64_in(-1e9..1e9));
         let mut s = OnlineStats::new();
         for &x in &xs {
             s.push(x);
         }
-        prop_assert!(s.min() <= s.mean() + 1e-6 * s.mean().abs().max(1.0));
-        prop_assert!(s.max() >= s.mean() - 1e-6 * s.mean().abs().max(1.0));
-        prop_assert!(s.variance() >= 0.0);
-        prop_assert_eq!(s.count(), xs.len() as u64);
-    }
+        assert!(s.min() <= s.mean() + 1e-6 * s.mean().abs().max(1.0));
+        assert!(s.max() >= s.mean() - 1e-6 * s.mean().abs().max(1.0));
+        assert!(s.variance() >= 0.0);
+        assert_eq!(s.count(), xs.len() as u64);
+    });
+}
 
-    #[test]
-    fn time_weighted_average_within_extrema(
-        steps in prop::collection::vec((0.0f64..100.0, -50.0f64..50.0), 1..50),
-    ) {
+#[test]
+fn time_weighted_average_within_extrema() {
+    cases(96, |g: &mut Gen| {
+        let steps = g.vec(1..50, |g| (g.f64_in(0.0..100.0), g.f64_in(-50.0..50.0)));
         let mut t = 0.0;
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         for &(dt, v) in &steps {
@@ -104,16 +111,17 @@ proptest! {
             tw.update(SimTime::from_secs(t), v);
         }
         let avg = tw.average(SimTime::from_secs(t + 1.0));
-        prop_assert!(avg >= tw.min() - 1e-9 && avg <= tw.max() + 1e-9);
+        assert!(avg >= tw.min() - 1e-9 && avg <= tw.max() + 1e-9);
         // Integral consistency.
         let integral = tw.integral(SimTime::from_secs(t + 1.0));
-        prop_assert!((integral - avg * (t + 1.0)).abs() < 1e-6 * integral.abs().max(1.0));
-    }
+        assert!((integral - avg * (t + 1.0)).abs() < 1e-6 * integral.abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn histogram_quantiles_are_monotone(
-        values in prop::collection::vec(1e-5f64..1e4, 1..200),
-    ) {
+#[test]
+fn histogram_quantiles_are_monotone() {
+    cases(96, |g: &mut Gen| {
+        let values = g.vec(1..200, |g| g.f64_in(1e-5..1e4));
         let mut h = LogHistogram::for_latencies();
         for &v in &values {
             h.record(v);
@@ -121,36 +129,114 @@ proptest! {
         let mut prev = 0.0;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let x = h.quantile(q).unwrap();
-            prop_assert!(x >= prev, "quantile({q}) = {x} < {prev}");
+            assert!(x >= prev, "quantile({q}) = {x} < {prev}");
             prev = x;
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
-    }
+        assert_eq!(h.count(), values.len() as u64);
+    });
+}
 
-    #[test]
-    fn event_queue_is_a_sorting_network(
-        times in prop::collection::vec(0.0f64..1e9, 0..200),
-    ) {
-        let mut q = EventQueue::new();
-        for &t in &times {
-            q.schedule(SimTime::from_secs(t), ());
-        }
+#[test]
+fn event_queue_is_a_sorting_network() {
+    cases(96, |g: &mut Gen| {
+        let times = g.vec(0..200, |g| g.f64_in(0.0..1e9));
         let mut sorted = times.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut popped = Vec::with_capacity(times.len());
-        while let Some((t, ())) = q.pop() {
-            popped.push(t.as_secs());
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let mut q = EventQueue::with_backend(backend);
+            for &t in &times {
+                q.schedule(SimTime::from_secs(t), ());
+            }
+            let mut popped = Vec::with_capacity(times.len());
+            while let Some((t, ())) = q.pop() {
+                popped.push(t.as_secs());
+            }
+            assert_eq!(popped, sorted, "{backend:?}");
         }
-        prop_assert_eq!(popped, sorted);
-    }
+    });
+}
 
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+#[test]
+fn rng_streams_reproducible() {
+    cases(96, |g: &mut Gen| {
+        let seed = g.u64();
+        let label = g.ident(1..13);
         let f = RngFactory::new(seed);
         let mut a = f.stream(&label);
         let mut b = f.stream(&label);
         for _ in 0..20 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
+
+/// The tentpole property: under arbitrary interleavings of schedule,
+/// cancel, pop, and peek — including bursts at identical timestamps —
+/// the calendar queue and the binary heap agree on every observation.
+#[test]
+fn fel_backends_are_observationally_equivalent() {
+    cases(256, |g: &mut Gen| {
+        let mut heap = EventQueue::with_backend(FelBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(FelBackend::Calendar);
+        let mut clock = 0.0_f64;
+        // Live handles, keyed by a unique payload so a pop can retire
+        // exactly the entry it delivered.
+        let mut live: Vec<(u64, vmprov_des::EventHandle, vmprov_des::EventHandle)> = Vec::new();
+        let mut next_payload = 0_u64;
+        let push = |heap: &mut EventQueue<u64>,
+                    cal: &mut EventQueue<u64>,
+                    live: &mut Vec<_>,
+                    next_payload: &mut u64,
+                    t: SimTime| {
+            let p = *next_payload;
+            *next_payload += 1;
+            live.push((p, heap.schedule(t, p), cal.schedule(t, p)));
+        };
+        let n_ops = g.usize_in(10..400);
+        for _ in 0..n_ops {
+            match g.usize_in(0..10) {
+                // Schedule at a fresh future time.
+                0..=3 => {
+                    let t = SimTime::from_secs(clock + g.f64_in(0.0..8.0));
+                    push(&mut heap, &mut cal, &mut live, &mut next_payload, t);
+                }
+                // Burst: several events at one identical timestamp.
+                4 => {
+                    let t = SimTime::from_secs(clock + g.f64_in(0.0..8.0));
+                    for _ in 0..g.usize_in(2..6) {
+                        push(&mut heap, &mut cal, &mut live, &mut next_payload, t);
+                    }
+                }
+                // Cancel a random live handle.
+                5 | 6 => {
+                    if !live.is_empty() {
+                        let k = g.usize_in(0..live.len());
+                        let (_, hh, hc) = live.swap_remove(k);
+                        assert!(heap.cancel(hh));
+                        assert!(cal.cancel(hc));
+                    }
+                }
+                // Pop.
+                7 | 8 => {
+                    let a = heap.pop();
+                    assert_eq!(a, cal.pop());
+                    if let Some((t, payload)) = a {
+                        clock = t.as_secs();
+                        live.retain(|&(p, _, _)| p != payload);
+                    }
+                }
+                // Peek.
+                _ => assert_eq!(heap.peek_time(), cal.peek_time()),
+            }
+            assert_eq!(heap.len(), cal.len());
+        }
+        // Drain: both must agree to the last event.
+        loop {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    });
 }

@@ -23,7 +23,7 @@ use vmprov_workloads::synthetic::PiecewiseRateProcess;
 use vmprov_workloads::ServiceModel;
 
 /// One ablation data point: variant label + its run summary.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Variant label.
     pub variant: String,
@@ -86,11 +86,7 @@ pub fn analyzer_ablation(seed: u64) -> Vec<AblationRow> {
     let horizon = SimTime::from_hours(2.0);
     let make_workload = || {
         Box::new(PiecewiseRateProcess::flash_crowd(
-            60.0,
-            480.0,
-            2400.0,
-            900.0,
-            horizon,
+            60.0, 480.0, 2400.0, 900.0, horizon,
         ))
     };
     let qos = QosTargets::web_paper();
@@ -99,7 +95,10 @@ pub fn analyzer_ablation(seed: u64) -> Vec<AblationRow> {
             "sliding-window(5, 3σ)",
             Box::new(SlidingWindowAnalyzer::new(5, 3.0, 60.0)),
         ),
-        ("ewma(0.5, +20%)", Box::new(EwmaAnalyzer::new(0.5, 0.2, 60.0))),
+        (
+            "ewma(0.5, +20%)",
+            Box::new(EwmaAnalyzer::new(0.5, 0.2, 60.0)),
+        ),
         ("ar(3)", Box::new(ArAnalyzer::new(3, 60, 0.2, 60.0))),
     ];
     analyzers

@@ -1,8 +1,8 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [table2|fig3|fig4|fig5|fig6|ablations|all] [--mode quick|paper|full]
-//!       [--seed N] [--out DIR]
+//! repro [table2|fig3|fig4|fig5|fig6|ablations|all]
+//!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`):
@@ -46,7 +46,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
-                            [--mode quick|paper|full] [--seed N] [--out DIR]"
+                            [--mode smoke|quick|paper|full] [--seed N] [--out DIR]"
                     .into())
             }
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
@@ -112,9 +112,8 @@ fn main() {
             }
             "fig3" => {
                 let series = fig3_series(600.0);
-                let mut text = String::from(
-                    "Fig. 3 — web workload arrival rate over one week (req/s)\n",
-                );
+                let mut text =
+                    String::from("Fig. 3 — web workload arrival rate over one week (req/s)\n");
                 text.push_str(&format!("{}\n", sparkline(&series, 112)));
                 text.push_str("hours 0 (Mon 12am) … 168 (next Mon); peaks at each noon\n");
                 println!("{text}");
@@ -168,6 +167,7 @@ fn main() {
             "ablations" => {
                 use vmprov_des::SimTime;
                 let horizon = match args.mode {
+                    RunMode::Smoke => SimTime::from_mins(10.0),
                     RunMode::Quick => SimTime::from_mins(30.0),
                     _ => SimTime::from_hours(6.0),
                 };
@@ -196,6 +196,9 @@ fn main() {
             }
             _ => unreachable!("validated in parse_args"),
         }
-        println!("  [{target} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "  [{target} done in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -11,11 +11,16 @@
 use crate::runner::{run_policy_set, Replicated};
 use crate::scenario::{fig5_scenarios, fig6_scenarios};
 use vmprov_des::{RngFactory, SimTime, DAY, HOUR, WEEK};
-use vmprov_workloads::{ArrivalProcess, ScientificWorkload, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES};
+use vmprov_workloads::{
+    ArrivalProcess, ScientificWorkload, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES,
+};
 
 /// Execution scale of the figure experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
+    /// CI scale: a half-hour web horizon, one replication — finishes in
+    /// minutes even in debug builds. Checks plumbing, not statistics.
+    Smoke,
     /// Development scale: one simulated day, one replication (minutes on
     /// a laptop core).
     Quick,
@@ -27,9 +32,10 @@ pub enum RunMode {
 }
 
 impl RunMode {
-    /// Parses `quick`/`paper`/`full`.
+    /// Parses `smoke`/`quick`/`paper`/`full`.
     pub fn parse(s: &str) -> Option<RunMode> {
         match s {
+            "smoke" => Some(RunMode::Smoke),
             "quick" => Some(RunMode::Quick),
             "paper" => Some(RunMode::Paper),
             "full" => Some(RunMode::Full),
@@ -40,6 +46,7 @@ impl RunMode {
     /// Web-scenario horizon for this mode.
     pub fn web_horizon(&self) -> SimTime {
         match self {
+            RunMode::Smoke => SimTime::from_mins(30.0),
             RunMode::Quick => SimTime::from_secs(DAY),
             _ => SimTime::from_secs(WEEK),
         }
@@ -48,15 +55,17 @@ impl RunMode {
     /// Replications per scenario (web).
     pub fn web_reps(&self) -> u32 {
         match self {
-            RunMode::Quick => 1,
+            RunMode::Smoke | RunMode::Quick => 1,
             RunMode::Paper => 3,
             RunMode::Full => 10,
         }
     }
 
-    /// Replications per scenario (scientific — cheap, so more).
+    /// Replications per scenario (scientific — computationally cheap, so
+    /// more of them).
     pub fn sci_reps(&self) -> u32 {
         match self {
+            RunMode::Smoke => 1,
             RunMode::Quick => 3,
             RunMode::Paper => 10,
             RunMode::Full => 10,
@@ -147,16 +156,22 @@ mod tests {
         // Peaks at noon each day; trough at each midnight.
         let at = |h: f64| {
             s.iter()
-                .min_by(|a, b| {
-                    (a.0 - h).abs().partial_cmp(&(b.0 - h).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.0 - h).abs().partial_cmp(&(b.0 - h).abs()).unwrap())
                 .unwrap()
                 .1
         };
         assert!((at(12.0) - 1000.0).abs() < 20.0, "Monday noon {}", at(12.0));
-        assert!((at(0.0) - 500.0).abs() < 20.0, "Monday midnight {}", at(0.0));
+        assert!(
+            (at(0.0) - 500.0).abs() < 20.0,
+            "Monday midnight {}",
+            at(0.0)
+        );
         // Tuesday noon is the weekly peak level.
-        assert!((at(36.0) - 1200.0).abs() < 20.0, "Tuesday noon {}", at(36.0));
+        assert!(
+            (at(36.0) - 1200.0).abs() < 20.0,
+            "Tuesday noon {}",
+            at(36.0)
+        );
         // Weekly minimum on Sunday night.
         let min = s.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
         assert!((min - 400.0).abs() < 20.0, "weekly min {min}");
@@ -176,7 +191,9 @@ mod tests {
             .filter(|&&(h, _)| !(8.0..17.0).contains(&h))
             .map(|&(_, r)| r)
             .sum::<f64>()
-            / s.iter().filter(|&&(h, _)| !(8.0..17.0).contains(&h)).count() as f64;
+            / s.iter()
+                .filter(|&&(h, _)| !(8.0..17.0).contains(&h))
+                .count() as f64;
         // Paper Fig. 4: ~0.2+ tasks/s in peak, near zero off-peak.
         assert!((peak_avg - 0.23).abs() < 0.05, "peak {peak_avg}");
         assert!(off_avg < 0.05, "off {off_avg}");
@@ -184,9 +201,13 @@ mod tests {
 
     #[test]
     fn run_mode_parsing_and_scales() {
+        assert_eq!(RunMode::parse("smoke"), Some(RunMode::Smoke));
         assert_eq!(RunMode::parse("quick"), Some(RunMode::Quick));
         assert_eq!(RunMode::parse("paper"), Some(RunMode::Paper));
         assert_eq!(RunMode::parse("nope"), None);
+        assert_eq!(RunMode::Smoke.web_horizon().as_secs(), 1800.0);
+        assert_eq!(RunMode::Smoke.web_reps(), 1);
+        assert_eq!(RunMode::Smoke.sci_reps(), 1);
         assert_eq!(RunMode::Quick.web_horizon().as_secs(), DAY);
         assert_eq!(RunMode::Full.web_horizon().as_secs(), WEEK);
         assert_eq!(RunMode::Full.web_reps(), 10);

@@ -4,7 +4,8 @@
 //!
 //! * [`scenario`] — the two evaluation scenarios (web, scientific) with
 //!   every policy variant;
-//! * [`runner`] — replicated execution (rayon) and aggregation;
+//! * [`runner`] — replicated execution on scoped worker threads and
+//!   cross-replication aggregation;
 //! * [`figures`] — one function per table/figure;
 //! * [`report`] — ASCII tables, CSV, JSON.
 //!
@@ -22,7 +23,10 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use ablations::{ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation, AblationRow};
+pub use ablations::{
+    ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
+    AblationRow,
+};
 pub use figures::{fig3_series, fig4_series, fig5, fig6, table2, RunMode};
 pub use runner::{run_once, run_policy_set, run_replicated, Replicated};
 pub use scenario::{

@@ -3,6 +3,7 @@
 
 use crate::runner::Replicated;
 use vmprov_cloudsim::RunSummary;
+use vmprov_json::ToJson;
 
 /// Renders an aligned ASCII table.
 pub fn ascii_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -109,7 +110,7 @@ pub fn runs_csv(reps: &[Replicated]) -> String {
 
 /// JSON dump of the replicated results.
 pub fn runs_json(reps: &[Replicated]) -> String {
-    serde_json::to_string_pretty(reps).expect("serializable")
+    reps.to_json().to_string_pretty()
 }
 
 /// CSV for a time series (e.g. Fig. 3/4 arrival-rate curves).
@@ -213,7 +214,9 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 6);
         // All lines equal width.
-        assert!(lines.iter().all(|l| l.chars().count() == lines[0].chars().count()));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == lines[0].chars().count()));
         assert!(t.contains("long-header"));
     }
 
@@ -236,11 +239,13 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
+        use vmprov_json::{FromJson, Json};
         let reps = vec![replicated()];
         let json = runs_json(&reps);
-        let back: Vec<Replicated> = serde_json::from_str(&json).unwrap();
+        let back = Vec::<Replicated>::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back[0].runs.len(), 2);
         assert_eq!(back[0].policy, "Static-9");
+        assert_eq!(back[0].runs[0], reps[0].runs[0]);
     }
 
     #[test]

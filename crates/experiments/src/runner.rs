@@ -2,17 +2,17 @@
 //!
 //! The paper repeats every scenario 10 times and reports averages
 //! (§V-A); [`run_replicated`] does the same, fanning replications out
-//! over a rayon pool and folding the per-run [`RunSummary`] records into
-//! means with 95% Student-t confidence intervals.
+//! over scoped worker threads and folding the per-run [`RunSummary`]
+//! records into means with 95% Student-t confidence intervals.
 
 use crate::scenario::Scenario;
-use rayon::prelude::*;
 use vmprov_cloudsim::{run_scenario, RunSummary};
 use vmprov_des::stats::{confidence_interval, Interval, Level, OnlineStats};
 use vmprov_des::RngFactory;
+use vmprov_json::{field_str, FromJson, Json, ToJson};
 
 /// All replications of one scenario.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Replicated {
     /// Policy label ("Adaptive", "Static-50", …).
     pub policy: String,
@@ -40,6 +40,70 @@ impl Replicated {
     }
 }
 
+impl ToJson for Replicated {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", Json::from(self.policy.clone())),
+            ("runs", self.runs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Replicated {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        Ok(Replicated {
+            policy: field_str(v, "policy")?,
+            runs: Vec::<RunSummary>::from_json(
+                v.get("runs")
+                    .ok_or_else(|| "missing field `runs`".to_string())?,
+            )?,
+        })
+    }
+}
+
+/// Runs `f` over every item of `jobs` on scoped worker threads,
+/// returning results in job order. A registry-free stand-in for rayon's
+/// parallel iterators: each worker pulls the next unclaimed index from a
+/// shared atomic counter, so uneven run lengths still load-balance.
+fn parallel_map<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.iter().map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // One lock per slot; contention-free because each index is claimed
+    // by exactly one worker, and the lock cost is nothing next to a
+    // simulation run.
+    let slots: Vec<std::sync::Mutex<Option<R>>> = (0..jobs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let f = &f;
+            let slots = &slots;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
 /// Derives the replication seed: deterministic, well-separated per rep.
 pub fn replication_seed(base: u64, rep: u32) -> u64 {
     base.wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -61,10 +125,8 @@ pub fn run_once(scenario: &Scenario, rep: u32) -> RunSummary {
 /// Runs `reps` replications of `scenario` in parallel.
 pub fn run_replicated(scenario: &Scenario, reps: u32) -> Replicated {
     assert!(reps >= 1);
-    let runs: Vec<RunSummary> = (0..reps)
-        .into_par_iter()
-        .map(|rep| run_once(scenario, rep))
-        .collect();
+    let jobs: Vec<u32> = (0..reps).collect();
+    let runs = parallel_map(&jobs, |&rep| run_once(scenario, rep));
     Replicated {
         policy: scenario.policy_label(),
         runs,
@@ -78,20 +140,17 @@ pub fn run_policy_set(scenarios: &[Scenario], reps: u32) -> Vec<Replicated> {
     let jobs: Vec<(usize, u32)> = (0..scenarios.len())
         .flat_map(|s| (0..reps).map(move |r| (s, r)))
         .collect();
-    let mut results: Vec<(usize, u32, RunSummary)> = jobs
-        .into_par_iter()
-        .map(|(s, r)| (s, r, run_once(&scenarios[s], r)))
-        .collect();
-    results.sort_by_key(|&(s, r, _)| (s, r));
+    let results = parallel_map(&jobs, |&(s, r)| run_once(&scenarios[s], r));
     scenarios
         .iter()
         .enumerate()
         .map(|(i, sc)| Replicated {
             policy: sc.policy_label(),
-            runs: results
+            runs: jobs
                 .iter()
-                .filter(|&&(s, _, _)| s == i)
-                .map(|(_, _, run)| run.clone())
+                .zip(&results)
+                .filter(|&(&(s, _), _)| s == i)
+                .map(|(_, run)| run.clone())
                 .collect(),
         })
         .collect()

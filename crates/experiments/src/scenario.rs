@@ -8,7 +8,7 @@ use vmprov_core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
 use vmprov_core::policy::{AdaptivePolicy, ProvisioningPolicy, StaticPolicy};
 use vmprov_core::qos::QosTargets;
 use vmprov_core::{AnalyticBackend, Dispatcher, LeastOutstanding, RandomDispatch, RoundRobin};
-use vmprov_des::SimTime;
+use vmprov_des::{FelBackend, SimTime};
 use vmprov_workloads::scientific::{
     is_peak, OFFPEAK_JOBS_MODE, OFFPEAK_WINDOW, PEAK_INTERARRIVAL_MODE, SIZE_CLASS_MODE,
 };
@@ -18,7 +18,7 @@ use vmprov_workloads::{
 };
 
 /// Which of the two evaluation workloads drives the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// The Wikipedia-derived web workload (§V-B1).
     Web,
@@ -27,7 +27,7 @@ pub enum WorkloadKind {
 }
 
 /// Which provisioning policy manages the pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicySpec {
     /// The paper's adaptive mechanism.
     Adaptive,
@@ -36,7 +36,7 @@ pub enum PolicySpec {
 }
 
 /// Which dispatch strategy forwards accepted requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DispatchSpec {
     /// The paper's round-robin (default).
     #[default]
@@ -48,7 +48,7 @@ pub enum DispatchSpec {
 }
 
 /// A fully specified simulation scenario.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Workload family.
     pub workload: WorkloadKind,
@@ -64,6 +64,9 @@ pub struct Scenario {
     pub seed: u64,
     /// VM boot delay override (paper: 0).
     pub boot_delay: f64,
+    /// Future-event-list backend (calendar queue by default; the binary
+    /// heap is kept for A/B determinism checks).
+    pub fel_backend: FelBackend,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -89,6 +92,7 @@ impl Scenario {
             backend: AnalyticBackend::TwoMoment,
             seed,
             boot_delay: 0.0,
+            fel_backend: FelBackend::default(),
         }
     }
 
@@ -102,12 +106,20 @@ impl Scenario {
             backend: AnalyticBackend::TwoMoment,
             seed,
             boot_delay: 0.0,
+            fel_backend: FelBackend::default(),
         }
     }
 
     /// Same scenario with a shorter horizon (quick modes).
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = horizon;
+        self
+    }
+
+    /// Same scenario on a different future-event-list backend (A/B
+    /// determinism checks: both backends must yield identical results).
+    pub fn with_fel_backend(mut self, backend: FelBackend) -> Self {
+        self.fel_backend = backend;
         self
     }
 
@@ -126,6 +138,7 @@ impl Scenario {
             WorkloadKind::Scientific => SimConfig::paper_scientific(),
         };
         cfg.boot_delay = self.boot_delay;
+        cfg.fel_backend = self.fel_backend;
         cfg
     }
 

@@ -1,0 +1,54 @@
+//! End-to-end smoke test: runs the `repro` binary on the scaled-down
+//! smoke scenario and checks the emitted results JSON is well formed.
+
+use std::path::Path;
+use std::process::Command;
+use vmprov_experiments::Replicated;
+use vmprov_json::{FromJson, Json};
+
+#[test]
+fn repro_smoke_emits_well_formed_results() {
+    let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke");
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fig6", "--mode", "smoke", "--seed", "7"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn repro");
+    assert!(status.success(), "repro exited with {status}");
+
+    for artifact in ["fig6.txt", "fig6.csv", "fig6.json"] {
+        assert!(out.join(artifact).is_file(), "missing {artifact}");
+    }
+
+    let raw = std::fs::read_to_string(out.join("fig6.json")).expect("read fig6.json");
+    let json = Json::parse(&raw).expect("fig6.json must parse");
+    let reps = Vec::<Replicated>::from_json(&json).expect("fig6.json must decode");
+
+    // Six policies (Adaptive + five static sizes), one smoke replication
+    // each, all with real traffic and sane rates.
+    assert_eq!(reps.len(), 6, "expected 6 policies");
+    assert_eq!(reps[0].policy, "Adaptive");
+    for rep in &reps {
+        assert_eq!(rep.runs.len(), 1, "{}: smoke mode is 1 rep", rep.policy);
+        let r = &rep.runs[0];
+        assert!(r.offered_requests > 0, "{}: no traffic", rep.policy);
+        assert!(
+            r.accepted_requests <= r.offered_requests,
+            "{}: accepted > offered",
+            rep.policy
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.rejection_rate),
+            "{}: bad rejection rate {}",
+            rep.policy,
+            r.rejection_rate
+        );
+        assert!(r.end_time > 0.0, "{}: zero-length run", rep.policy);
+        assert!(r.max_instances >= r.min_instances, "{}", rep.policy);
+    }
+
+    // The CSV has one data row per (policy, replication).
+    let csv = std::fs::read_to_string(out.join("fig6.csv")).expect("read fig6.csv");
+    assert_eq!(csv.lines().count(), 1 + 6, "header + 6 rows");
+}

@@ -1,0 +1,320 @@
+//! # vmprov-json — dependency-free JSON
+//!
+//! A small JSON value model with a pretty printer and a strict
+//! recursive-descent parser. It exists because the reproduction must
+//! build in network-restricted environments where crates.io (and hence
+//! `serde`/`serde_json`) is unreachable; every result artifact the
+//! workspace emits (`results/*.json`, `BENCH_des.json`) goes through
+//! this crate.
+//!
+//! Object member order is preserved (members are a `Vec`, not a map),
+//! so emitted documents are deterministic and diff-friendly.
+//!
+//! ```
+//! use vmprov_json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("name", Json::from("run-1")),
+//!     ("accepted", Json::from(991_u64)),
+//!     ("rate", Json::from(0.45)),
+//! ]);
+//! let text = doc.to_string_pretty();
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.get("accepted").unwrap().as_u64(), Some(991));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod parse;
+mod write;
+
+pub use parse::ParseError;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (integer or floating point).
+    Num(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; member order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A JSON number, kept in its narrowest faithful representation so
+/// 64-bit counters round-trip without floating-point truncation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point (finite).
+    F64(f64),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(members: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Looks up an object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any number variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(Number::U64(n)) => Some(*n as f64),
+            Json::Num(Number::I64(n)) => Some(*n as f64),
+            Json::Num(Number::F64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(Number::U64(n)) => Some(*n),
+            Json::Num(Number::I64(n)) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (strict; rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        parse::parse(text)
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write::write_compact(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(Number::U64(n))
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(Number::U64(u64::from(n)))
+    }
+}
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        if n >= 0 {
+            Json::Num(Number::U64(n as u64))
+        } else {
+            Json::Num(Number::I64(n))
+        }
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(Number::U64(n as u64))
+    }
+}
+impl From<f64> for Json {
+    /// Non-finite values map to `null` (JSON has no NaN/∞).
+    fn from(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(Number::F64(x))
+        } else {
+            Json::Null
+        }
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+/// Conversion into a [`Json`] value.
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+/// Conversion back from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, reporting which field was missing/mistyped.
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| "expected array".to_string())?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+/// Fetches an object field, with a path-bearing error.
+pub fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Fetches a required `f64` field.
+pub fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+/// Fetches a required `u64` field.
+pub fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an unsigned integer"))
+}
+
+/// Fetches a required string field.
+pub fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_accessors() {
+        let doc = Json::obj([
+            ("s", Json::from("hi")),
+            ("n", Json::from(3_u64)),
+            ("x", Json::from(1.5)),
+            ("b", Json::from(true)),
+            ("none", Json::from(Option::<u64>::None)),
+            ("a", Json::arr([Json::from(1_u64), Json::from(2_u64)])),
+        ]);
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(doc.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("none"), Some(&Json::Null));
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::from(f64::NAN), Json::Null);
+        assert_eq!(Json::from(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn negative_i64_roundtrip() {
+        let j = Json::from(-5_i64);
+        assert_eq!(j.as_f64(), Some(-5.0));
+        assert_eq!(j.as_u64(), None);
+    }
+
+    #[test]
+    fn u64_precision_preserved() {
+        let big = u64::MAX - 1;
+        let text = Json::from(big).to_string_compact();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn field_helpers_report_paths() {
+        let doc = Json::obj([("x", Json::from("nope"))]);
+        assert!(field_f64(&doc, "x").unwrap_err().contains("not a number"));
+        assert!(field_u64(&doc, "y").unwrap_err().contains("missing"));
+        assert_eq!(field_str(&doc, "x").unwrap(), "nope");
+    }
+}

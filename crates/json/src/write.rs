@@ -1,0 +1,144 @@
+//! JSON serialization: compact and pretty writers.
+
+use crate::{Json, Number};
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::F64(x) => {
+            debug_assert!(x.is_finite(), "non-finite numbers are not JSON");
+            // Rust's shortest-roundtrip Display never uses exponents, so
+            // the output is valid JSON; force a `.0` onto integral values
+            // to keep the float-ness visible on re-parse.
+            let s = x.to_string();
+            out.push_str(&s);
+            if !s.contains('.') {
+                out.push_str(".0");
+            }
+        }
+    }
+}
+
+pub(crate) fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+pub(crate) fn write_pretty(v: &Json, depth: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(depth, out);
+            out.push(']');
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in members.iter().enumerate() {
+                indent(depth + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, depth + 1, out);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let j = Json::from("a\"b\\c\nd\te\u{01}f");
+        assert_eq!(j.to_string_compact(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Json::from(2.0).to_string_compact(), "2.0");
+        assert_eq!(Json::from(0.105).to_string_compact(), "0.105");
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let doc = Json::obj([
+            ("a", Json::arr([Json::from(1_u64)])),
+            ("b", Json::Obj(vec![])),
+            ("c", Json::Arr(vec![])),
+        ]);
+        let text = doc.to_string_pretty();
+        assert_eq!(
+            text,
+            "{\n  \"a\": [\n    1\n  ],\n  \"b\": {},\n  \"c\": []\n}\n"
+        );
+    }
+}

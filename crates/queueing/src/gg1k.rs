@@ -37,7 +37,7 @@
 use crate::{check_positive, QueueError, QueueMetrics};
 
 /// A GI/G/1/K queue summarised by two moments of each process.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GG1K {
     lambda: f64,
     mean_service: f64,
@@ -55,7 +55,13 @@ impl GG1K {
     ///   (1 = Poisson, 1/m = Erlang-m, 0 = deterministic);
     /// * `cs2` — squared coefficient of variation of service times;
     /// * `k` — system capacity (in service + waiting), ≥ 1.
-    pub fn new(lambda: f64, mean_service: f64, ca2: f64, cs2: f64, k: u32) -> Result<Self, QueueError> {
+    pub fn new(
+        lambda: f64,
+        mean_service: f64,
+        ca2: f64,
+        cs2: f64,
+        k: u32,
+    ) -> Result<Self, QueueError> {
         check_positive("lambda", lambda)?;
         check_positive("mean_service", mean_service)?;
         for (name, v) in [("ca2", ca2), ("cs2", cs2)] {
@@ -66,7 +72,9 @@ impl GG1K {
             }
         }
         if k == 0 {
-            return Err(QueueError::InvalidParameter("capacity k must be >= 1".into()));
+            return Err(QueueError::InvalidParameter(
+                "capacity k must be >= 1".into(),
+            ));
         }
         Ok(GG1K {
             lambda,
@@ -184,9 +192,7 @@ impl GG1K {
         let lambda_eff = self.lambda * (1.0 - pk);
         let mu = 1.0 / self.mean_service;
         let utilization = (lambda_eff / mu).min(1.0);
-        let l: f64 = (0..=self.k)
-            .map(|n| f64::from(n) * self.prob_n(n))
-            .sum();
+        let l: f64 = (0..=self.k).map(|n| f64::from(n) * self.prob_n(n)).sum();
         let (w, wq) = if lambda_eff > 1e-300 {
             let w = l / lambda_eff;
             (w, (w - self.mean_service).max(0.0))
@@ -218,10 +224,7 @@ mod tests {
             let exact = MM1K::new(rho, 1.0, 5).unwrap();
             let a = approx.blocking_probability();
             let b = exact.blocking_probability();
-            assert!(
-                (a - b).abs() < 0.05,
-                "rho {rho}: approx {a} vs exact {b}"
-            );
+            assert!((a - b).abs() < 0.05, "rho {rho}: approx {a} vs exact {b}");
         }
     }
 
@@ -236,7 +239,11 @@ mod tests {
         assert!(b < 1e-6, "blocking {b}");
         let m = q.metrics();
         // Nearly no waiting: response ≈ one service time.
-        assert!((m.mean_response_time - 1.0).abs() < 0.05, "W {}", m.mean_response_time);
+        assert!(
+            (m.mean_response_time - 1.0).abs() < 0.05,
+            "W {}",
+            m.mean_response_time
+        );
         m.validate().unwrap();
     }
 
@@ -284,7 +291,10 @@ mod tests {
         for (rho, ca2, cs2) in [(0.5, 1.0, 1.0), (0.8, 0.01, 0.001), (1.3, 0.2, 0.4)] {
             let q = GG1K::new(rho, 1.0, ca2, cs2, 6).unwrap();
             let total: f64 = (0..=6).map(|n| q.prob_n(n)).sum();
-            assert!((total - 1.0).abs() < 1e-9, "(ρ={rho}, ca²={ca2}, cs²={cs2})");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "(ρ={rho}, ca²={ca2}, cs²={cs2})"
+            );
         }
     }
 

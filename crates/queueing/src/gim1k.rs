@@ -29,7 +29,7 @@ use crate::linalg;
 use crate::{check_positive, QueueError, QueueMetrics};
 
 /// Shape of the interarrival-time distribution (mean fixed at 1/λ).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum InterarrivalKind {
     /// Exponential: the chain reproduces M/M/1/K exactly.
     Exponential,
@@ -64,16 +64,13 @@ pub struct GiM1K {
 
 impl GiM1K {
     /// Creates and solves the model.
-    pub fn new(
-        lambda: f64,
-        mu: f64,
-        k: u32,
-        kind: InterarrivalKind,
-    ) -> Result<Self, QueueError> {
+    pub fn new(lambda: f64, mu: f64, k: u32, kind: InterarrivalKind) -> Result<Self, QueueError> {
         check_positive("lambda", lambda)?;
         check_positive("mu", mu)?;
         if k == 0 {
-            return Err(QueueError::InvalidParameter("capacity k must be >= 1".into()));
+            return Err(QueueError::InvalidParameter(
+                "capacity k must be >= 1".into(),
+            ));
         }
         if let InterarrivalKind::Erlang { stages: 0 } = kind {
             return Err(QueueError::InvalidParameter(
@@ -81,7 +78,7 @@ impl GiM1K {
             ));
         }
         if let InterarrivalKind::Hyperexponential { scv } = kind {
-            if !(scv > 1.0) || !scv.is_finite() {
+            if scv <= 1.0 || !scv.is_finite() {
                 return Err(QueueError::InvalidParameter(format!(
                     "hyperexponential SCV must be > 1, got {scv}"
                 )));
@@ -220,17 +217,17 @@ fn completion_pmf(lambda: f64, mu: f64, max_n: usize, kind: InterarrivalKind) ->
 fn stationary_arrival_chain(a: &[f64], k: usize) -> Result<Vec<f64>, QueueError> {
     let n_states = k + 1;
     let mut p = vec![vec![0.0; n_states]; n_states];
-    for j in 0..n_states {
+    for (j, row) in p.iter_mut().enumerate() {
         // Occupancy right after this arrival epoch: j+1 if accepted, k if blocked.
         let occ = if j < k { j + 1 } else { k };
         let mut mass_to_zero = 1.0;
         // n completions (n < occ) → next state occ - n ≥ 1.
         for (n, &an) in a.iter().enumerate().take(occ) {
-            p[j][occ - n] += an;
+            row[occ - n] += an;
             mass_to_zero -= an;
         }
         // n ≥ occ completions drain the system → state 0.
-        p[j][0] += mass_to_zero.max(0.0);
+        row[0] += mass_to_zero.max(0.0);
     }
     linalg::stationary_distribution(&p)
         .ok_or_else(|| QueueError::Numerical("embedded chain solve failed".into()))
@@ -243,7 +240,12 @@ mod tests {
 
     #[test]
     fn exponential_interarrivals_reproduce_mm1k() {
-        for &(lambda, mu, k) in &[(0.5, 1.0, 2u32), (0.8, 1.0, 2), (1.2, 1.0, 5), (0.3, 0.7, 8)] {
+        for &(lambda, mu, k) in &[
+            (0.5, 1.0, 2u32),
+            (0.8, 1.0, 2),
+            (1.2, 1.0, 5),
+            (0.3, 0.7, 8),
+        ] {
             let gi = GiM1K::new(lambda, mu, k, InterarrivalKind::Exponential).unwrap();
             let mm = MM1K::new(lambda, mu, k).unwrap();
             // PASTA: arrival-epoch distribution equals time-stationary one.
@@ -318,9 +320,14 @@ mod tests {
         let h4 = GiM1K::new(0.8, 1.0, 2, InterarrivalKind::Hyperexponential { scv: 4.0 })
             .unwrap()
             .blocking_probability();
-        let h16 = GiM1K::new(0.8, 1.0, 2, InterarrivalKind::Hyperexponential { scv: 16.0 })
-            .unwrap()
-            .blocking_probability();
+        let h16 = GiM1K::new(
+            0.8,
+            1.0,
+            2,
+            InterarrivalKind::Hyperexponential { scv: 16.0 },
+        )
+        .unwrap()
+        .blocking_probability();
         assert!(h4 > poisson, "h4 {h4} vs poisson {poisson}");
         assert!(h16 > h4, "h16 {h16} vs h4 {h4}");
     }
@@ -329,8 +336,13 @@ mod tests {
     fn hyperexponential_limits_to_exponential() {
         // SCV → 1⁺ degenerates to the Poisson case.
         let poisson = GiM1K::new(0.7, 1.0, 3, InterarrivalKind::Exponential).unwrap();
-        let near = GiM1K::new(0.7, 1.0, 3, InterarrivalKind::Hyperexponential { scv: 1.0001 })
-            .unwrap();
+        let near = GiM1K::new(
+            0.7,
+            1.0,
+            3,
+            InterarrivalKind::Hyperexponential { scv: 1.0001 },
+        )
+        .unwrap();
         for n in 0..=3 {
             assert!(
                 (poisson.arrival_prob_n(n) - near.arrival_prob_n(n)).abs() < 1e-3,
@@ -343,9 +355,13 @@ mod tests {
     fn hyperexponential_rejects_invalid_scv() {
         assert!(GiM1K::new(1.0, 1.0, 2, InterarrivalKind::Hyperexponential { scv: 1.0 }).is_err());
         assert!(GiM1K::new(1.0, 1.0, 2, InterarrivalKind::Hyperexponential { scv: 0.5 }).is_err());
-        assert!(
-            GiM1K::new(1.0, 1.0, 2, InterarrivalKind::Hyperexponential { scv: f64::NAN }).is_err()
-        );
+        assert!(GiM1K::new(
+            1.0,
+            1.0,
+            2,
+            InterarrivalKind::Hyperexponential { scv: f64::NAN }
+        )
+        .is_err());
     }
 
     #[test]
@@ -371,7 +387,8 @@ mod tests {
         ] {
             for lambda in [0.1, 0.8, 1.0, 2.5] {
                 let m = GiM1K::new(lambda, 1.0, 4, kind).unwrap().metrics();
-                m.validate().unwrap_or_else(|e| panic!("{kind:?} λ={lambda}: {e}"));
+                m.validate()
+                    .unwrap_or_else(|e| panic!("{kind:?} λ={lambda}: {e}"));
                 // Accepted response bounded by k service times.
                 assert!(m.mean_response_time <= 4.0 + 1e-9);
             }

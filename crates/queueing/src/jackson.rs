@@ -36,7 +36,7 @@ pub fn solve_traffic_equations(
 }
 
 /// One service tier in the network.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// External (fresh) arrival rate into this node, γᵢ ≥ 0.
     pub external_arrival_rate: f64,

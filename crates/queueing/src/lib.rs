@@ -50,7 +50,7 @@ pub use mminf::MMInf;
 ///
 /// Time units follow the inputs: if rates are per second, times are in
 /// seconds.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueMetrics {
     /// Fraction of time each server is busy, in `[0, 1]`.
     pub utilization: f64,

@@ -8,11 +8,14 @@
 /// Returns `None` if the matrix is (numerically) singular.
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
-    assert!(a.len() == n && a.iter().all(|r| r.len() == n), "shape mismatch");
+    assert!(
+        a.len() == n && a.iter().all(|r| r.len() == n),
+        "shape mismatch"
+    );
     for col in 0..n {
         // Partial pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
+        let pivot =
+            (col..n).max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())?;
         if a[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -24,8 +27,9 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if f == 0.0 {
                 continue;
             }
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+            let (pivot_rows, elim_rows) = a.split_at_mut(row);
+            for (x, &pv) in elim_rows[0][col..].iter_mut().zip(&pivot_rows[col][col..]) {
+                *x -= f * pv;
             }
             b[row] -= f * b[col];
         }
@@ -55,9 +59,7 @@ pub fn stationary_distribution(p: &[Vec<f64>]) -> Option<Vec<f64>> {
         }
     }
     // Normalisation replaces the (redundant) last balance equation.
-    for j in 0..n {
-        a[n - 1][j] = 1.0;
-    }
+    a[n - 1].fill(1.0);
     let mut b = vec![0.0; n];
     b[n - 1] = 1.0;
     let pi = solve(a, b)?;

@@ -19,7 +19,11 @@ impl MG1 {
     /// Creates the model from λ, E[S] and E[S²].
     ///
     /// Requires E[S²] ≥ E[S]² (a valid second moment).
-    pub fn new(lambda: f64, mean_service: f64, service_second_moment: f64) -> Result<Self, QueueError> {
+    pub fn new(
+        lambda: f64,
+        mean_service: f64,
+        service_second_moment: f64,
+    ) -> Result<Self, QueueError> {
         check_positive("lambda", lambda)?;
         check_positive("mean_service", mean_service)?;
         check_positive("service_second_moment", service_second_moment)?;
@@ -97,7 +101,10 @@ mod tests {
     #[test]
     fn exponential_service_matches_mm1() {
         use crate::mm1::MM1;
-        let a = MG1::exponential_service(0.8, 1.0).unwrap().metrics().unwrap();
+        let a = MG1::exponential_service(0.8, 1.0)
+            .unwrap()
+            .metrics()
+            .unwrap();
         let b = MM1::new(0.8, 1.0).unwrap().metrics().unwrap();
         assert!((a.mean_waiting_time - b.mean_waiting_time).abs() < 1e-12);
         assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-12);
@@ -106,8 +113,14 @@ mod tests {
     #[test]
     fn md1_waits_half_of_mm1() {
         // Deterministic service halves the P-K waiting time.
-        let md1 = MG1::deterministic_service(0.8, 1.0).unwrap().metrics().unwrap();
-        let mm1 = MG1::exponential_service(0.8, 1.0).unwrap().metrics().unwrap();
+        let md1 = MG1::deterministic_service(0.8, 1.0)
+            .unwrap()
+            .metrics()
+            .unwrap();
+        let mm1 = MG1::exponential_service(0.8, 1.0)
+            .unwrap()
+            .metrics()
+            .unwrap();
         assert!((md1.mean_waiting_time - 0.5 * mm1.mean_waiting_time).abs() < 1e-12);
     }
 
@@ -124,7 +137,10 @@ mod tests {
 
     #[test]
     fn littles_law() {
-        let m = MG1::uniform_service(2.0, 0.1, 0.3).unwrap().metrics().unwrap();
+        let m = MG1::uniform_service(2.0, 0.1, 0.3)
+            .unwrap()
+            .metrics()
+            .unwrap();
         assert!((m.mean_in_system - 2.0 * m.mean_response_time).abs() < 1e-9);
     }
 

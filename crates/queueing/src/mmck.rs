@@ -27,11 +27,15 @@ impl MMcK {
             )));
         }
         let births = vec![lambda; k as usize];
-        let deaths: Vec<f64> = (1..=k)
-            .map(|n| f64::from(n.min(c)) * mu)
-            .collect();
+        let deaths: Vec<f64> = (1..=k).map(|n| f64::from(n.min(c)) * mu).collect();
         let pi = birth_death::stationary(&births, &deaths)?;
-        Ok(MMcK { lambda, mu, c, k, pi })
+        Ok(MMcK {
+            lambda,
+            mu,
+            c,
+            k,
+            pi,
+        })
     }
 
     /// Steady-state probability of `n` in the system.

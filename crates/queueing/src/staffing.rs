@@ -62,11 +62,7 @@ pub fn min_servers_erlang_c(offered_load: f64, target: f64) -> Result<u32, Queue
 
 /// Minimum servers such that the *mean waiting time* Wq ≤ `max_wait`
 /// (service rate `mu`; arrival rate `lambda`).
-pub fn min_servers_for_mean_wait(
-    lambda: f64,
-    mu: f64,
-    max_wait: f64,
-) -> Result<u32, QueueError> {
+pub fn min_servers_for_mean_wait(lambda: f64, mu: f64, max_wait: f64) -> Result<u32, QueueError> {
     check_positive("lambda", lambda)?;
     check_positive("mu", mu)?;
     if max_wait < 0.0 || !max_wait.is_finite() {
@@ -91,7 +87,9 @@ pub fn min_servers_for_mean_wait(
             .checked_add(1)
             .ok_or_else(|| QueueError::Numerical("server count overflow".into()))?;
         if f64::from(c) > 10.0 * a + 1_000.0 {
-            return Err(QueueError::Numerical("no feasible c within 10a + 1000".into()));
+            return Err(QueueError::Numerical(
+                "no feasible c within 10a + 1000".into(),
+            ));
         }
     }
 }

@@ -1,166 +1,203 @@
 //! Property-based tests of the analytical queueing models.
 
-use proptest::prelude::*;
+use vmprov_check::{cases, Gen};
 use vmprov_queueing::{
-    birth_death, GiM1K, InterarrivalKind, JacksonNetwork, NodeSpec, GG1K, MG1, MM1, MM1K, MMc,
-    MMcK,
+    birth_death, GiM1K, InterarrivalKind, JacksonNetwork, MMc, MMcK, NodeSpec, GG1K, MG1, MM1, MM1K,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn mm1k_equals_generic_birth_death(
-        lambda in 0.01f64..20.0,
-        mu in 0.01f64..20.0,
-        k in 1u32..30,
-    ) {
+#[test]
+fn mm1k_equals_generic_birth_death() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.01..20.0);
+        let mu = g.f64_in(0.01..20.0);
+        let k = g.u32_in(1..30);
         let births = vec![lambda; k as usize];
         let deaths = vec![mu; k as usize];
         let pi = birth_death::stationary(&births, &deaths).unwrap();
         let model = MM1K::new(lambda, mu, k).unwrap();
         for n in 0..=k {
-            prop_assert!(
+            assert!(
                 (pi[n as usize] - model.prob_n(n)).abs() < 1e-9,
                 "state {n}: {} vs {}",
                 pi[n as usize],
                 model.prob_n(n)
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn mmck_with_one_server_is_mm1k(
-        lambda in 0.01f64..10.0,
-        mu in 0.01f64..10.0,
-        k in 1u32..25,
-    ) {
+#[test]
+fn mmck_with_one_server_is_mm1k() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.01..10.0);
+        let mu = g.f64_in(0.01..10.0);
+        let k = g.u32_in(1..25);
         let a = MMcK::new(lambda, mu, 1, k).unwrap().metrics();
         let b = MM1K::new(lambda, mu, k).unwrap().metrics();
-        prop_assert!((a.blocking_probability - b.blocking_probability).abs() < 1e-9);
-        prop_assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-7);
-    }
+        assert!((a.blocking_probability - b.blocking_probability).abs() < 1e-9);
+        assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-7);
+    });
+}
 
-    #[test]
-    fn mm1_is_mg1_with_exponential_service(
-        lambda in 0.01f64..5.0,
-        extra in 0.01f64..5.0,
-    ) {
-        let mu = lambda + extra; // guarantees stability
+#[test]
+fn mm1_is_mg1_with_exponential_service() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.01..5.0);
+        let mu = lambda + g.f64_in(0.01..5.0); // guarantees stability
         let a = MM1::new(lambda, mu).unwrap().metrics().unwrap();
-        let b = MG1::exponential_service(lambda, mu).unwrap().metrics().unwrap();
-        prop_assert!((a.mean_waiting_time - b.mean_waiting_time).abs() < 1e-9);
-        prop_assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-7);
-    }
+        let b = MG1::exponential_service(lambda, mu)
+            .unwrap()
+            .metrics()
+            .unwrap();
+        assert!((a.mean_waiting_time - b.mean_waiting_time).abs() < 1e-9);
+        assert!((a.mean_in_system - b.mean_in_system).abs() < 1e-7);
+    });
+}
 
-    #[test]
-    fn erlang_b_decreases_with_servers(
-        a_load in 0.1f64..40.0,
-        c in 1u32..60,
-    ) {
+#[test]
+fn erlang_b_decreases_with_servers() {
+    cases(128, |g: &mut Gen| {
+        let a_load = g.f64_in(0.1..40.0);
+        let c = g.u32_in(1..60);
         let b1 = MMc::new(a_load, 1.0, c).unwrap().erlang_b();
         let b2 = MMc::new(a_load, 1.0, c + 1).unwrap().erlang_b();
-        prop_assert!(b2 <= b1 + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&b1));
-    }
+        assert!(b2 <= b1 + 1e-12);
+        assert!((0.0..=1.0).contains(&b1));
+    });
+}
 
-    #[test]
-    fn mg1_waiting_grows_with_service_variance(
-        lambda in 0.01f64..0.9,
-        spread in 0.0f64..0.49,
-    ) {
+#[test]
+fn mg1_waiting_grows_with_service_variance() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.01..0.9);
+        let spread = g.f64_in(0.0..0.49);
         // Uniform service on [1-spread, 1+spread], E[S] = 1: P-K waiting
         // must be monotone in the spread.
         let narrow = MG1::uniform_service(lambda, 1.0 - spread / 2.0, 1.0 + spread / 2.0)
-            .unwrap().metrics().unwrap();
+            .unwrap()
+            .metrics()
+            .unwrap();
         let wide = MG1::uniform_service(lambda, 1.0 - spread, 1.0 + spread)
-            .unwrap().metrics().unwrap();
-        prop_assert!(wide.mean_waiting_time >= narrow.mean_waiting_time - 1e-12);
-    }
+            .unwrap()
+            .metrics()
+            .unwrap();
+        assert!(wide.mean_waiting_time >= narrow.mean_waiting_time - 1e-12);
+    });
+}
 
-    #[test]
-    fn gim1k_blocking_decreases_with_stages(
-        lambda in 0.05f64..2.0,
-        k in 1u32..10,
-        stages in 1u32..50,
-    ) {
+#[test]
+fn gim1k_blocking_decreases_with_stages() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.05..2.0);
+        let k = g.u32_in(1..10);
+        let stages = g.u32_in(1..50);
         let a = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Erlang { stages })
-            .unwrap().blocking_probability();
-        let b = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Erlang { stages: stages + 1 })
-            .unwrap().blocking_probability();
-        prop_assert!(b <= a + 1e-9, "stages {stages}: {a} -> {b}");
-    }
+            .unwrap()
+            .blocking_probability();
+        let b = GiM1K::new(
+            lambda,
+            1.0,
+            k,
+            InterarrivalKind::Erlang { stages: stages + 1 },
+        )
+        .unwrap()
+        .blocking_probability();
+        assert!(b <= a + 1e-9, "stages {stages}: {a} -> {b}");
+    });
+}
 
-    #[test]
-    fn gim1k_deterministic_is_the_smooth_limit(
-        lambda in 0.05f64..2.0,
-        k in 1u32..8,
-    ) {
+#[test]
+fn gim1k_deterministic_is_the_smooth_limit() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.05..2.0);
+        let k = g.u32_in(1..8);
         let det = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Deterministic)
-            .unwrap().blocking_probability();
+            .unwrap()
+            .blocking_probability();
         let e200 = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Erlang { stages: 200 })
-            .unwrap().blocking_probability();
-        prop_assert!(det <= e200 + 1e-6);
-        prop_assert!((det - e200).abs() < 0.02);
-    }
+            .unwrap()
+            .blocking_probability();
+        assert!(det <= e200 + 1e-6);
+        assert!((det - e200).abs() < 0.02);
+    });
+}
 
-    #[test]
-    fn gg1k_blocking_monotone_in_capacity(
-        rho in 0.05f64..2.5,
-        ca2 in 0.0f64..2.0,
-        cs2 in 0.0f64..2.0,
-        k in 1u32..15,
-    ) {
-        let a = GG1K::new(rho, 1.0, ca2, cs2, k).unwrap().blocking_probability();
-        let b = GG1K::new(rho, 1.0, ca2, cs2, k + 1).unwrap().blocking_probability();
-        prop_assert!(b <= a + 1e-9, "k {k}: {a} -> {b}");
-    }
+#[test]
+fn gg1k_blocking_monotone_in_capacity() {
+    cases(128, |g: &mut Gen| {
+        let rho = g.f64_in(0.05..2.5);
+        let ca2 = g.f64_in(0.0..2.0);
+        let cs2 = g.f64_in(0.0..2.0);
+        let k = g.u32_in(1..15);
+        let a = GG1K::new(rho, 1.0, ca2, cs2, k)
+            .unwrap()
+            .blocking_probability();
+        let b = GG1K::new(rho, 1.0, ca2, cs2, k + 1)
+            .unwrap()
+            .blocking_probability();
+        assert!(b <= a + 1e-9, "k {k}: {a} -> {b}");
+    });
+}
 
-    #[test]
-    fn gg1k_blocking_monotone_in_variability(
-        rho in 0.05f64..0.99,
-        ca2 in 0.0f64..1.0,
-        cs2 in 0.0f64..1.0,
-        bump in 0.0f64..1.0,
-        k in 1u32..10,
-    ) {
+#[test]
+fn gg1k_blocking_monotone_in_variability() {
+    cases(128, |g: &mut Gen| {
+        let rho = g.f64_in(0.05..0.99);
+        let ca2 = g.f64_in(0.0..1.0);
+        let cs2 = g.f64_in(0.0..1.0);
+        let bump = g.f64_in(0.0..1.0);
+        let k = g.u32_in(1..10);
         // Subcritical: more variability, more blocking.
-        let a = GG1K::new(rho, 1.0, ca2, cs2, k).unwrap().blocking_probability();
-        let b = GG1K::new(rho, 1.0, ca2 + bump, cs2, k).unwrap().blocking_probability();
-        prop_assert!(b >= a - 1e-12);
-    }
+        let a = GG1K::new(rho, 1.0, ca2, cs2, k)
+            .unwrap()
+            .blocking_probability();
+        let b = GG1K::new(rho, 1.0, ca2 + bump, cs2, k)
+            .unwrap()
+            .blocking_probability();
+        assert!(b >= a - 1e-12);
+    });
+}
 
-    #[test]
-    fn jackson_tandem_conserves_flow(
-        gamma in 0.1f64..5.0,
-        p12 in 0.0f64..1.0,
-        extra in 0.2f64..5.0,
-    ) {
+#[test]
+fn jackson_tandem_conserves_flow() {
+    cases(128, |g: &mut Gen| {
+        let gamma = g.f64_in(0.1..5.0);
+        let p12 = g.f64_in(0.0..1.0);
+        let extra = g.f64_in(0.2..5.0);
         // Two nodes in tandem, capacity above load at both.
         let mu1 = gamma + extra;
         let mu2 = gamma * p12 + extra;
         let nodes = [
-            NodeSpec { external_arrival_rate: gamma, service_rate: mu1, servers: 1 },
-            NodeSpec { external_arrival_rate: 0.0, service_rate: mu2, servers: 1 },
+            NodeSpec {
+                external_arrival_rate: gamma,
+                service_rate: mu1,
+                servers: 1,
+            },
+            NodeSpec {
+                external_arrival_rate: 0.0,
+                service_rate: mu2,
+                servers: 1,
+            },
         ];
         let routing = vec![vec![0.0, p12], vec![0.0, 0.0]];
         let net = JacksonNetwork::solve(&nodes, &routing).unwrap();
-        prop_assert!((net.node_arrival_rate(0) - gamma).abs() < 1e-9);
-        prop_assert!((net.node_arrival_rate(1) - gamma * p12).abs() < 1e-9);
+        assert!((net.node_arrival_rate(0) - gamma).abs() < 1e-9);
+        assert!((net.node_arrival_rate(1) - gamma * p12).abs() < 1e-9);
         // End-to-end response at least the visit-weighted service time.
         let floor = 1.0 / mu1 + p12 / mu2;
-        prop_assert!(net.mean_network_response_time() >= floor - 1e-9);
-    }
+        assert!(net.mean_network_response_time() >= floor - 1e-9);
+    });
+}
 
-    #[test]
-    fn birth_death_always_normalises(
-        rates in prop::collection::vec((0.0f64..10.0, 0.01f64..10.0), 1..80),
-    ) {
+#[test]
+fn birth_death_always_normalises() {
+    cases(128, |g: &mut Gen| {
+        let rates = g.vec(1..80, |g| (g.f64_in(0.0..10.0), g.f64_in(0.01..10.0)));
         let births: Vec<f64> = rates.iter().map(|&(b, _)| b).collect();
         let deaths: Vec<f64> = rates.iter().map(|&(_, d)| d).collect();
         let pi = birth_death::stationary(&births, &deaths).unwrap();
         let total: f64 = pi.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(pi.iter().all(|&p| p >= 0.0));
-    }
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    });
 }

@@ -38,7 +38,7 @@ pub const SIZE_CLASS_MODE: f64 = 1.309;
 pub const OFFPEAK_JOBS_MODE: f64 = 15.298;
 
 /// Configuration of the scientific workload.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScientificConfig {
     /// Generation horizon (paper: one day, starting midnight).
     pub horizon: SimTime,
@@ -175,12 +175,11 @@ impl ArrivalProcess for ScientificWorkload {
             let window_start = self.cursor;
             let day_start = self.cursor - t_day;
             // Truncate the window at the peak boundary if it straddles it.
-            let window_end =
-                (window_start + OFFPEAK_WINDOW).min(if t_day < PEAK_START {
-                    day_start + PEAK_START
-                } else {
-                    day_start + DAY
-                });
+            let window_end = (window_start + OFFPEAK_WINDOW).min(if t_day < PEAK_START {
+                day_start + PEAK_START
+            } else {
+                day_start + DAY
+            });
             self.plan_offpeak_window(window_start, rng);
             self.planned.retain(|&t| t < window_end);
             self.cursor = window_end;
@@ -282,7 +281,10 @@ mod tests {
         // Peak: 9 h at ~0.26 task/s ≈ 8500·; off-peak: 15 h at ~0.022.
         let peak_rate = peak_tasks as f64 / (9.0 * HOUR);
         let off_rate = off_tasks as f64 / (15.0 * HOUR);
-        assert!(peak_rate > 5.0 * off_rate, "peak {peak_rate} off {off_rate}");
+        assert!(
+            peak_rate > 5.0 * off_rate,
+            "peak {peak_rate} off {off_rate}"
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl Trace {
                 spread,
             });
         }
-        batches.sort_by(|a, b| a.time.cmp(&b.time));
+        batches.sort_by_key(|b| b.time);
         Ok(Trace { batches })
     }
 

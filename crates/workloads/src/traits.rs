@@ -41,7 +41,7 @@ pub trait ArrivalProcess {
 /// `base × (1 + U(0, inflation))` — the heterogeneity model of §V-B
 /// ("we added a uniformly-generated value between 0% and 10% to the
 /// processing time for each request").
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceModel {
     /// Service time of the request on an idle instance, before inflation.
     pub base: f64,

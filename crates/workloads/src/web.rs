@@ -41,7 +41,7 @@ pub const WEEKDAY_NAMES: [&str; 7] = [
 ];
 
 /// Configuration of the web workload.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WebConfig {
     /// Index into [`WEEKDAY_RATES`] of the simulation's day 0
     /// (paper: simulation starts Monday 12 a.m. → 1).
@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn model_rate_uses_weekday_table() {
         let w = WebWorkload::paper(); // starts Monday
-        // Monday noon: 1000 req/s.
+                                      // Monday noon: 1000 req/s.
         let monday_noon = SimTime::from_secs(DAY / 2.0);
         assert!((w.model_rate(monday_noon) - 1000.0).abs() < 1e-9);
         // Tuesday (day 1) noon: 1200 req/s.
@@ -202,7 +202,10 @@ mod tests {
             assert_eq!(b.spread, 60.0);
             times.push(b.time.as_secs());
         }
-        assert_eq!(times, vec![0.0, 60.0, 120.0, 180.0, 240.0, 300.0, 360.0, 420.0, 480.0, 540.0]);
+        assert_eq!(
+            times,
+            vec![0.0, 60.0, 120.0, 180.0, 240.0, 300.0, 360.0, 420.0, 480.0, 540.0]
+        );
     }
 
     #[test]

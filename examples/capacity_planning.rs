@@ -14,7 +14,7 @@
 use vmprov::core::hetero::{HeteroInputs, HeteroPlanner, VmClass};
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
 use vmprov::core::{AnalyticBackend, QosTargets};
-use vmprov::queueing::{InterarrivalKind, GiM1K, GG1K, MM1K};
+use vmprov::queueing::{GiM1K, InterarrivalKind, GG1K, MM1K};
 
 fn main() {
     let qos = QosTargets::new(0.250, 0.0, 0.80);
@@ -78,7 +78,11 @@ fn main() {
     for (class_idx, n) in &fleet.allocation {
         println!("  {:>3} × {}", n, classes[*class_idx].name);
     }
-    println!("  total: {} instances, ${:.2}/hour", fleet.total_instances(), fleet.hourly_cost);
+    println!(
+        "  total: {} instances, ${:.2}/hour",
+        fleet.total_instances(),
+        fleet.hourly_cost
+    );
 
     assert!(mm > 0.25 && gg < 1e-6);
 }

@@ -38,7 +38,10 @@ impl ProvisioningPolicy for ReactiveRule {
 
     fn evaluate(&mut self, status: &PoolStatus) -> u32 {
         // React to what the monitor saw in the last window.
-        let rate = status.monitor.observed_arrival_rate.max(self.last_rate * 0.5);
+        let rate = status
+            .monitor
+            .observed_arrival_rate
+            .max(self.last_rate * 0.5);
         self.last_rate = status.monitor.observed_arrival_rate;
         let m = (rate * status.monitor.mean_service_time / self.target_rho).ceil();
         (m as u32).max(1)
@@ -99,10 +102,7 @@ fn main() {
     );
 
     // A static pool sized for the burst, for reference.
-    let static_peak = run(
-        Box::new(vmprov::core::StaticPolicy::new(55, qos)),
-        5,
-    );
+    let static_peak = run(Box::new(vmprov::core::StaticPolicy::new(55, qos)), 5);
 
     println!("flash crowd: 50 req/s baseline, 400 req/s for 10 min\n");
     for s in [&reactive, &adaptive, &static_peak] {

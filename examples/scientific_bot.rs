@@ -16,7 +16,9 @@ fn main() {
     // The analyzer's mode-based estimates from §V-B2.
     let peak_estimate = SIZE_CLASS_MODE * 1.2 / PEAK_INTERARRIVAL_MODE;
     let off_estimate = OFFPEAK_JOBS_MODE * 2.6 / OFFPEAK_WINDOW;
-    println!("analyzer estimates: peak {peak_estimate:.4} tasks/s, off-peak {off_estimate:.4} tasks/s");
+    println!(
+        "analyzer estimates: peak {peak_estimate:.4} tasks/s, off-peak {off_estimate:.4} tasks/s"
+    );
     println!("(modes: interarrival {PEAK_INTERARRIVAL_MODE} s, size {SIZE_CLASS_MODE}, {OFFPEAK_JOBS_MODE} jobs/30 min)\n");
 
     let adaptive = run_once(&Scenario::scientific(PolicySpec::Adaptive, 3), 0);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Local mirror of .github/workflows/ci.yml: format check, lints, release
+# build, tests, and the quickbench suite.
+#
+# Works without network access: when the registry is unreachable the
+# cargo steps run with --offline against the committed Cargo.lock (the
+# workspace has no external dependencies, so offline resolution always
+# succeeds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "ci.sh: registry unreachable, continuing with --offline" >&2
+    OFFLINE=(--offline)
+fi
+
+run() {
+    echo "ci.sh: $*" >&2
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
+run cargo build "${OFFLINE[@]}" --workspace --release
+run cargo test "${OFFLINE[@]}" --workspace -q
+# Shrunk sizes, and written under target/ so the committed full-size
+# BENCH_des.json at the repo root is not clobbered.
+run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --quick --out target/BENCH_des.json
+
+echo "ci.sh: all checks passed" >&2

@@ -94,7 +94,11 @@ fn adaptive_beats_peak_static_on_cost_with_equal_qos() {
         Box::new(RoundRobin::new()),
         &RngFactory::new(21),
     );
-    assert!(adaptive.rejection_rate < 0.005, "{}", adaptive.rejection_rate);
+    assert!(
+        adaptive.rejection_rate < 0.005,
+        "{}",
+        adaptive.rejection_rate
+    );
     assert!(peak_static.rejection_rate < 0.005);
     assert!(
         adaptive.vm_hours < peak_static.vm_hours,
@@ -132,7 +136,10 @@ fn no_accepted_request_is_ever_lost() {
         Box::new(RoundRobin::new()),
         &RngFactory::new(33),
     );
-    assert_eq!(s.accepted_requests + s.rejected_requests, s.offered_requests);
+    assert_eq!(
+        s.accepted_requests + s.rejected_requests,
+        s.offered_requests
+    );
     // RunSummary.accepted counts admissions; the response stats count
     // completions — they must agree.
     assert!(s.mean_response_time > 0.0);

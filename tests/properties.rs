@@ -1,98 +1,99 @@
-//! Property-based tests (proptest) over the public API: invariants that
-//! must hold for *arbitrary* parameters, not just the evaluation's.
+//! Property-based tests over the public API: invariants that must hold
+//! for *arbitrary* parameters, not just the evaluation's.
 
-use proptest::prelude::*;
 use vmprov::core::dispatch::{Dispatcher, InstanceView, LeastOutstanding, RoundRobin};
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
-use vmprov::core::{AnalyticBackend, QosTargets};
+use vmprov::core::QosTargets;
 use vmprov::des::stats::OnlineStats;
-use vmprov::des::{EventQueue, SimTime};
+use vmprov::des::{EventQueue, FelBackend, SimTime};
 use vmprov::queueing::{GiM1K, InterarrivalKind, GG1K, MM1K};
+use vmprov_check::{cases, Gen};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn mm1k_metrics_always_valid(
-        lambda in 0.01f64..50.0,
-        mu in 0.01f64..50.0,
-        k in 1u32..40,
-    ) {
+#[test]
+fn mm1k_metrics_always_valid() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.01..50.0);
+        let mu = g.f64_in(0.01..50.0);
+        let k = g.u32_in(1..40);
         let m = MM1K::new(lambda, mu, k).unwrap().metrics();
-        prop_assert!(m.validate().is_ok(), "{m:?}: {:?}", m.validate());
+        assert!(m.validate().is_ok(), "{m:?}: {:?}", m.validate());
         // Accepted response bounded by k services.
-        prop_assert!(m.mean_response_time <= f64::from(k) / mu + 1e-9);
+        assert!(m.mean_response_time <= f64::from(k) / mu + 1e-9);
         // State probabilities normalise.
         let model = MM1K::new(lambda, mu, k).unwrap();
         let total: f64 = (0..=k).map(|n| model.prob_n(n)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-8);
-    }
+        assert!((total - 1.0).abs() < 1e-8);
+    });
+}
 
-    #[test]
-    fn mm1k_blocking_monotone_in_lambda(
-        l1 in 0.01f64..20.0,
-        delta in 0.0f64..20.0,
-        mu in 0.1f64..10.0,
-        k in 1u32..20,
-    ) {
+#[test]
+fn mm1k_blocking_monotone_in_lambda() {
+    cases(128, |g: &mut Gen| {
+        let l1 = g.f64_in(0.01..20.0);
+        let delta = g.f64_in(0.0..20.0);
+        let mu = g.f64_in(0.1..10.0);
+        let k = g.u32_in(1..20);
         let a = MM1K::new(l1, mu, k).unwrap().blocking_probability();
         let b = MM1K::new(l1 + delta, mu, k).unwrap().blocking_probability();
-        prop_assert!(b >= a - 1e-12);
-    }
+        assert!(b >= a - 1e-12);
+    });
+}
 
-    #[test]
-    fn gim1k_reduces_to_mm1k_for_poisson(
-        lambda in 0.05f64..5.0,
-        k in 1u32..15,
-    ) {
+#[test]
+fn gim1k_reduces_to_mm1k_for_poisson() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.05..5.0);
+        let k = g.u32_in(1..15);
         let gi = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Exponential).unwrap();
         let mm = MM1K::new(lambda, 1.0, k).unwrap();
-        prop_assert!(
-            (gi.blocking_probability() - mm.blocking_probability()).abs() < 1e-7
-        );
-    }
+        assert!((gi.blocking_probability() - mm.blocking_probability()).abs() < 1e-7);
+    });
+}
 
-    #[test]
-    fn gim1k_smoothing_never_hurts(
-        lambda in 0.05f64..3.0,
-        k in 1u32..10,
-        stages in 2u32..64,
-    ) {
+#[test]
+fn gim1k_smoothing_never_hurts() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.05..3.0);
+        let k = g.u32_in(1..10);
+        let stages = g.u32_in(2..64);
         // Smoother (Erlang) arrivals never block more than Poisson.
         let poisson = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Exponential).unwrap();
         let erlang = GiM1K::new(lambda, 1.0, k, InterarrivalKind::Erlang { stages }).unwrap();
-        prop_assert!(
-            erlang.blocking_probability() <= poisson.blocking_probability() + 1e-9
-        );
-    }
+        assert!(erlang.blocking_probability() <= poisson.blocking_probability() + 1e-9);
+    });
+}
 
-    #[test]
-    fn gg1k_metrics_always_valid(
-        rho in 0.01f64..3.0,
-        ca2 in 0.0f64..2.0,
-        cs2 in 0.0f64..2.0,
-        k in 1u32..20,
-    ) {
+#[test]
+fn gg1k_metrics_always_valid() {
+    cases(128, |g: &mut Gen| {
+        let rho = g.f64_in(0.01..3.0);
+        let ca2 = g.f64_in(0.0..2.0);
+        let cs2 = g.f64_in(0.0..2.0);
+        let k = g.u32_in(1..20);
         let q = GG1K::new(rho, 1.0, ca2, cs2, k).unwrap();
         let m = q.metrics();
-        prop_assert!(m.validate().is_ok(), "{m:?}: {:?}", m.validate());
+        assert!(m.validate().is_ok(), "{m:?}: {:?}", m.validate());
         let total: f64 = (0..=k).map(|n| q.prob_n(n)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-8, "normalisation {total}");
-    }
+        assert!((total - 1.0).abs() < 1e-8, "normalisation {total}");
+    });
+}
 
-    #[test]
-    fn algorithm1_always_terminates_in_bounds(
-        lambda in 0.1f64..5_000.0,
-        tm in 0.001f64..10.0,
-        current in 1u32..2_000,
-        max_vms in 1u32..5_000,
-        verbatim in any::<bool>(),
-    ) {
+#[test]
+fn algorithm1_always_terminates_in_bounds() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(0.1..5_000.0);
+        let tm = g.f64_in(0.001..10.0);
+        let current = g.u32_in(1..2_000);
+        let max_vms = g.u32_in(1..5_000);
+        let verbatim = g.chance(0.5);
         let qos = QosTargets::new(tm * 3.0, 0.0, 0.80); // k = 3 nominal
         let modeler = PerformanceModeler::new(
             qos,
             max_vms,
-            ModelerOptions { verbatim_bounds: verbatim, ..ModelerOptions::default() },
+            ModelerOptions {
+                verbatim_bounds: verbatim,
+                ..ModelerOptions::default()
+            },
         );
         let d = modeler.required_instances(&SizingInputs {
             expected_arrival_rate: lambda,
@@ -100,114 +101,125 @@ proptest! {
             service_scv: 0.01,
             current_instances: current,
         });
-        prop_assert!(d.instances >= 1 && d.instances <= max_vms);
-        prop_assert!(d.iterations <= 200);
+        assert!(d.instances >= 1 && d.instances <= max_vms);
+        assert!(d.iterations <= 200);
         // If the cap allows ρ ≤ 0.9, the returned size must meet QoS.
         let feasible = lambda * tm / f64::from(max_vms) <= 0.9;
         if feasible && !verbatim {
-            prop_assert!(
+            assert!(
                 d.predicted.blocking_probability <= 1e-3 + 1e-9,
                 "λ={lambda} tm={tm} m={} blocking {}",
                 d.instances,
                 d.predicted.blocking_probability
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn algorithm1_monotone_enough_in_load(
-        lambda in 1.0f64..1_000.0,
-        factor in 1.5f64..4.0,
-    ) {
+#[test]
+fn algorithm1_monotone_enough_in_load() {
+    cases(128, |g: &mut Gen| {
+        let lambda = g.f64_in(1.0..1_000.0);
+        let factor = g.f64_in(1.5..4.0);
         // Doubling-plus load never yields a smaller pool (same start).
         let qos = QosTargets::new(0.25, 0.0, 0.80);
         let modeler = PerformanceModeler::new(qos, 100_000, ModelerOptions::default());
-        let size = |l: f64| modeler.required_instances(&SizingInputs {
-            expected_arrival_rate: l,
-            monitored_service_time: 0.105,
-            service_scv: 0.001,
-            current_instances: 64,
-        }).instances;
-        prop_assert!(size(lambda * factor) >= size(lambda));
-    }
+        let size = |l: f64| {
+            modeler
+                .required_instances(&SizingInputs {
+                    expected_arrival_rate: l,
+                    monitored_service_time: 0.105,
+                    service_scv: 0.001,
+                    current_instances: 64,
+                })
+                .instances
+        };
+        assert!(size(lambda * factor) >= size(lambda));
+    });
+}
 
-    #[test]
-    fn eq1_capacity_respects_response_bound(
-        ts in 0.01f64..100.0,
-        tr_frac in 0.001f64..1.5,
-    ) {
-        let tr = ts * tr_frac;
+#[test]
+fn eq1_capacity_respects_response_bound() {
+    cases(128, |g: &mut Gen| {
+        let ts = g.f64_in(0.01..100.0);
+        let tr = ts * g.f64_in(0.001..1.5);
         let qos = QosTargets::new(ts, 0.0, 0.8);
         let k = qos.queue_capacity(tr);
-        prop_assert!(k >= 1);
+        assert!(k >= 1);
         // Either k·Tr ≤ Ts, or Tr alone exceeds Ts and k was floored at 1.
-        prop_assert!(f64::from(k) * tr <= ts + 1e-9 || (k == 1 && tr > ts - 1e-9));
-    }
+        assert!(f64::from(k) * tr <= ts + 1e-9 || (k == 1 && tr > ts - 1e-9));
+    });
+}
 
-    #[test]
-    fn dispatchers_never_pick_full_or_inactive(
-        sizes in prop::collection::vec((0u32..4, any::<bool>()), 0..20),
-        pointer_moves in 0usize..5,
-    ) {
-        let views: Vec<InstanceView> = sizes
-            .iter()
-            .map(|&(in_system, accepting)| InstanceView { in_system, capacity: 3, accepting })
-            .collect();
+#[test]
+fn dispatchers_never_pick_full_or_inactive() {
+    cases(128, |g: &mut Gen| {
+        let views: Vec<InstanceView> = g.vec(0..20, |g| InstanceView {
+            in_system: g.u32_in(0..4),
+            capacity: 3,
+            accepting: g.chance(0.5),
+        });
+        let pointer_moves = g.usize_in(0..5);
         let mut rr = RoundRobin::new();
         let mut lo = LeastOutstanding::new();
         for i in 0..=pointer_moves {
             let u = i as f64 / (pointer_moves + 1) as f64;
             for pick in [rr.pick(&views, u), lo.pick(&views, u)] {
                 match pick {
-                    Some(idx) => prop_assert!(views[idx].has_room()),
-                    None => prop_assert!(views.iter().all(|v| !v.has_room())),
+                    Some(idx) => assert!(views[idx].has_room()),
+                    None => assert!(views.iter().all(|v| !v.has_room())),
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn online_stats_merge_equals_sequential(
-        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
-        split in 0usize..200,
-    ) {
-        let split = split.min(xs.len());
+#[test]
+fn online_stats_merge_equals_sequential() {
+    cases(128, |g: &mut Gen| {
+        let xs = g.vec(1..200, |g| g.f64_in(-1e6..1e6));
+        let split = g.usize_in(0..200).min(xs.len());
         let mut whole = OnlineStats::new();
-        for &x in &xs { whole.push(x); }
+        for &x in &xs {
+            whole.push(x);
+        }
         let (a, b) = xs.split_at(split);
         let mut s1 = OnlineStats::new();
         let mut s2 = OnlineStats::new();
-        for &x in a { s1.push(x); }
-        for &x in b { s2.push(x); }
+        for &x in a {
+            s1.push(x);
+        }
+        for &x in b {
+            s2.push(x);
+        }
         s1.merge(&s2);
-        prop_assert_eq!(s1.count(), whole.count());
-        prop_assert!((s1.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
-        prop_assert!((s1.variance() - whole.variance()).abs()
-            <= 1e-5 * whole.variance().abs().max(1.0));
-    }
+        assert_eq!(s1.count(), whole.count());
+        assert!((s1.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        assert!((s1.variance() - whole.variance()).abs() <= 1e-5 * whole.variance().abs().max(1.0));
+    });
+}
 
-    #[test]
-    fn event_queue_pops_sorted_stable(
-        times in prop::collection::vec(0.0f64..1e6, 1..300),
-    ) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_secs(t), i);
-        }
-        let mut prev_time = SimTime::ZERO;
-        let mut seen_at_time: Vec<usize> = vec![];
-        let mut last = None;
-        while let Some((t, id)) = q.pop() {
-            prop_assert!(t >= prev_time);
-            if Some(t) == last {
-                // FIFO within equal timestamps: ids increase.
-                prop_assert!(seen_at_time.last().map_or(true, |&p| id > p));
-                seen_at_time.push(id);
-            } else {
-                seen_at_time = vec![id];
+#[test]
+fn event_queue_pops_sorted_stable() {
+    cases(128, |g: &mut Gen| {
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let times = g.vec(1..300, |g| g.f64_in(0.0..1e6));
+            let mut q = EventQueue::with_backend(backend);
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_secs(t), i);
             }
-            prev_time = t;
-            last = Some(t);
+            let mut prev: Option<(SimTime, usize)> = None;
+            while let Some((t, id)) = q.pop() {
+                if let Some((pt, pid)) = prev {
+                    assert!(t >= pt, "{backend:?} went backwards");
+                    if t == pt {
+                        // FIFO within equal timestamps: ids increase.
+                        assert!(id > pid, "{backend:?} broke same-time FIFO");
+                    }
+                }
+                prev = Some((t, id));
+            }
+            assert!(q.is_empty());
         }
-    }
+    });
 }

@@ -99,13 +99,8 @@ fn mm1k_closed_form_matches_simulation() {
     for (lambda, k) in [(0.5, 2u32), (0.8, 2), (0.8, 5), (1.5, 3)] {
         let model = MM1K::new(lambda, 1.0, k).unwrap();
         let exp = Exponential::new(lambda);
-        let (blocking, response) = simulate_queue(
-            k,
-            1.0,
-            Box::new(move |rng| exp.sample(rng)),
-            400_000.0,
-            42,
-        );
+        let (blocking, response) =
+            simulate_queue(k, 1.0, Box::new(move |rng| exp.sample(rng)), 400_000.0, 42);
         let m = model.metrics();
         assert!(
             (blocking - m.blocking_probability).abs() < 0.01,
@@ -127,8 +122,13 @@ fn erlang_arrival_embedded_chain_matches_simulation() {
     for (m_stages, rho) in [(4u32, 0.8), (16, 0.8), (16, 1.2)] {
         let lambda = rho;
         let stage = Exponential::new(f64::from(m_stages) * lambda);
-        let model = GiM1K::new(lambda, 1.0, 2, InterarrivalKind::Erlang { stages: m_stages })
-            .unwrap();
+        let model = GiM1K::new(
+            lambda,
+            1.0,
+            2,
+            InterarrivalKind::Erlang { stages: m_stages },
+        )
+        .unwrap();
         let (blocking, _) = simulate_queue(
             2,
             1.0,
@@ -243,7 +243,9 @@ fn paper_regime_has_negligible_blocking_in_both_views() {
     let w = engine.world();
     let sim_blocking = w.blocked as f64 / w.arrivals as f64;
 
-    let verbatim = MM1K::new(0.8 / 1.05, 1.0 / 1.05, 2).unwrap().blocking_probability();
+    let verbatim = MM1K::new(0.8 / 1.05, 1.0 / 1.05, 2)
+        .unwrap()
+        .blocking_probability();
     let two_moment = GG1K::new(lambda, 1.05, 1.0 / 32.0, 0.00076, 2)
         .unwrap()
         .blocking_probability();
