@@ -1,20 +1,27 @@
 //! `quickbench` — offline micro-benchmarks of the DES core.
 //!
 //! ```text
-//! quickbench [--out PATH] [--quick]
+//! quickbench [--out PATH] [--quick] [--check-probe-overhead PCT]
 //! ```
 //!
 //! Covers the future-event-list backends (calendar queue vs binary
 //! heap) at small and large pending sizes, cancellation churn, and one
-//! full small web simulation, then writes the results as JSON (default
-//! `BENCH_des.json` in the current directory). `--quick` shrinks the
-//! workloads so the suite stays fast in debug builds; headline numbers
-//! should come from `--release` runs.
+//! full small web simulation — run twice, once through the default
+//! (probe-less) path and once with an explicitly attached `NullProbe`,
+//! to measure that the observability generic monomorphizes away. The
+//! results are written as JSON (default `BENCH_des.json` in the
+//! current directory) including the measured `probe_overhead_pct`;
+//! `--check-probe-overhead PCT` makes the binary exit non-zero when
+//! the overhead exceeds `PCT` percent (ci.sh passes 2). `--quick`
+//! shrinks the workloads so the suite stays fast in debug builds;
+//! headline numbers should come from `--release` runs.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
+use vmprov_cloudsim::NullProbe;
 use vmprov_des::{EventQueue, FelBackend, RngFactory, SimTime};
-use vmprov_experiments::runner::run_once;
+use vmprov_experiments::runner::{builder_for, replication_seed};
 use vmprov_experiments::scenario::{PolicySpec, Scenario};
+use vmprov_json::Json;
 
 /// Workload sizes, shrunk by `--quick`.
 struct Sizes {
@@ -52,7 +59,9 @@ impl Sizes {
             hold_large: 20_000,
             churn: 10_000,
             fill: 10_000,
-            web_horizon: 60.0,
+            // Kept large enough that one run dominates scheduler noise —
+            // the probe-overhead gate needs stable per-run times.
+            web_horizon: 120.0,
             runs: 3,
         }
     }
@@ -124,26 +133,109 @@ fn bench_cancel(backend: FelBackend, n: usize, runs: u32) -> Timing {
     })
 }
 
-/// One full small web simulation end to end (events, policy, metrics).
-fn bench_web_run(horizon: f64, runs: u32) -> Timing {
+/// One full small web simulation end to end (events, policy, metrics),
+/// measured twice per round: once through the default (probe-less) path
+/// and once with an explicitly attached [`NullProbe`]. The probe
+/// generic must monomorphize to the probe-less hot path, so the two
+/// sides must match within noise; the returned overhead percentage is
+/// what `--check-probe-overhead` gates on (ci.sh passes 2).
+fn bench_web_pair(horizon: f64, runs: u32) -> (Timing, Timing, f64) {
     let scenario =
         Scenario::web(PolicySpec::Static(60), 0xBE7C).with_horizon(SimTime::from_secs(horizon));
+    // Both sides monomorphize here in the bench crate (rather than one
+    // calling the pre-compiled `run_once` in the experiments crate), so
+    // the comparison is between identical codegen units and the only
+    // difference left is the probe parameter itself.
+    let rngs = || RngFactory::new(replication_seed(scenario.seed, 0));
+    let base = || {
+        let summary = builder_for(&scenario).run(&rngs());
+        black_box(summary)
+    };
+    let probed = |offered: &mut u64| {
+        let (summary, probe) = builder_for(&scenario).probe(NullProbe).run_probed(&rngs());
+        *offered = summary.offered_requests;
+        black_box((summary, probe));
+    };
     let mut offered = 0u64;
-    let timing = bench("web_small_run", 1, 1, runs, || {
-        let summary = run_once(&scenario, 0);
-        offered = summary.offered_requests;
-        black_box(summary);
-    });
-    // Re-label ops with the real event count proxy now that it's known.
-    Timing {
-        ops: offered.max(1),
-        ..timing
+    // One unmeasured warmup round per side.
+    base();
+    probed(&mut offered);
+    // A 2% tolerance is far below this machine's clock drift, so the
+    // gate uses a paired statistic: the two sides of each round run
+    // back to back (drift cancels within the pair), the order within
+    // the pair is randomized (whoever runs second inherits the other's
+    // cache and allocator state, and a deterministic order can alias
+    // with periodic interference), pairs contaminated by a scheduler
+    // stall are discarded (a stall hits one member and wrecks the
+    // ratio), and the overhead is the geometric mean of the per-order
+    // median ratios, which cancels the run-second bias exactly.
+    let rounds = (6 * runs).max(30);
+    let mut order_rng = RngFactory::new(0x0DE2).stream("pair-order");
+    let mut base_ns = Vec::with_capacity(rounds as usize);
+    let mut probe_ns = Vec::with_capacity(rounds as usize);
+    let mut pairs: Vec<(u128, u128, bool)> = Vec::with_capacity(rounds as usize);
+    for _ in 0..rounds {
+        let measure_base = || {
+            let t = std::time::Instant::now();
+            base();
+            t.elapsed().as_nanos()
+        };
+        let mut measure_probed = || {
+            let t = std::time::Instant::now();
+            probed(&mut offered);
+            t.elapsed().as_nanos()
+        };
+        let base_first = order_rng.uniform01() < 0.5;
+        let (b, p) = if base_first {
+            let b = measure_base();
+            (b, measure_probed())
+        } else {
+            let p = measure_probed();
+            (measure_base(), p)
+        };
+        pairs.push((b, p, base_first));
+        base_ns.push(b);
+        probe_ns.push(p);
     }
+    let mut totals: Vec<u128> = pairs.iter().map(|&(b, p, _)| b + p).collect();
+    totals.sort_unstable();
+    let cutoff = totals[totals.len() / 2] * 5 / 4; // 1.25 × median pair time
+    let median = |mut xs: Vec<f64>| -> Option<f64> {
+        xs.sort_by(f64::total_cmp);
+        xs.get(xs.len() / 2).copied()
+    };
+    let ratios = |want_base_first: bool| {
+        median(
+            pairs
+                .iter()
+                .filter(|&&(b, p, first)| b + p <= cutoff && first == want_base_first)
+                .map(|&(b, p, _)| p as f64 / b as f64)
+                .collect(),
+        )
+    };
+    let overhead_pct = match (ratios(true), ratios(false)) {
+        (Some(bf), Some(pf)) => 100.0 * ((bf * pf).sqrt() - 1.0),
+        // A one-sided draw of orders (vanishingly unlikely at 30
+        // rounds): fall back to the single available group.
+        (one, other) => 100.0 * (one.or(other).expect("some pair survived") - 1.0),
+    };
+    let timing = |name: &str, samples_ns: Vec<u128>| Timing {
+        name: name.into(),
+        ops: offered.max(1),
+        warmup: 1,
+        samples_ns,
+    };
+    (
+        timing("web_small_run", base_ns),
+        timing("web_small_run_nullprobe", probe_ns),
+        overhead_pct,
+    )
 }
 
-fn parse_args() -> (std::path::PathBuf, Sizes) {
+fn parse_args() -> (std::path::PathBuf, Sizes, Option<f64>) {
     let mut out = std::path::PathBuf::from("BENCH_des.json");
     let mut sizes = Sizes::full();
+    let mut check_probe_overhead = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -155,8 +247,15 @@ fn parse_args() -> (std::path::PathBuf, Sizes) {
                 }
             },
             "--quick" => sizes = Sizes::quick(),
+            "--check-probe-overhead" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) => check_probe_overhead = Some(pct),
+                None => {
+                    eprintln!("--check-probe-overhead needs a percentage (try --help)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: quickbench [--out PATH] [--quick]");
+                eprintln!("usage: quickbench [--out PATH] [--quick] [--check-probe-overhead PCT]");
                 std::process::exit(0);
             }
             other => {
@@ -165,11 +264,11 @@ fn parse_args() -> (std::path::PathBuf, Sizes) {
             }
         }
     }
-    (out, sizes)
+    (out, sizes, check_probe_overhead)
 }
 
 fn main() {
-    let (out, sizes) = parse_args();
+    let (out, sizes, check_probe_overhead) = parse_args();
     let profile = if cfg!(debug_assertions) {
         "debug"
     } else {
@@ -199,8 +298,32 @@ fn main() {
         timings.push(bench_cancel(backend, sizes.fill, sizes.runs));
         println!("  {}", timings.last().unwrap().summary());
     }
-    timings.push(bench_web_run(sizes.web_horizon, sizes.runs));
-    println!("  {}", timings.last().unwrap().summary());
+    // The observability gate: an attached NullProbe must cost nothing.
+    let (web_base, web_probed, mut probe_overhead_pct) =
+        bench_web_pair(sizes.web_horizon, sizes.runs);
+    println!("  {}", web_base.summary());
+    println!("  {}", web_probed.summary());
+    timings.push(web_base);
+    timings.push(web_probed);
+    println!("  NullProbe vs probe-less web run: {probe_overhead_pct:+.2}% (paired median)");
+
+    // A real regression (the probe generic no longer compiling away)
+    // shows up in every measurement; a VM scheduling artifact does not.
+    // So when gating, an over-limit reading must persist across fresh
+    // re-measurements before it fails the run.
+    if let Some(limit) = check_probe_overhead {
+        for attempt in 2..=3 {
+            if probe_overhead_pct <= limit {
+                break;
+            }
+            println!("  over the {limit:.2}% limit — re-measuring (attempt {attempt}/3)");
+            let (_, _, remeasured) = bench_web_pair(sizes.web_horizon, sizes.runs);
+            probe_overhead_pct = remeasured;
+            println!(
+                "  NullProbe vs probe-less web run: {probe_overhead_pct:+.2}% (paired median)"
+            );
+        }
+    }
 
     // Headline comparison: calendar vs heap on the hold model.
     let rate = |name: &str| {
@@ -219,7 +342,24 @@ fn main() {
         );
     }
 
-    let doc = bench_report(profile, &timings);
+    let mut doc = bench_report(profile, &timings);
+    if let Json::Obj(members) = &mut doc {
+        members.push((
+            "probe_overhead_pct".to_string(),
+            Json::from(probe_overhead_pct),
+        ));
+    }
     std::fs::write(&out, doc.to_string_pretty() + "\n").expect("write bench report");
     println!("wrote {}", out.display());
+
+    if let Some(limit) = check_probe_overhead {
+        if probe_overhead_pct > limit {
+            eprintln!(
+                "quickbench: NullProbe overhead {probe_overhead_pct:.2}% exceeds the \
+                 {limit:.2}% limit — the probe generic is no longer free"
+            );
+            std::process::exit(1);
+        }
+        println!("  probe overhead within the {limit:.2}% limit");
+    }
 }

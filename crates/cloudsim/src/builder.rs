@@ -1,0 +1,240 @@
+//! The run API: compose a scenario, attach a probe, run it.
+//!
+//! [`SimBuilder`] replaces the old six-positional-argument
+//! `run_scenario` free function so probes, FEL backend choice, metrics
+//! options, and future knobs compose without another argument
+//! explosion:
+//!
+//! ```ignore
+//! // before
+//! let summary = run_scenario(cfg, workload, service, policy, dispatcher, &rngs);
+//! // after
+//! let summary = SimBuilder::new(cfg)
+//!     .workload(workload)
+//!     .service(service)
+//!     .policy(policy)
+//!     .dispatcher(dispatcher)
+//!     .run(&rngs);
+//! ```
+//!
+//! Attaching a probe rebinds the builder's type parameter, so the
+//! unprobed path stays statically monomorphized over [`NullProbe`]:
+//!
+//! ```ignore
+//! let (summary, sampler) = SimBuilder::new(cfg)
+//!     .workload(w).service(s).policy(p).dispatcher(d)
+//!     .probe(TimeSeriesProbe::new(60.0))
+//!     .run_probed(&rngs);
+//! let series = sampler.into_series();
+//! ```
+
+use crate::config::SimConfig;
+use crate::metrics::{MetricsOptions, RunSummary};
+use crate::probe::{NullProbe, Probe};
+use crate::sim::{run_engine, CloudSim};
+use vmprov_core::dispatch::Dispatcher;
+use vmprov_core::policy::ProvisioningPolicy;
+use vmprov_des::{FelBackend, RngFactory};
+use vmprov_workloads::{ArrivalProcess, ServiceModel};
+
+/// Builder for one simulation run. Construct with [`SimBuilder::new`],
+/// supply the four required components (workload, service model,
+/// policy, dispatcher), optionally attach a [`Probe`] and tweak knobs,
+/// then [`run`](SimBuilder::run). Missing components panic at `run`
+/// time with the component's name.
+pub struct SimBuilder<P: Probe = NullProbe> {
+    cfg: SimConfig,
+    workload: Option<Box<dyn ArrivalProcess + Send>>,
+    service: Option<ServiceModel>,
+    policy: Option<Box<dyn ProvisioningPolicy>>,
+    dispatcher: Option<Box<dyn Dispatcher>>,
+    probe: P,
+}
+
+impl SimBuilder<NullProbe> {
+    /// Starts a builder from a scenario configuration, with no probe.
+    pub fn new(cfg: SimConfig) -> Self {
+        SimBuilder {
+            cfg,
+            workload: None,
+            service: None,
+            policy: None,
+            dispatcher: None,
+            probe: NullProbe,
+        }
+    }
+}
+
+impl<P: Probe> SimBuilder<P> {
+    /// The arrival process driving the run (required).
+    pub fn workload(mut self, workload: Box<dyn ArrivalProcess + Send>) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// The service-time model (required).
+    pub fn service(mut self, service: ServiceModel) -> Self {
+        self.service = Some(service);
+        self
+    }
+
+    /// The provisioning policy (required).
+    pub fn policy(mut self, policy: Box<dyn ProvisioningPolicy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The request dispatcher (required).
+    pub fn dispatcher(mut self, dispatcher: Box<dyn Dispatcher>) -> Self {
+        self.dispatcher = Some(dispatcher);
+        self
+    }
+
+    /// Overrides the future-event-list backend (default: the config's).
+    pub fn fel_backend(mut self, backend: FelBackend) -> Self {
+        self.cfg.fel_backend = backend;
+        self
+    }
+
+    /// Overrides the metrics collection options (default: the config's).
+    pub fn metrics(mut self, options: MetricsOptions) -> Self {
+        self.cfg.metrics = options;
+        self
+    }
+
+    /// Attaches a probe, rebinding the builder's probe type. Compose
+    /// several with a tuple: `.probe((trace, sampler))`.
+    pub fn probe<Q: Probe>(self, probe: Q) -> SimBuilder<Q> {
+        SimBuilder {
+            cfg: self.cfg,
+            workload: self.workload,
+            service: self.service,
+            policy: self.policy,
+            dispatcher: self.dispatcher,
+            probe,
+        }
+    }
+
+    /// Runs the scenario to completion and returns its summary.
+    pub fn run(self, rngs: &RngFactory) -> RunSummary {
+        self.run_probed(rngs).0
+    }
+
+    /// Runs the scenario and also returns the probe, for reading back
+    /// what it collected (samples, counters, an owned trace buffer).
+    ///
+    /// `inline(never)` pins the whole simulation loop to one symbol per
+    /// probe type: without it the optimizer may emit separate copies for
+    /// `run` and direct `run_probed` callers, whose per-process layout
+    /// differences register as phantom probe overhead in quickbench. The
+    /// call happens once per simulation, so the attribute costs nothing.
+    #[inline(never)]
+    pub fn run_probed(self, rngs: &RngFactory) -> (RunSummary, P) {
+        let missing = |what: &str| -> ! {
+            panic!("SimBuilder::run: no {what} was set (call .{what}(…) before .run)")
+        };
+        let engine = CloudSim::engine_with_probe(
+            self.cfg,
+            self.workload.unwrap_or_else(|| missing("workload")),
+            self.service.unwrap_or_else(|| missing("service")),
+            self.policy.unwrap_or_else(|| missing("policy")),
+            self.dispatcher.unwrap_or_else(|| missing("dispatcher")),
+            rngs,
+            self.probe,
+        );
+        run_engine(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{CounterProbe, TimeSeriesProbe, TraceProbe};
+    use vmprov_core::qos::QosTargets;
+    use vmprov_core::{RoundRobin, StaticPolicy};
+    use vmprov_des::SimTime;
+    use vmprov_workloads::synthetic::PoissonProcess;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            hosts: 50,
+            monitor_interval: 10.0,
+            ..SimConfig::paper(0.100, 0.250)
+        }
+    }
+
+    fn base(m: u32, rate: f64, horizon: f64) -> SimBuilder {
+        SimBuilder::new(cfg())
+            .workload(Box::new(PoissonProcess::new(
+                rate,
+                SimTime::from_secs(horizon),
+            )))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(m, QosTargets::web_paper())))
+            .dispatcher(Box::new(RoundRobin::new()))
+    }
+
+    #[test]
+    fn builder_matches_positional_run() {
+        // The builder is a pure re-plumbing of the old free function:
+        // same seed → identical summary.
+        let a = base(8, 50.0, 500.0).run(&RngFactory::new(42));
+        #[allow(deprecated)]
+        let b = crate::sim::run_scenario(
+            cfg(),
+            Box::new(PoissonProcess::new(50.0, SimTime::from_secs(500.0))),
+            ServiceModel::new(0.100, 0.10),
+            Box::new(StaticPolicy::new(8, QosTargets::web_paper())),
+            Box::new(RoundRobin::new()),
+            &RngFactory::new(42),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_probe_leaves_the_summary_bit_identical() {
+        let rngs = RngFactory::new(7);
+        let plain = base(6, 40.0, 400.0).run(&rngs);
+        let (traced, probe) = base(6, 40.0, 400.0)
+            .probe((
+                TraceProbe::new(Vec::new()),
+                (TimeSeriesProbe::new(25.0), CounterProbe::new()),
+            ))
+            .run_probed(&rngs);
+        assert_eq!(plain, traced, "probes must not perturb the run");
+        let (trace, (sampler, counters)) = probe;
+        assert!(trace.lines() > 0);
+        assert!(sampler.samples().len() >= 400 / 25);
+        assert_eq!(counters.arrivals, plain.offered_requests);
+        assert_eq!(counters.completions, plain.accepted_requests);
+    }
+
+    #[test]
+    fn fel_backend_override_is_deterministic() {
+        let a = base(8, 50.0, 500.0)
+            .fel_backend(FelBackend::Calendar)
+            .run(&RngFactory::new(9));
+        let b = base(8, 50.0, 500.0)
+            .fel_backend(FelBackend::BinaryHeap)
+            .run(&RngFactory::new(9));
+        assert_eq!(a, b, "FEL backends must agree bit-for-bit");
+    }
+
+    #[test]
+    fn metrics_override_enables_p99() {
+        let s = base(8, 50.0, 300.0)
+            .metrics(MetricsOptions::with_histogram())
+            .run(&RngFactory::new(11));
+        assert!(s.p99_response_time.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no workload was set")]
+    fn missing_component_names_itself() {
+        SimBuilder::new(cfg())
+            .service(ServiceModel::new(0.1, 0.1))
+            .policy(Box::new(StaticPolicy::new(1, QosTargets::web_paper())))
+            .dispatcher(Box::new(RoundRobin::new()))
+            .run(&RngFactory::new(1));
+    }
+}

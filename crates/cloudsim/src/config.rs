@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::host::{PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
+use crate::metrics::MetricsOptions;
 use vmprov_des::FelBackend;
 
 /// Configuration of the simulated data center and measurement set-up.
@@ -28,9 +29,9 @@ pub struct SimConfig {
     pub initial_scv_estimate: f64,
     /// Response-time bound Ts used for violation counting.
     pub qos_ts: f64,
-    /// Collect a response-time histogram (≈30% hot-path overhead; off
-    /// for the full-scale runs, on when quantiles are wanted).
-    pub collect_histogram: bool,
+    /// What the run records beyond the always-on counters (histogram
+    /// on/off plus its bounds, p99 toggle).
+    pub metrics: MetricsOptions,
     /// Two-class priority admission (the paper's future-work item on
     /// serving high-priority requests first under contention). `None`
     /// disables classes entirely.
@@ -80,7 +81,7 @@ impl SimConfig {
             initial_service_estimate,
             initial_scv_estimate: 0.00076,
             qos_ts,
-            collect_histogram: false,
+            metrics: MetricsOptions::default(),
             priority: None,
             instance_mtbf: None,
             fel_backend: FelBackend::default(),

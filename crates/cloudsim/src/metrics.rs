@@ -7,6 +7,62 @@ use vmprov_des::stats::{LogHistogram, OnlineStats, TimeWeighted};
 use vmprov_des::SimTime;
 use vmprov_json::{field, field_f64, field_str, field_u64, FromJson, Json, ToJson};
 
+/// Collection knobs for [`RunMetrics`] — what to record beyond the
+/// always-on counters, and at what cost.
+///
+/// Replaces the old bare `bool` histogram flag so new options compose
+/// without growing the constructor's positional arguments (the same
+/// treatment [`SimBuilder`](crate::SimBuilder) gives the run API).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsOptions {
+    /// Record a response-time histogram (≈30% hot-path overhead on the
+    /// full-scale web run; required for quantiles).
+    pub histogram: bool,
+    /// `(min, max)` response-time bounds of the histogram in seconds.
+    /// Observations outside land in under/overflow buckets.
+    pub histogram_bounds: (f64, f64),
+    /// Relative bucket width of the histogram (0.01 → 1% resolution).
+    pub histogram_resolution: f64,
+    /// Report the p99 response time in [`RunSummary`] (requires
+    /// `histogram`; with it off the summary's p99 is `None` even when
+    /// the histogram was collected).
+    pub p99: bool,
+}
+
+impl Default for MetricsOptions {
+    /// Histogram off (the full-scale default); if enabled later, the
+    /// bounds match [`LogHistogram::for_latencies`] (1 µs … ~3 h at 1%).
+    fn default() -> Self {
+        MetricsOptions {
+            histogram: false,
+            histogram_bounds: (1e-6, 1.2e4),
+            histogram_resolution: 0.01,
+            p99: true,
+        }
+    }
+}
+
+impl MetricsOptions {
+    /// Default options with histogram (and hence p99) collection on.
+    pub fn with_histogram() -> Self {
+        MetricsOptions {
+            histogram: true,
+            ..MetricsOptions::default()
+        }
+    }
+
+    /// Builds the configured histogram, if enabled.
+    fn build_histogram(&self) -> Option<LogHistogram> {
+        self.histogram.then(|| {
+            LogHistogram::new(
+                self.histogram_bounds.0,
+                self.histogram_bounds.1,
+                self.histogram_resolution,
+            )
+        })
+    }
+}
+
 /// Live metric accumulators updated by the simulation.
 #[derive(Debug)]
 pub struct RunMetrics {
@@ -42,15 +98,18 @@ pub struct RunMetrics {
     pub instance_failures: u64,
     /// Admitted requests lost to instance crashes.
     pub requests_lost_to_failures: u64,
+    /// The options this run was collected with (needed at finalization
+    /// for the p99 toggle).
+    options: MetricsOptions,
 }
 
 impl RunMetrics {
-    /// Creates the accumulators at time zero with `initial` instances
-    /// and optional histogram collection.
-    pub fn new(initial_instances: u32, with_histogram: bool) -> Self {
+    /// Creates the accumulators at time zero with `initial` instances,
+    /// collecting what `options` asks for.
+    pub fn new(initial_instances: u32, options: MetricsOptions) -> Self {
         RunMetrics {
             response: OnlineStats::new(),
-            response_hist: with_histogram.then(LogHistogram::for_latencies),
+            response_hist: options.build_histogram(),
             rejected: 0,
             offered: 0,
             qos_violations: 0,
@@ -63,6 +122,7 @@ impl RunMetrics {
             offered_high: 0,
             instance_failures: 0,
             requests_lost_to_failures: 0,
+            options,
         }
     }
 
@@ -101,7 +161,11 @@ impl RunMetrics {
             } else {
                 0.0
             },
-            p99_response_time: self.response_hist.as_ref().and_then(|h| h.quantile(0.99)),
+            p99_response_time: if self.options.p99 {
+                self.response_hist.as_ref().and_then(|h| h.quantile(0.99))
+            } else {
+                None
+            },
             min_instances: self.instances.min() as u32,
             max_instances: self.instances.max() as u32,
             mean_instances: self.instances.average(end),
@@ -180,7 +244,11 @@ pub struct RunSummary {
     pub offered_high: u64,
     /// rejected_high / offered_high.
     pub rejection_rate_high: f64,
-    /// Low-priority rejection rate (equals overall without priority).
+    /// Low-priority rejection rate, derived by subtraction:
+    /// (rejected − rejected_high) / (offered − offered_high). Without
+    /// priority admission every request counts as low-priority (the
+    /// high counters stay 0), so this equals `rejection_rate` — it is
+    /// *not* an independently sampled rate.
     pub rejection_rate_low: f64,
     /// Instances killed by injected failures.
     pub instance_failures: u64,
@@ -272,7 +340,7 @@ mod tests {
 
     #[test]
     fn summary_derivations() {
-        let mut m = RunMetrics::new(2, true);
+        let mut m = RunMetrics::new(2, MetricsOptions::with_histogram());
         m.offered = 10;
         m.rejected = 2;
         m.record_completion(0.2, 0.1, 0.25);
@@ -294,7 +362,7 @@ mod tests {
 
     #[test]
     fn summary_json_round_trips() {
-        let mut m = RunMetrics::new(2, true);
+        let mut m = RunMetrics::new(2, MetricsOptions::with_histogram());
         m.offered = 10;
         m.rejected = 2;
         m.record_completion(0.2, 0.1, 0.25);
@@ -305,7 +373,8 @@ mod tests {
         let back = RunSummary::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, s);
         // And the Option field serializes as null when absent.
-        let empty = RunMetrics::new(1, false).finalize(SimTime::from_secs(1.0), "E");
+        let empty =
+            RunMetrics::new(1, MetricsOptions::default()).finalize(SimTime::from_secs(1.0), "E");
         let back =
             RunSummary::from_json(&Json::parse(&empty.to_json().to_string_pretty()).unwrap())
                 .unwrap();
@@ -314,7 +383,7 @@ mod tests {
 
     #[test]
     fn empty_run_is_well_defined() {
-        let m = RunMetrics::new(1, false);
+        let m = RunMetrics::new(1, MetricsOptions::default());
         let s = m.finalize(SimTime::from_secs(10.0), "Empty");
         assert_eq!(s.offered_requests, 0);
         assert_eq!(s.rejection_rate, 0.0);
@@ -325,9 +394,114 @@ mod tests {
 
     #[test]
     fn histogram_can_be_disabled() {
-        let mut m = RunMetrics::new(1, false);
+        let mut m = RunMetrics::new(1, MetricsOptions::default());
         m.record_completion(0.1, 0.1, 1.0);
         assert!(m.response_hist.is_none());
         assert_eq!(m.response.count(), 1);
+    }
+
+    #[test]
+    fn p99_toggle_suppresses_quantile_but_not_histogram() {
+        let mut m = RunMetrics::new(
+            1,
+            MetricsOptions {
+                p99: false,
+                ..MetricsOptions::with_histogram()
+            },
+        );
+        m.offered = 1;
+        m.record_completion(0.1, 0.1, 1.0);
+        assert!(m.response_hist.is_some(), "histogram still collected");
+        let s = m.finalize(SimTime::from_secs(1.0), "T");
+        assert_eq!(s.p99_response_time, None, "p99 toggled off");
+    }
+
+    #[test]
+    fn custom_histogram_bounds_are_honoured() {
+        let mut m = RunMetrics::new(
+            1,
+            MetricsOptions {
+                histogram: true,
+                histogram_bounds: (1e-3, 10.0),
+                histogram_resolution: 0.05,
+                p99: true,
+            },
+        );
+        for _ in 0..100 {
+            m.record_completion(0.5, 0.5, 1.0);
+        }
+        let p99 = m
+            .finalize(SimTime::from_secs(1.0), "T")
+            .p99_response_time
+            .expect("quantile available");
+        assert!((p99 - 0.5).abs() < 0.5 * 0.06, "p99 {p99} within 5% bucket");
+    }
+
+    #[test]
+    fn priority_rejection_rates_derive_by_subtraction() {
+        // 10 offered = 4 high + 6 low; 3 rejected = 1 high + 2 low.
+        let mut m = RunMetrics::new(1, MetricsOptions::default());
+        m.offered = 10;
+        m.rejected = 3;
+        m.offered_high = 4;
+        m.rejected_high = 1;
+        let s = m.finalize(SimTime::from_secs(1.0), "P");
+        assert!((s.rejection_rate_high - 1.0 / 4.0).abs() < 1e-12);
+        // Low = (rejected − rejected_high) / (offered − offered_high).
+        assert!((s.rejection_rate_low - 2.0 / 6.0).abs() < 1e-12);
+        assert!((s.rejection_rate - 3.0 / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_priority_low_rate_equals_overall() {
+        // With zero high-priority traffic all requests are low-priority,
+        // so the subtraction-derived low rate collapses to the overall.
+        let mut m = RunMetrics::new(1, MetricsOptions::default());
+        m.offered = 8;
+        m.rejected = 2;
+        let s = m.finalize(SimTime::from_secs(1.0), "P");
+        assert_eq!(s.rejection_rate_high, 0.0);
+        assert!((s.rejection_rate_low - s.rejection_rate).abs() < 1e-12);
+        assert!((s.rejection_rate - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_json_round_trips_every_field() {
+        // A summary with every field set to a distinct, non-default
+        // value — including Some(p99) and the priority/failure counters
+        // — survives ToJson → parse → FromJson bit-identically.
+        let s = RunSummary {
+            policy: "Adaptive".to_string(),
+            end_time: 604800.5,
+            offered_requests: 1_000_001,
+            accepted_requests: 999_900,
+            rejected_requests: 101,
+            rejection_rate: 101.0 / 1_000_001.0,
+            qos_violations: 37,
+            mean_response_time: 0.1375,
+            std_response_time: 0.0421,
+            max_response_time: 3.25,
+            p99_response_time: Some(0.9875),
+            min_instances: 7,
+            max_instances: 153,
+            mean_instances: 88.125,
+            vm_hours: 12345.678,
+            utilization: 0.8125,
+            vms_created: 412,
+            vm_creation_failures: 3,
+            rejected_high: 11,
+            offered_high: 300_000,
+            rejection_rate_high: 11.0 / 300_000.0,
+            rejection_rate_low: 90.0 / 700_001.0,
+            instance_failures: 9,
+            requests_lost_to_failures: 23,
+        };
+        let text = s.to_json().to_string_pretty();
+        let back = RunSummary::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        // Same through the compact form.
+        let compact =
+            RunSummary::from_json(&Json::parse(&s.to_json().to_string_compact()).unwrap()).unwrap();
+        assert_eq!(compact, s);
     }
 }

@@ -19,6 +19,7 @@
 use crate::config::SimConfig;
 use crate::host::HostPool;
 use crate::metrics::{RunMetrics, RunSummary};
+use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
 use std::collections::VecDeque;
 use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
@@ -52,6 +53,10 @@ pub enum Event {
         /// Instance slot index.
         slot: u32,
     },
+    /// Probe sampling tick — only ever scheduled when the probe's
+    /// [`sample_interval`](Probe::sample_interval) is `Some`, so
+    /// probe-less runs see an unchanged event stream.
+    Sample,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,8 +117,11 @@ impl InstancePool for PoolViewRef<'_> {
     }
 }
 
-/// The simulation world.
-pub struct CloudSim {
+/// The simulation world, generic over its observer. The default
+/// [`NullProbe`] monomorphizes every hook to nothing, so an unprobed
+/// `CloudSim` compiles to the same hot path as before the observability
+/// layer existed.
+pub struct CloudSim<P: Probe = NullProbe> {
     cfg: SimConfig,
     hosts: HostPool,
     instances: Vec<Instance>,
@@ -150,11 +158,17 @@ pub struct CloudSim {
     pub metrics: RunMetrics,
     /// QoS response-time bound used for violation counting.
     ts: f64,
+    /// The observer. Hooks never draw randomness or schedule events, so
+    /// any probe leaves the run's [`RunSummary`] bit-identical.
+    probe: P,
+    /// Time of the last emitted [`PoolSample`] (avoids a duplicate when
+    /// the end-of-run sample lands exactly on the grid).
+    last_sample_t: f64,
 }
 
 impl CloudSim {
-    /// Builds the world and returns an [`Engine`] primed with the
-    /// initial fleet, first batch, first evaluation, and monitor tick.
+    /// Builds an unprobed world — see
+    /// [`engine_with_probe`](CloudSim::engine_with_probe).
     pub fn engine(
         cfg: SimConfig,
         workload: Box<dyn ArrivalProcess + Send>,
@@ -163,6 +177,23 @@ impl CloudSim {
         dispatcher: Box<dyn Dispatcher>,
         rngs: &RngFactory,
     ) -> Engine<CloudSim> {
+        Self::engine_with_probe(cfg, workload, service, policy, dispatcher, rngs, NullProbe)
+    }
+}
+
+impl<P: Probe> CloudSim<P> {
+    /// Builds the world and returns an [`Engine`] primed with the
+    /// initial fleet, first batch, first evaluation, and monitor tick
+    /// (plus the sampling tick when the probe asks for one).
+    pub fn engine_with_probe(
+        cfg: SimConfig,
+        workload: Box<dyn ArrivalProcess + Send>,
+        service: ServiceModel,
+        policy: Box<dyn ProvisioningPolicy>,
+        dispatcher: Box<dyn Dispatcher>,
+        rngs: &RngFactory,
+        probe: P,
+    ) -> Engine<CloudSim<P>> {
         let horizon = workload.horizon();
         let initial = policy.initial_instances();
         let ts = cfg.qos_ts;
@@ -189,8 +220,10 @@ impl CloudSim {
             service_stats: OnlineStats::new(),
             window_arrivals: 0,
             horizon,
-            metrics: RunMetrics::new(0, cfg.collect_histogram),
+            metrics: RunMetrics::new(0, cfg.metrics),
             ts,
+            probe,
+            last_sample_t: f64::NEG_INFINITY,
             cfg,
         };
         let backend = world.cfg.fel_backend;
@@ -221,7 +254,55 @@ impl CloudSim {
         // instant.
         let w = engine.world_mut();
         w.metrics.instances = TimeWeighted::new(SimTime::ZERO, w.existing() as f64);
+        // Sampling is armed only when the probe asks for it: unprobed
+        // runs schedule no extra events and replay the exact pre-probe
+        // event stream.
+        if let Some(dt) = w.probe.sample_interval() {
+            assert!(dt > 0.0 && dt.is_finite(), "sample interval must be > 0");
+            engine.world_mut().emit_sample(SimTime::ZERO);
+            if dt <= engine.world().horizon.as_secs() {
+                engine.schedule(SimTime::from_secs(dt), Event::Sample);
+            }
+        }
         engine
+    }
+
+    /// Captures aggregate pool state and hands it to the probe.
+    fn emit_sample(&mut self, now: SimTime) {
+        let queue_depth: u64 = self
+            .active
+            .iter()
+            .chain(self.draining.iter())
+            .map(|&s| self.instances[s as usize].queue.len() as u64)
+            .sum();
+        // VM seconds accrued so far: destroyed instances are already in
+        // the metric; live ones are counted up to `now`, matching the
+        // end-of-run billing.
+        let live_vm_seconds: f64 = self
+            .instances
+            .iter()
+            .filter(|i| i.state != InstState::Dead)
+            .map(|i| now - i.created_at)
+            .sum();
+        let completed = self.metrics.response.count();
+        let sample = PoolSample {
+            t: now.as_secs(),
+            instances: self.existing(),
+            active: self.active.len() as u32,
+            booting: self.booting,
+            draining: self.draining.len() as u32,
+            queue_depth,
+            busy: self.busy_count as u32,
+            k: self.k,
+            offered: self.metrics.offered,
+            rejected: self.metrics.rejected,
+            completed,
+            response_sum: self.metrics.response.mean() * completed as f64,
+            busy_seconds: self.metrics.busy_seconds,
+            vm_seconds: self.metrics.vm_seconds + live_vm_seconds,
+        };
+        self.last_sample_t = now.as_secs();
+        self.probe.on_sample(&sample);
     }
 
     /// Existing (non-dead) instance count: booting + active + draining.
@@ -240,6 +321,7 @@ impl CloudSim {
         self.instances[slot as usize].state = InstState::Active;
         self.active.push(slot);
         self.free_count += 1; // fresh instance is empty
+        self.probe.on_vm_active(now, slot);
         Some(slot)
     }
 
@@ -269,6 +351,7 @@ impl CloudSim {
         });
         self.metrics.vms_created += 1;
         self.metrics.instances.add(now, 1.0);
+        self.probe.on_vm_boot(now, slot);
         Some(slot)
     }
 
@@ -293,6 +376,7 @@ impl CloudSim {
         self.metrics.instances.add(now, -1.0);
         let host = inst.host;
         self.hosts.release(host, self.cfg.vm_shape);
+        self.probe.on_vm_destroy(now, slot);
     }
 
     /// Recomputes `free_count` after `k` changes.
@@ -323,6 +407,7 @@ impl CloudSim {
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
                 }
+                self.probe.on_vm_revive(now, slot);
                 need -= 1;
             }
             // Boot fresh VMs for the remainder.
@@ -388,6 +473,7 @@ impl CloudSim {
                 }
                 self.instances[slot as usize].state = InstState::Draining;
                 self.draining.push(slot);
+                self.probe.on_vm_drain(now, slot);
                 excess -= 1;
             }
         }
@@ -424,6 +510,12 @@ impl CloudSim {
                 }
             }
         };
+        let class = if high {
+            RequestClass::High
+        } else {
+            RequestClass::Low
+        };
+        self.probe.on_arrival(now, class);
         let pick = if capacity == 0 {
             None
         } else {
@@ -440,6 +532,12 @@ impl CloudSim {
             if high && self.cfg.priority.is_some() {
                 self.metrics.rejected_high += 1;
             }
+            let reason = if capacity == 0 {
+                RejectReason::NoClassCapacity
+            } else {
+                RejectReason::PoolFull
+            };
+            self.probe.on_reject(now, class, reason);
             return;
         };
         let slot = self.active[idx];
@@ -447,10 +545,13 @@ impl CloudSim {
         let inst = &mut self.instances[slot as usize];
         inst.queue.push_back((now.as_secs(), svc));
         let len = inst.queue.len() as u32;
+        self.probe.on_admit(now, slot, len);
         if len == 1 {
             // Idle instance starts serving right away.
             self.busy_count += 1;
-            inst.completion_timer = Some(sched.after(svc, Event::Completion { slot }));
+            self.instances[slot as usize].completion_timer =
+                Some(sched.after(svc, Event::Completion { slot }));
+            self.probe.on_service_start(now, slot);
         }
         if len == self.k {
             self.free_count -= 1;
@@ -473,11 +574,13 @@ impl CloudSim {
         let response = now.as_secs() - arr;
         self.metrics.record_completion(response, svc, self.ts);
         self.service_stats.push(svc);
+        self.probe.on_service_complete(now, slot, response, svc);
         let remaining = self.instances[slot as usize].queue.len() as u32;
         if remaining > 0 {
             let next_svc = self.instances[slot as usize].queue[0].1;
             let h = sched.after(next_svc, Event::Completion { slot });
             self.instances[slot as usize].completion_timer = Some(h);
+            self.probe.on_service_start(now, slot);
         } else {
             self.busy_count -= 1;
         }
@@ -536,6 +639,7 @@ impl CloudSim {
         self.metrics.requests_lost_to_failures += lost;
         self.metrics.instance_failures += 1;
         self.instances[slot as usize].queue.clear();
+        self.probe.on_vm_crash(now, slot, lost);
         // destroy_instance withdraws the in-flight completion timer of
         // the request that just died with the instance.
         self.destroy_instance(slot, now, sched);
@@ -573,6 +677,11 @@ impl CloudSim {
             },
         };
         let target = self.policy.evaluate(&status);
+        // `last_decision` always describes the evaluation that just ran
+        // (None when the policy sized without Algorithm 1).
+        if let Some(d) = self.policy.last_decision().copied() {
+            self.probe.on_sizing(now, &d);
+        }
         self.apply_target(target, now, sched);
         if reschedule {
             let next = self.policy.next_evaluation(now);
@@ -583,7 +692,7 @@ impl CloudSim {
     }
 }
 
-impl World for CloudSim {
+impl<P: Probe> World for CloudSim<P> {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
@@ -625,9 +734,21 @@ impl World for CloudSim {
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
                 }
+                self.probe.on_vm_active(now, slot);
             }
             Event::Evaluate => self.handle_evaluate(now, sched, true),
             Event::Failure { slot } => self.handle_failure(slot, now, sched),
+            Event::Sample => {
+                self.emit_sample(now);
+                let dt = self
+                    .probe
+                    .sample_interval()
+                    .expect("sample event fired without a sampling probe");
+                let next = now + dt;
+                if next <= self.horizon {
+                    sched.at(next, Event::Sample);
+                }
+            }
             Event::Monitor => {
                 self.policy
                     .observe_arrivals(now, self.window_arrivals, self.cfg.monitor_interval);
@@ -641,20 +762,14 @@ impl World for CloudSim {
     }
 }
 
-/// Runs one complete scenario to completion and returns its summary.
+/// Runs a primed engine to completion and returns the summary plus the
+/// probe (for reading back collected samples/counters). The shared core
+/// behind [`SimBuilder::run`](crate::SimBuilder::run).
 ///
 /// The run ends when the workload is exhausted and every accepted
 /// request has completed; surviving VMs are then destroyed and billed to
 /// that final instant.
-pub fn run_scenario(
-    cfg: SimConfig,
-    workload: Box<dyn ArrivalProcess + Send>,
-    service: ServiceModel,
-    policy: Box<dyn ProvisioningPolicy>,
-    dispatcher: Box<dyn Dispatcher>,
-    rngs: &RngFactory,
-) -> RunSummary {
-    let mut engine = CloudSim::engine(cfg, workload, service, policy, dispatcher, rngs);
+pub(crate) fn run_engine<P: Probe>(mut engine: Engine<CloudSim<P>>) -> (RunSummary, P) {
     let name = engine.world().policy.name();
     let horizon = engine.world().horizon;
     engine.run_until(horizon);
@@ -676,6 +791,11 @@ pub fn run_scenario(
     engine.run();
     let end = engine.now();
     let world = engine.world_mut();
+    // A sampling probe gets one final off-grid sample so the series
+    // covers the drain tail (skipped when the end lands on the grid).
+    if world.probe.sample_interval().is_some() && end.as_secs() > world.last_sample_t {
+        world.emit_sample(end);
+    }
     // Bill surviving VMs up to the end of the run. Billing only — the
     // instance-count tracker keeps its final level so min/max reflect
     // pool dynamics, not the teardown.
@@ -685,12 +805,33 @@ pub fn run_scenario(
             world.metrics.vm_seconds += end - inst.created_at;
         }
     }
-    world.metrics.finalize(end, &name)
+    let summary = world.metrics.finalize(end, &name);
+    (summary, engine.into_world().probe)
+}
+
+/// Runs one complete scenario to completion and returns its summary.
+#[deprecated(note = "use SimBuilder: SimBuilder::new(cfg).workload(w).service(s)\
+            .policy(p).dispatcher(d).run(rngs)")]
+pub fn run_scenario(
+    cfg: SimConfig,
+    workload: Box<dyn ArrivalProcess + Send>,
+    service: ServiceModel,
+    policy: Box<dyn ProvisioningPolicy>,
+    dispatcher: Box<dyn Dispatcher>,
+    rngs: &RngFactory,
+) -> RunSummary {
+    crate::builder::SimBuilder::new(cfg)
+        .workload(workload)
+        .service(service)
+        .policy(policy)
+        .dispatcher(dispatcher)
+        .run(rngs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SimBuilder;
     use std::sync::Arc;
     use vmprov_core::analyzer::ScheduleAnalyzer;
     use vmprov_core::modeler::{ModelerOptions, PerformanceModeler};
@@ -715,14 +856,29 @@ mod tests {
         Box::new(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
     }
 
+    /// Builds and runs a scenario with the round-robin dispatcher.
+    fn run_sim(
+        cfg: SimConfig,
+        workload: Box<dyn ArrivalProcess + Send>,
+        svc: ServiceModel,
+        policy: Box<dyn ProvisioningPolicy>,
+        seed: u64,
+    ) -> RunSummary {
+        SimBuilder::new(cfg)
+            .workload(workload)
+            .service(svc)
+            .policy(policy)
+            .dispatcher(Box::new(RoundRobin::new()))
+            .run(&RngFactory::new(seed))
+    }
+
     fn run_static(m: u32, rate: f64, horizon: f64, seed: u64) -> RunSummary {
-        run_scenario(
+        run_sim(
             small_config(),
             poisson(rate, horizon),
             service(),
             Box::new(StaticPolicy::new(m, QosTargets::web_paper())),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(seed),
+            seed,
         )
     }
 
@@ -812,13 +968,12 @@ mod tests {
     fn adaptive_settles_near_utilization_floor() {
         // Steady 100 req/s: the pool should settle around
         // λ·Tm/[0.8, 0.97] ≈ 11–13 instances and reject ~nothing.
-        let s = run_scenario(
+        let s = run_sim(
             small_config(),
             poisson(100.0, 4_000.0),
             service(),
             adaptive_policy(Arc::new(|_| 100.0)),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(3),
+            3,
         );
         assert_eq!(s.policy, "Adaptive");
         assert!(s.rejection_rate < 0.001, "rejection {}", s.rejection_rate);
@@ -833,7 +988,7 @@ mod tests {
     #[test]
     fn adaptive_tracks_a_step_and_scales_down_cleanly() {
         let rate_fn = Arc::new(|t: SimTime| if t.as_secs() < 2_000.0 { 100.0 } else { 20.0 });
-        let s = run_scenario(
+        let s = run_sim(
             small_config(),
             Box::new(vmprov_workloads::synthetic::PiecewiseRateProcess::step(
                 100.0,
@@ -843,8 +998,7 @@ mod tests {
             )),
             service(),
             adaptive_policy(rate_fn),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(4),
+            4,
         );
         // Scaled up for the first phase, down for the second.
         assert!(s.max_instances >= 11, "max {}", s.max_instances);
@@ -884,13 +1038,12 @@ mod tests {
         // early requests are rejected until capacity arrives.
         let mut cfg = small_config();
         cfg.boot_delay = 300.0;
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(50.0, 2_000.0),
             service(),
             adaptive_policy(Arc::new(|_| 50.0)),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(11),
+            11,
         );
         // Some early rejections are unavoidable…
         assert!(s.rejected_requests > 0);
@@ -949,13 +1102,12 @@ mod tests {
             spread: 0.0,
         };
         let trace = vmprov_workloads::Trace::new(vec![burst(5.0), burst(120.0)]);
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             Box::new(trace.replay()),
             ServiceModel::new(100.0, 0.0),
             Box::new(policy),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(51),
+            51,
         );
         // Every VM that ever existed was part of the initial fleet: the
         // revive path avoided fresh boots.
@@ -972,13 +1124,12 @@ mod tests {
         // high-priority class must see far fewer rejections.
         let mut cfg = small_config();
         cfg.priority = Some(crate::config::PriorityConfig::new(0.2, 1));
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(60.0, 2_000.0), // offered ρ ≈ 1.26 on 5 instances
             service(),
             Box::new(StaticPolicy::new(5, QosTargets::web_paper())),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(31),
+            31,
         );
         assert!(s.offered_high > 10_000);
         let low_rate = s.rejection_rate_low;
@@ -1012,13 +1163,12 @@ mod tests {
     fn reserving_all_slots_starves_low_class() {
         let mut cfg = small_config();
         cfg.priority = Some(crate::config::PriorityConfig::new(0.5, 10)); // ≥ k
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(10.0, 500.0),
             service(),
             Box::new(StaticPolicy::new(5, QosTargets::web_paper())),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(33),
+            33,
         );
         // Every low-priority request is rejected; high flows freely.
         assert!((s.rejection_rate_low - 1.0).abs() < 1e-9);
@@ -1029,13 +1179,12 @@ mod tests {
     fn failures_kill_and_policy_replaces() {
         let mut cfg = small_config();
         cfg.instance_mtbf = Some(400.0); // aggressive: ~5 failures per VM-run
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(50.0, 2_000.0),
             service(),
             adaptive_policy(Arc::new(|_| 50.0)),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(41),
+            41,
         );
         assert!(s.instance_failures > 5, "failures {}", s.instance_failures);
         // Replacement keeps service going: rejection stays small even
@@ -1054,13 +1203,12 @@ mod tests {
         // the failure-triggered evaluation, so it also survives.
         let mut cfg = small_config();
         cfg.instance_mtbf = Some(300.0);
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(30.0, 1_500.0),
             service(),
             Box::new(StaticPolicy::new(6, QosTargets::web_paper())),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(43),
+            43,
         );
         assert!(s.instance_failures > 3);
         // Pool repeatedly restored to 6.
@@ -1073,13 +1221,12 @@ mod tests {
         // 2 hosts × 8 cores = 16 VMs max; the policy wants ~40.
         let mut cfg = small_config();
         cfg.hosts = 2;
-        let s = run_scenario(
+        let s = run_sim(
             cfg,
             poisson(300.0, 500.0),
             service(),
             adaptive_policy(Arc::new(|_| 300.0)),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(13),
+            13,
         );
         assert!(s.max_instances <= 16, "max {}", s.max_instances);
         assert!(s.vm_creation_failures > 0);

@@ -63,7 +63,8 @@ pub struct SizingInputs {
 }
 
 /// Outcome of one Algorithm 1 run, with the predicted per-instance
-/// metrics at the chosen size (for logging/inspection).
+/// metrics at the chosen size and the inputs that produced it (so
+/// observability probes can log the full decision context).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizingDecision {
     /// Number of instances able to meet QoS (Algorithm 1's `m`).
@@ -74,6 +75,9 @@ pub struct SizingDecision {
     pub queue_capacity: u32,
     /// Search iterations executed.
     pub iterations: u32,
+    /// The monitored state the decision was derived from (λ, Tm, SCV,
+    /// starting m).
+    pub inputs: SizingInputs,
 }
 
 /// The performance modeler: QoS targets + fleet cap + options.
@@ -174,6 +178,7 @@ impl PerformanceModeler {
                     predicted,
                     queue_capacity: k,
                     iterations,
+                    inputs: *inputs,
                 };
             }
         }

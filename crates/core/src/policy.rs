@@ -62,6 +62,15 @@ pub trait ProvisioningPolicy: Send {
     /// window of `window_len` seconds ending at `window_end`) to the
     /// policy's analyzer. Default: ignored.
     fn observe_arrivals(&mut self, _window_end: SimTime, _arrivals: u64, _window_len: f64) {}
+
+    /// The [`SizingDecision`] produced by the most recent
+    /// [`evaluate`](Self::evaluate) call, if that evaluation ran
+    /// Algorithm 1. Policies that size without the modeler (static
+    /// pools, rule-based controllers) return `None`, the default.
+    /// Observability probes consume this after each evaluation.
+    fn last_decision(&self) -> Option<&SizingDecision> {
+        None
+    }
 }
 
 /// The evaluation's baseline: a fixed number of instances forever.
@@ -136,7 +145,8 @@ impl AdaptivePolicy {
         }
     }
 
-    /// The most recent sizing decision, if any.
+    /// The sizing decision of the latest evaluation, if it ran
+    /// Algorithm 1 (see [`ProvisioningPolicy::last_decision`]).
     pub fn last_decision(&self) -> Option<&SizingDecision> {
         self.last_decision.as_ref()
     }
@@ -152,6 +162,9 @@ impl ProvisioningPolicy for AdaptivePolicy {
     }
 
     fn evaluate(&mut self, status: &PoolStatus) -> u32 {
+        // Cleared first so `last_decision` always describes *this*
+        // evaluation, never a stale earlier one.
+        self.last_decision = None;
         let predicted_rate = self
             .analyzer
             .predict_rate(status.now, self.planning_horizon);
@@ -180,6 +193,10 @@ impl ProvisioningPolicy for AdaptivePolicy {
 
     fn observe_arrivals(&mut self, window_end: SimTime, arrivals: u64, window_len: f64) {
         self.analyzer.observe(window_end, arrivals, window_len);
+    }
+
+    fn last_decision(&self) -> Option<&SizingDecision> {
+        self.last_decision.as_ref()
     }
 }
 

@@ -12,7 +12,7 @@
 
 use crate::runner::run_once;
 use crate::scenario::{DispatchSpec, PolicySpec, Scenario};
-use vmprov_cloudsim::{run_scenario, RunSummary, SimConfig};
+use vmprov_cloudsim::{RunSummary, SimBuilder, SimConfig};
 use vmprov_core::analyzer::{ArAnalyzer, EwmaAnalyzer, SlidingWindowAnalyzer, WorkloadAnalyzer};
 use vmprov_core::modeler::{ModelerOptions, PerformanceModeler};
 use vmprov_core::policy::AdaptivePolicy;
@@ -106,14 +106,12 @@ pub fn analyzer_ablation(seed: u64) -> Vec<AblationRow> {
         .map(|(label, analyzer)| {
             let modeler = PerformanceModeler::new(qos, 1000, ModelerOptions::default());
             let policy = AdaptivePolicy::new(analyzer, modeler, 120.0, 10);
-            let summary = run_scenario(
-                SimConfig::paper(0.100, 0.250),
-                make_workload(),
-                ServiceModel::new(0.100, 0.10),
-                Box::new(policy),
-                Box::new(RoundRobin::new()),
-                &RngFactory::new(seed),
-            );
+            let summary = SimBuilder::new(SimConfig::paper(0.100, 0.250))
+                .workload(make_workload())
+                .service(ServiceModel::new(0.100, 0.10))
+                .policy(Box::new(policy))
+                .dispatcher(Box::new(RoundRobin::new()))
+                .run(&RngFactory::new(seed));
             row(label, summary)
         })
         .collect()

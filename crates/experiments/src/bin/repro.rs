@@ -3,26 +3,36 @@
 //! ```text
 //! repro [table2|fig3|fig4|fig5|fig6|ablations|all]
 //!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
+//!       [--trace DIR]
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`):
 //! `figN.txt` (the table/series), `figN.csv`, and `figN.json` for the
-//! experiment figures.
+//! experiment figures. With `--trace DIR`, fig5/fig6 additionally run
+//! one fully-observed adaptive replication and write
+//! `figN_adaptive.jsonl` (the event trace), `figN_timeseries.json`
+//! (the sampled panel quantities), and `figN_curves.txt` (the Fig.
+//! 5/6 (a)–(d) curves as sparklines).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use vmprov_experiments::report::{figure_table, runs_csv, runs_json, series_csv, sparkline};
+use vmprov_experiments::report::{
+    figure_table, runs_csv, runs_json, series_csv, sparkline, timeseries_curves,
+};
 use vmprov_experiments::{
     ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
-    fig3_series, fig4_series, fig5, fig6, table2, Replicated, RunMode,
+    fig3_series, fig4_series, fig5, fig6, table2, trace_dt, traced_run, PolicySpec, Replicated,
+    RunMode, Scenario,
 };
+use vmprov_json::ToJson;
 
 struct Args {
     targets: Vec<String>,
     mode: RunMode,
     seed: u64,
     out: PathBuf,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut mode = RunMode::Quick;
     let mut seed = 20110926; // ICPP 2011 conference date
     let mut out = PathBuf::from("results");
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,9 +55,13 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a value")?);
             }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a value")?));
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
-                            [--mode smoke|quick|paper|full] [--seed N] [--out DIR]"
+                            [--mode smoke|quick|paper|full] [--seed N] [--out DIR] \
+                            [--trace DIR]"
                     .into())
             }
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
@@ -65,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         mode,
         seed,
         out,
+        trace,
     })
 }
 
@@ -82,6 +98,33 @@ fn emit_experiment(name: &str, title: &str, reps: &[Replicated], out: &Path) {
     write(&out.join(format!("{name}.txt")), &table);
     write(&out.join(format!("{name}.csv")), &runs_csv(reps));
     write(&out.join(format!("{name}.json")), &runs_json(reps));
+}
+
+/// Runs one fully-observed adaptive replication of `scenario` and
+/// writes the trace, the sampled time series, and the rendered curves
+/// under `dir`.
+fn emit_trace(name: &str, scenario: &Scenario, dir: &Path) {
+    fs::create_dir_all(dir).expect("create trace dir");
+    let dt = trace_dt(scenario.horizon.as_secs());
+    let jsonl = dir.join(format!("{name}_adaptive.jsonl"));
+    let traced = traced_run(scenario, 0, dt, &jsonl).expect("write trace");
+    println!(
+        "  traced adaptive run: {} events, {} samples (Δt {dt:.0} s)",
+        traced.trace_lines,
+        traced.series.samples.len()
+    );
+    println!("  wrote {}", jsonl.display());
+    write(
+        &dir.join(format!("{name}_timeseries.json")),
+        &traced.series.to_json().to_string_pretty(),
+    );
+    let curves = timeseries_curves(
+        &format!("{name} — the adaptive run over time (panels a–d)"),
+        &traced.series,
+        112,
+    );
+    println!("{curves}");
+    write(&dir.join(format!("{name}_curves.txt")), &curves);
 }
 
 fn main() {
@@ -150,6 +193,11 @@ fn main() {
                     &reps,
                     &args.out,
                 );
+                if let Some(dir) = &args.trace {
+                    let sc = Scenario::web(PolicySpec::Adaptive, args.seed)
+                        .with_horizon(args.mode.web_horizon());
+                    emit_trace("fig5", &sc, dir);
+                }
             }
             "fig6" => {
                 println!(
@@ -163,6 +211,10 @@ fn main() {
                     &reps,
                     &args.out,
                 );
+                if let Some(dir) = &args.trace {
+                    let sc = Scenario::scientific(PolicySpec::Adaptive, args.seed);
+                    emit_trace("fig6", &sc, dir);
+                }
             }
             "ablations" => {
                 use vmprov_des::SimTime;

@@ -28,7 +28,10 @@ pub use ablations::{
     AblationRow,
 };
 pub use figures::{fig3_series, fig4_series, fig5, fig6, table2, RunMode};
-pub use runner::{run_once, run_policy_set, run_replicated, Replicated};
+pub use runner::{
+    builder_for, run_once, run_policy_set, run_replicated, trace_dt, traced_run, Replicated,
+    TracedRun,
+};
 pub use scenario::{
     fig5_scenarios, fig6_scenarios, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
     SCI_STATIC_SIZES, WEB_STATIC_SIZES,

@@ -2,7 +2,7 @@
 //! the panels of Figs. 5 and 6, plus CSV and JSON dumps.
 
 use crate::runner::Replicated;
-use vmprov_cloudsim::RunSummary;
+use vmprov_cloudsim::{RunSummary, TimeSample, TimeSeries};
 use vmprov_json::ToJson;
 
 /// Renders an aligned ASCII table.
@@ -149,6 +149,47 @@ pub fn sparkline(series: &[(f64, f64)], width: usize) -> String {
     out
 }
 
+/// Renders a traced run's [`TimeSeries`] as the four panels of
+/// Fig. 5/6 — one labelled sparkline per panel, with the value range in
+/// brackets. Non-finite points (e.g. `mean_response` over an empty
+/// window) are skipped.
+pub fn timeseries_curves(title: &str, series: &TimeSeries, width: usize) -> String {
+    let panel = |label: &str, f: &dyn Fn(&TimeSample) -> f64| -> String {
+        let pts: Vec<(f64, f64)> = series
+            .samples
+            .iter()
+            .map(|s| (s.t, f(s)))
+            .filter(|&(_, y)| y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("{label}  (no data)\n");
+        }
+        let lo = pts.iter().map(|&(_, y)| y).fold(f64::INFINITY, f64::min);
+        let hi = pts
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max);
+        format!("{label}  [{lo:.3} … {hi:.3}]\n{}\n", sparkline(&pts, width))
+    };
+    let end = series.samples.last().map_or(0.0, |s| s.t);
+    let mut out = format!(
+        "{title}\n{} samples, Δt = {:.0} s, t = 0 … {:.0} s\n\n",
+        series.samples.len(),
+        series.dt,
+        end
+    );
+    out.push_str(&panel("(a) pool size (instances)", &|s| {
+        f64::from(s.instances)
+    }));
+    out.push_str(&panel("(b) utilization (%)", &|s| 100.0 * s.utilization));
+    out.push_str(&panel("(c) cumulative VM hours", &|s| s.vm_hours));
+    out.push_str(&panel("(d) mean response time (s)", &|s| s.mean_response));
+    out.push_str(&panel("(λ) realized arrival rate (req/s)", &|s| {
+        s.realized_rate
+    }));
+    out
+}
+
 /// Shortens a [`RunSummary`] to a one-line description for logs.
 pub fn one_line(r: &RunSummary) -> String {
     format!(
@@ -260,6 +301,40 @@ mod tests {
         let sl = sparkline(&flat, 5);
         assert!(sl.chars().all(|c| c == '▁'));
         assert_eq!(sparkline(&[], 5), "");
+    }
+
+    #[test]
+    fn timeseries_curves_render_all_panels() {
+        let samples: Vec<TimeSample> = (0..40)
+            .map(|i| TimeSample {
+                t: i as f64 * 30.0,
+                instances: 10 + (i % 5),
+                active: 10,
+                queue_depth: 3,
+                utilization: 0.8,
+                realized_rate: 100.0 + i as f64,
+                predicted_rate: f64::NAN,
+                sized_instances: 0,
+                // An empty first window: NaN must be skipped, not drawn.
+                mean_response: if i == 0 { f64::NAN } else { 0.105 },
+                vm_hours: i as f64 * 0.1,
+                rejected: 0,
+            })
+            .collect();
+        let series = TimeSeries { dt: 30.0, samples };
+        let text = timeseries_curves("Fig 5 over time", &series, 32);
+        assert!(text.contains("Fig 5 over time"));
+        for label in ["(a)", "(b)", "(c)", "(d)", "(λ)"] {
+            assert!(text.contains(label), "missing panel {label}");
+        }
+        assert!(text.contains("40 samples"));
+        assert!(!text.contains("NaN"));
+        // Empty series degrades gracefully.
+        let empty = TimeSeries {
+            dt: 30.0,
+            samples: vec![],
+        };
+        assert!(timeseries_curves("x", &empty, 32).contains("(no data)"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! records into means with 95% Student-t confidence intervals.
 
 use crate::scenario::Scenario;
-use vmprov_cloudsim::{run_scenario, RunSummary};
+use vmprov_cloudsim::{RunSummary, SimBuilder, TimeSeries, TimeSeriesProbe, TraceProbe};
 use vmprov_des::stats::{confidence_interval, Interval, Level, OnlineStats};
 use vmprov_des::RngFactory;
 use vmprov_json::{field_str, FromJson, Json, ToJson};
@@ -111,15 +111,59 @@ pub fn replication_seed(base: u64, rep: u32) -> u64 {
 
 /// Runs one replication of `scenario`.
 pub fn run_once(scenario: &Scenario, rep: u32) -> RunSummary {
-    let rngs = RngFactory::new(replication_seed(scenario.seed, rep));
-    run_scenario(
-        scenario.sim_config(),
-        scenario.build_workload(),
-        scenario.service_model(),
-        scenario.build_policy(),
-        scenario.build_dispatcher(),
-        &rngs,
-    )
+    builder_for(scenario).run(&RngFactory::new(replication_seed(scenario.seed, rep)))
+}
+
+/// A [`SimBuilder`] primed with every component of `scenario` — attach
+/// a probe and run for observed replications ([`run_once`] is
+/// `builder_for(s).run(…)`).
+pub fn builder_for(scenario: &Scenario) -> SimBuilder {
+    SimBuilder::new(scenario.sim_config())
+        .workload(scenario.build_workload())
+        .service(scenario.service_model())
+        .policy(scenario.build_policy())
+        .dispatcher(scenario.build_dispatcher())
+}
+
+/// One observed replication: the summary plus everything the probes
+/// collected along the way.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The run's metrics (bit-identical to an unprobed run).
+    pub summary: RunSummary,
+    /// JSONL event lines written to the trace file.
+    pub trace_lines: u64,
+    /// The sampled Fig 5/6 panel quantities over time.
+    pub series: TimeSeries,
+}
+
+/// Sampling period for a traced run: ~300 points across the horizon,
+/// clamped to [1 s, 600 s] so smoke runs stay fine-grained and week
+/// horizons don't flood the series.
+pub fn trace_dt(horizon_secs: f64) -> f64 {
+    (horizon_secs / 300.0).clamp(1.0, 600.0)
+}
+
+/// Runs one replication of `scenario` with the full observability
+/// stack: a JSONL event trace streamed to `trace_path` plus a
+/// [`TimeSeries`] sampled every `dt` seconds.
+pub fn traced_run(
+    scenario: &Scenario,
+    rep: u32,
+    dt: f64,
+    trace_path: &std::path::Path,
+) -> std::io::Result<TracedRun> {
+    let trace = TraceProbe::to_path(trace_path)?;
+    let (summary, (trace, sampler)) = builder_for(scenario)
+        .probe((trace, TimeSeriesProbe::new(dt)))
+        .run_probed(&RngFactory::new(replication_seed(scenario.seed, rep)));
+    let trace_lines = trace.lines();
+    trace.into_inner();
+    Ok(TracedRun {
+        summary,
+        trace_lines,
+        series: sampler.into_series(),
+    })
 }
 
 /// Runs `reps` replications of `scenario` in parallel.
@@ -210,6 +254,28 @@ mod tests {
             out[0].runs[0].offered_requests,
             out[1].runs[0].offered_requests
         );
+    }
+
+    #[test]
+    fn traced_run_observes_without_perturbing() {
+        let s = Scenario::web(PolicySpec::Adaptive, 99).with_horizon(SimTime::from_secs(120.0));
+        let path = std::env::temp_dir().join("vmprov_traced_run_test.jsonl");
+        let traced = traced_run(&s, 0, trace_dt(120.0), &path).expect("traced run");
+        // The probes must not perturb the simulation.
+        assert_eq!(traced.summary, run_once(&s, 0));
+        assert!(traced.trace_lines > 0);
+        // Δt clamps to 1 s here: one sample per second plus t = 0.
+        assert!(traced.series.samples.len() >= 100);
+        let on_disk = std::fs::read_to_string(&path).expect("trace file");
+        assert_eq!(on_disk.lines().count() as u64, traced.trace_lines);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_dt_clamps_to_sane_bounds() {
+        assert_eq!(trace_dt(120.0), 1.0);
+        assert_eq!(trace_dt(30_000.0), 100.0);
+        assert_eq!(trace_dt(vmprov_des::WEEK), 600.0);
     }
 
     #[test]

@@ -9,10 +9,13 @@ use vmprov_json::{FromJson, Json};
 #[test]
 fn repro_smoke_emits_well_formed_results() {
     let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke");
+    let trace = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke-trace");
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["fig6", "--mode", "smoke", "--seed", "7"])
         .arg("--out")
         .arg(&out)
+        .arg("--trace")
+        .arg(&trace)
         .status()
         .expect("spawn repro");
     assert!(status.success(), "repro exited with {status}");
@@ -51,4 +54,32 @@ fn repro_smoke_emits_well_formed_results() {
     // The CSV has one data row per (policy, replication).
     let csv = std::fs::read_to_string(out.join("fig6.csv")).expect("read fig6.csv");
     assert_eq!(csv.lines().count(), 1 + 6, "header + 6 rows");
+
+    // --trace adds the observed adaptive replication: a JSONL event
+    // trace, the sampled time series, and the rendered panel curves.
+    let jsonl =
+        std::fs::read_to_string(trace.join("fig6_adaptive.jsonl")).expect("read trace JSONL");
+    assert!(jsonl.lines().count() > 100, "trace is suspiciously short");
+    for line in jsonl.lines().take(50) {
+        let v = Json::parse(line).expect("every trace line is valid JSON");
+        assert!(
+            v.get("t").is_some() && v.get("ev").is_some(),
+            "trace line lacks t/ev: {line}"
+        );
+    }
+
+    let ts_raw = std::fs::read_to_string(trace.join("fig6_timeseries.json"))
+        .expect("read fig6_timeseries.json");
+    let ts = Json::parse(&ts_raw).expect("timeseries must parse");
+    assert!(ts.get("dt").is_some());
+    let samples = match ts.get("samples") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("samples must be an array, got {other:?}"),
+    };
+    assert!(samples.len() >= 100, "only {} samples", samples.len());
+
+    let curves = std::fs::read_to_string(trace.join("fig6_curves.txt")).expect("read curves");
+    for label in ["(a)", "(b)", "(c)", "(d)"] {
+        assert!(curves.contains(label), "curves missing panel {label}");
+    }
 }

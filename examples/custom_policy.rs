@@ -9,7 +9,7 @@
 //! ```
 
 use std::sync::Arc;
-use vmprov::cloudsim::{run_scenario, RunSummary, SimConfig};
+use vmprov::cloudsim::{RunSummary, SimBuilder, SimConfig};
 use vmprov::core::analyzer::SlidingWindowAnalyzer;
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler};
 use vmprov::core::policy::{AdaptivePolicy, PoolStatus, ProvisioningPolicy};
@@ -68,14 +68,12 @@ fn flash_crowd() -> Box<dyn ArrivalProcess + Send> {
 }
 
 fn run(policy: Box<dyn ProvisioningPolicy>, seed: u64) -> RunSummary {
-    run_scenario(
-        SimConfig::paper(0.100, 0.250),
-        flash_crowd(),
-        ServiceModel::new(0.100, 0.10),
-        policy,
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(seed),
-    )
+    SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(flash_crowd())
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(policy)
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(seed))
 }
 
 fn main() {

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 use vmprov::cloudsim::config::PriorityConfig;
-use vmprov::cloudsim::{run_scenario, SimConfig};
+use vmprov::cloudsim::{SimBuilder, SimConfig};
 use vmprov::core::analyzer::ScheduleAnalyzer;
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler};
 use vmprov::core::policy::AdaptivePolicy;
@@ -33,14 +33,15 @@ fn main() {
     ] {
         let mut cfg = SimConfig::paper(0.100, 0.250);
         cfg.priority = priority;
-        let s = run_scenario(
-            cfg,
-            Box::new(PoissonProcess::new(60.0, SimTime::from_mins(30.0))),
-            ServiceModel::new(0.100, 0.10),
-            Box::new(StaticPolicy::new(5, qos)),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(3),
-        );
+        let s = SimBuilder::new(cfg)
+            .workload(Box::new(PoissonProcess::new(
+                60.0,
+                SimTime::from_mins(30.0),
+            )))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(5, qos)))
+            .dispatcher(Box::new(RoundRobin::new()))
+            .run(&RngFactory::new(3));
         println!(
             "  {label}: overall rejection {:>5.1}%  high {:>5.1}%  low {:>5.1}%",
             100.0 * s.rejection_rate,
@@ -58,14 +59,20 @@ fn main() {
     cfg.instance_mtbf = Some(600.0);
     let analyzer = ScheduleAnalyzer::new(Arc::new(|_| 120.0), 120.0, 0.0);
     let modeler = PerformanceModeler::new(qos, 1000, ModelerOptions::default());
-    let s = run_scenario(
-        cfg,
-        Box::new(PoissonProcess::new(120.0, SimTime::from_hours(1.0))),
-        ServiceModel::new(0.100, 0.10),
-        Box::new(AdaptivePolicy::new(Box::new(analyzer), modeler, 180.0, 16)),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(5),
-    );
+    let s = SimBuilder::new(cfg)
+        .workload(Box::new(PoissonProcess::new(
+            120.0,
+            SimTime::from_hours(1.0),
+        )))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(AdaptivePolicy::new(
+            Box::new(analyzer),
+            modeler,
+            180.0,
+            16,
+        )))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(5));
     println!(
         "  {} crashes killed {} in-flight requests;",
         s.instance_failures, s.requests_lost_to_failures

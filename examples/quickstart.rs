@@ -6,7 +6,7 @@
 //! ```
 
 use std::sync::Arc;
-use vmprov::cloudsim::{run_scenario, SimConfig};
+use vmprov::cloudsim::{SimBuilder, SimConfig};
 use vmprov::core::analyzer::ScheduleAnalyzer;
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler};
 use vmprov::core::policy::AdaptivePolicy;
@@ -35,14 +35,12 @@ fn main() {
     // A paper-shaped data center (1000 hosts × 8 cores).
     let cfg = SimConfig::paper(0.100, qos.max_response_time);
 
-    let summary = run_scenario(
-        cfg,
-        Box::new(workload),
-        service,
-        Box::new(policy),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(7),
-    );
+    let summary = SimBuilder::new(cfg)
+        .workload(Box::new(workload))
+        .service(service)
+        .policy(Box::new(policy))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(7));
 
     println!("policy           : {}", summary.policy);
     println!("requests offered : {}", summary.offered_requests);

@@ -25,7 +25,9 @@ run cargo clippy "${OFFLINE[@]}" --workspace --all-targets -- -D warnings
 run cargo build "${OFFLINE[@]}" --workspace --release
 run cargo test "${OFFLINE[@]}" --workspace -q
 # Shrunk sizes, and written under target/ so the committed full-size
-# BENCH_des.json at the repo root is not clobbered.
-run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --quick --out target/BENCH_des.json
+# BENCH_des.json at the repo root is not clobbered. The probe-overhead
+# gate fails the build when a probe-less run is measurably slower than
+# before the observability layer (NullProbe must monomorphize away).
+run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --quick --out target/BENCH_des.json --check-probe-overhead 2
 
 echo "ci.sh: all checks passed" >&2

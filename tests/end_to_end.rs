@@ -3,7 +3,7 @@
 //! via the same API the examples and the experiment harness use.
 
 use std::sync::Arc;
-use vmprov::cloudsim::{run_scenario, RunSummary, SimConfig};
+use vmprov::cloudsim::{RunSummary, SimBuilder, SimConfig};
 use vmprov::core::analyzer::ScheduleAnalyzer;
 use vmprov::core::modeler::{ModelerOptions, PerformanceModeler};
 use vmprov::core::policy::AdaptivePolicy;
@@ -18,14 +18,15 @@ fn web_qos() -> QosTargets {
 }
 
 fn run_static_poisson(m: u32, rate: f64, horizon: f64, seed: u64) -> RunSummary {
-    run_scenario(
-        SimConfig::paper(0.100, 0.250),
-        Box::new(PoissonProcess::new(rate, SimTime::from_secs(horizon))),
-        ServiceModel::new(0.100, 0.10),
-        Box::new(StaticPolicy::new(m, web_qos())),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(seed),
-    )
+    SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(Box::new(PoissonProcess::new(
+            rate,
+            SimTime::from_secs(horizon),
+        )))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(m, web_qos())))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(seed))
 }
 
 #[test]
@@ -78,22 +79,23 @@ fn adaptive_beats_peak_static_on_cost_with_equal_qos() {
     });
     let analyzer = ScheduleAnalyzer::new(rate_fn, 120.0, 0.0);
     let modeler = PerformanceModeler::new(web_qos(), 500, ModelerOptions::default());
-    let adaptive = run_scenario(
-        SimConfig::paper(0.100, 0.250),
-        make_workload(),
-        ServiceModel::new(0.100, 0.10),
-        Box::new(AdaptivePolicy::new(Box::new(analyzer), modeler, 240.0, 5)),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(21),
-    );
-    let peak_static = run_scenario(
-        SimConfig::paper(0.100, 0.250),
-        make_workload(),
-        ServiceModel::new(0.100, 0.10),
-        Box::new(StaticPolicy::new(16, web_qos())),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(21),
-    );
+    let adaptive = SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(make_workload())
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(AdaptivePolicy::new(
+            Box::new(analyzer),
+            modeler,
+            240.0,
+            5,
+        )))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(21));
+    let peak_static = SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(make_workload())
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(16, web_qos())))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(21));
     assert!(
         adaptive.rejection_rate < 0.005,
         "{}",
@@ -128,14 +130,17 @@ fn no_accepted_request_is_ever_lost() {
     });
     let analyzer = ScheduleAnalyzer::new(rate_fn, 60.0, 0.0);
     let modeler = PerformanceModeler::new(web_qos(), 500, ModelerOptions::default());
-    let s = run_scenario(
-        SimConfig::paper(0.100, 0.250),
-        workload,
-        ServiceModel::new(0.100, 0.10),
-        Box::new(AdaptivePolicy::new(Box::new(analyzer), modeler, 90.0, 12)),
-        Box::new(RoundRobin::new()),
-        &RngFactory::new(33),
-    );
+    let s = SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(workload)
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(AdaptivePolicy::new(
+            Box::new(analyzer),
+            modeler,
+            90.0,
+            12,
+        )))
+        .dispatcher(Box::new(RoundRobin::new()))
+        .run(&RngFactory::new(33));
     assert_eq!(
         s.accepted_requests + s.rejected_requests,
         s.offered_requests
