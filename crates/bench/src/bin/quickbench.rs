@@ -1,20 +1,29 @@
-//! `quickbench` — offline micro-benchmarks of the DES core.
+//! `quickbench` — offline micro- and end-to-end benchmarks of the DES
+//! core.
 //!
 //! ```text
 //! quickbench [--out PATH] [--quick] [--check-probe-overhead PCT]
+//!            [--check-against PATH]
 //! ```
 //!
 //! Covers the future-event-list backends (calendar queue vs binary
-//! heap) at small and large pending sizes, cancellation churn, and one
-//! full small web simulation — run twice, once through the default
-//! (probe-less) path and once with an explicitly attached `NullProbe`,
-//! to measure that the observability generic monomorphizes away. The
-//! results are written as JSON (default `BENCH_des.json` in the
-//! current directory) including the measured `probe_overhead_pct`;
-//! `--check-probe-overhead PCT` makes the binary exit non-zero when
-//! the overhead exceeds `PCT` percent (ci.sh passes 2). `--quick`
-//! shrinks the workloads so the suite stays fast in debug builds;
-//! headline numbers should come from `--release` runs.
+//! heap) at small and large pending sizes, cancellation churn, and
+//! three end-to-end measurements: a small web simulation — run twice,
+//! once through the default (probe-less) path and once with an
+//! explicitly attached `NullProbe`, to measure that the observability
+//! generic monomorphizes away — a scientific simulation under the
+//! adaptive policy, and an Algorithm 1 sizing sweep through the
+//! cross-tick cache. The results are written as JSON (default
+//! `BENCH_des.json` in the current directory) including the measured
+//! `probe_overhead_pct`; `--check-probe-overhead PCT` makes the binary
+//! exit non-zero when the overhead exceeds `PCT` percent (ci.sh
+//! passes 2). `--check-against PATH` is the regression gate: every
+//! benchmark whose name appears in the baseline report at `PATH` must
+//! come in within 10% of the baseline's median, with one fresh
+//! re-measurement before an over-limit reading fails the run (a code
+//! regression persists across re-measurements; a scheduler artifact
+//! does not). `--quick` shrinks the workloads so the suite stays fast
+//! in debug builds; headline numbers should come from `--release` runs.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
 use vmprov_cloudsim::NullProbe;
@@ -24,6 +33,7 @@ use vmprov_experiments::scenario::{PolicySpec, Scenario};
 use vmprov_json::Json;
 
 /// Workload sizes, shrunk by `--quick`.
+#[derive(Clone, Copy)]
 struct Sizes {
     /// Pending events for the small hold-model benchmark (paper-scale
     /// FELs hold ~10⁴ events).
@@ -37,6 +47,9 @@ struct Sizes {
     fill: usize,
     /// Simulated seconds of the small web run.
     web_horizon: f64,
+    /// Simulated hours of the scientific run (long batch jobs need
+    /// hours before the adaptive policy scales).
+    sci_hours: f64,
     /// Measured runs per benchmark.
     runs: u32,
 }
@@ -49,6 +62,7 @@ impl Sizes {
             churn: 200_000,
             fill: 100_000,
             web_horizon: 600.0,
+            sci_hours: 10.0,
             runs: 5,
         }
     }
@@ -62,7 +76,18 @@ impl Sizes {
             // Kept large enough that one run dominates scheduler noise —
             // the probe-overhead gate needs stable per-run times.
             web_horizon: 120.0,
+            sci_hours: 2.0,
             runs: 3,
+        }
+    }
+
+    /// Tag recorded in the report so the regression gate never compares
+    /// medians measured at different workload sizes.
+    fn tag(&self) -> &'static str {
+        if self.hold_large >= 1_000_000 {
+            "full"
+        } else {
+            "quick"
         }
     }
 }
@@ -232,30 +257,110 @@ fn bench_web_pair(horizon: f64, runs: u32) -> (Timing, Timing, f64) {
     )
 }
 
-fn parse_args() -> (std::path::PathBuf, Sizes, Option<f64>) {
-    let mut out = std::path::PathBuf::from("BENCH_des.json");
-    let mut sizes = Sizes::full();
-    let mut check_probe_overhead = None;
+/// One scientific scenario end to end under the adaptive policy: long
+/// batch jobs, mode-based rate predictions, Algorithm 1 sizing at
+/// every analyzer tick. Complements `web_small_run` (short requests,
+/// static pool) with the modeler-heavy end of the paper's evaluation.
+fn bench_sci_run(hours: f64, runs: u32) -> Timing {
+    let scenario =
+        Scenario::scientific(PolicySpec::Adaptive, 0xBE7C).with_horizon(SimTime::from_hours(hours));
+    let rngs = RngFactory::new(replication_seed(scenario.seed, 0));
+    // One pre-run pins the ops count (offered requests are a property
+    // of the seeded workload, identical across runs).
+    let offered = builder_for(&scenario).run(&rngs).offered_requests;
+    bench(
+        "sci_small_run",
+        offered.max(1),
+        1,
+        (2 * runs).max(5),
+        || {
+            black_box(builder_for(&scenario).run(&rngs));
+        },
+    )
+}
+
+/// Algorithm 1 sizing over a repeating diurnal λ profile, through the
+/// same cross-tick cache the adaptive policy uses. Days repeat exactly
+/// (as schedule-driven predictions do), so day one pays the cold
+/// analytic cost and later days exercise the memo hit path — the mix a
+/// real adaptive run sees. Reported per sizing call.
+fn bench_modeler_sweep(runs: u32) -> Timing {
+    use vmprov_core::qos::QosTargets;
+    use vmprov_core::{ModelerOptions, PerformanceModeler, SizingCache, SizingInputs};
+    let modeler = PerformanceModeler::new(QosTargets::web_paper(), 1000, ModelerOptions::default());
+    const TICKS_PER_DAY: usize = 288; // 5-minute control ticks
+    const DAYS: usize = 7;
+    let lambdas: Vec<f64> = (0..TICKS_PER_DAY)
+        .map(|t| {
+            let phase = t as f64 / TICKS_PER_DAY as f64 * std::f64::consts::TAU;
+            700.0 - 500.0 * phase.cos() // 200..1200 req/s, the paper's web range
+        })
+        .collect();
+    let ops = (TICKS_PER_DAY * DAYS) as u64;
+    bench("modeler_sizing_sweep", ops, 1, (2 * runs).max(5), || {
+        let mut cache = SizingCache::new();
+        let mut prev = 1u32;
+        for _ in 0..DAYS {
+            for &lambda in &lambdas {
+                let d = modeler.required_instances_cached(
+                    &SizingInputs {
+                        expected_arrival_rate: lambda,
+                        monitored_service_time: 0.105,
+                        service_scv: 0.00076,
+                        current_instances: prev,
+                    },
+                    &mut cache,
+                );
+                prev = black_box(d.instances);
+            }
+        }
+    })
+}
+
+struct Args {
+    out: std::path::PathBuf,
+    sizes: Sizes,
+    check_probe_overhead: Option<f64>,
+    check_against: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: std::path::PathBuf::from("BENCH_des.json"),
+        sizes: Sizes::full(),
+        check_probe_overhead: None,
+        check_against: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
-                Some(path) => out = std::path::PathBuf::from(path),
+                Some(path) => args.out = std::path::PathBuf::from(path),
                 None => {
                     eprintln!("--out needs a value (try --help)");
                     std::process::exit(2);
                 }
             },
-            "--quick" => sizes = Sizes::quick(),
+            "--quick" => args.sizes = Sizes::quick(),
             "--check-probe-overhead" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(pct) => check_probe_overhead = Some(pct),
+                Some(pct) => args.check_probe_overhead = Some(pct),
                 None => {
                     eprintln!("--check-probe-overhead needs a percentage (try --help)");
                     std::process::exit(2);
                 }
             },
+            "--check-against" => match it.next() {
+                Some(path) => args.check_against = Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--check-against needs a baseline path (try --help)");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: quickbench [--out PATH] [--quick] [--check-probe-overhead PCT]");
+                eprintln!(
+                    "usage: quickbench [--out PATH] [--quick] [--check-probe-overhead PCT] \
+                     [--check-against PATH]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -264,11 +369,76 @@ fn parse_args() -> (std::path::PathBuf, Sizes, Option<f64>) {
             }
         }
     }
-    (out, sizes, check_probe_overhead)
+    args
+}
+
+/// `(name, median_ns)` pairs of a baseline report written by an earlier
+/// quickbench run, for the regression gate. Exits with status 2 on an
+/// unreadable baseline or a size/profile mismatch — a gate that cannot
+/// compare must not silently pass.
+fn load_baseline(path: &std::path::Path, profile: &str, size_tag: &str) -> Vec<(String, u64)> {
+    let fail = |msg: String| -> ! {
+        eprintln!("quickbench: --check-against {}: {msg}", path.display());
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e.to_string()));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("parse error: {e:?}")));
+    for (key, want) in [("profile", profile), ("sizes", size_tag)] {
+        match doc.get(key).and_then(Json::as_str) {
+            // Pre-gate baselines lack the `sizes` field; medians from an
+            // unknown size are not comparable either.
+            None => fail(format!("baseline records no `{key}` (regenerate it)")),
+            Some(have) if have != want => fail(format!(
+                "baseline was measured with {key}={have}, this run uses {key}={want} \
+                 — medians are not comparable"
+            )),
+            Some(_) => {}
+        }
+    }
+    let entries: Vec<(String, u64)> = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|b| {
+                    Some((
+                        b.get("name")?.as_str()?.to_string(),
+                        b.get("median_ns")?.as_u64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if entries.is_empty() {
+        fail("no benchmark entries found".to_string());
+    }
+    entries
+}
+
+/// One re-runnable benchmark unit for the regression gate: its current
+/// timings plus the closure that measures them afresh (re-measurement
+/// must rerun the whole unit — the web pair's two sides are one
+/// measurement, not two).
+struct BenchGroup {
+    timings: Vec<Timing>,
+    rerun: Box<dyn FnMut() -> Vec<Timing>>,
+}
+
+fn run_group(mut rerun: Box<dyn FnMut() -> Vec<Timing>>) -> BenchGroup {
+    let timings = rerun();
+    for t in &timings {
+        println!("  {}", t.summary());
+    }
+    BenchGroup { timings, rerun }
 }
 
 fn main() {
-    let (out, sizes, check_probe_overhead) = parse_args();
+    let Args {
+        out,
+        sizes,
+        check_probe_overhead,
+        check_against,
+    } = parse_args();
     let profile = if cfg!(debug_assertions) {
         "debug"
     } else {
@@ -276,36 +446,57 @@ fn main() {
     };
     println!("quickbench ({profile} profile), writing {}", out.display());
 
+    // Validated up front: a missing or mismatched baseline must abort
+    // before minutes of measurement, not after.
+    let baseline = check_against
+        .as_deref()
+        .map(|path| load_baseline(path, profile, sizes.tag()));
+
     let backends = [FelBackend::Calendar, FelBackend::BinaryHeap];
-    let mut timings: Vec<Timing> = Vec::new();
+    let mut groups: Vec<BenchGroup> = Vec::new();
     for backend in backends {
-        timings.push(bench_hold(
-            backend,
-            sizes.hold_small,
-            sizes.churn,
-            sizes.runs,
-        ));
-        println!("  {}", timings.last().unwrap().summary());
-        timings.push(bench_hold(
-            backend,
-            sizes.hold_large,
-            sizes.churn,
-            sizes.runs,
-        ));
-        println!("  {}", timings.last().unwrap().summary());
-        timings.push(bench_fill_drain(backend, sizes.fill, sizes.runs));
-        println!("  {}", timings.last().unwrap().summary());
-        timings.push(bench_cancel(backend, sizes.fill, sizes.runs));
-        println!("  {}", timings.last().unwrap().summary());
+        groups.push(run_group(Box::new(move || {
+            vec![bench_hold(
+                backend,
+                sizes.hold_small,
+                sizes.churn,
+                sizes.runs,
+            )]
+        })));
+        groups.push(run_group(Box::new(move || {
+            vec![bench_hold(
+                backend,
+                sizes.hold_large,
+                sizes.churn,
+                sizes.runs,
+            )]
+        })));
+        groups.push(run_group(Box::new(move || {
+            vec![bench_fill_drain(backend, sizes.fill, sizes.runs)]
+        })));
+        groups.push(run_group(Box::new(move || {
+            vec![bench_cancel(backend, sizes.fill, sizes.runs)]
+        })));
     }
     // The observability gate: an attached NullProbe must cost nothing.
     let (web_base, web_probed, mut probe_overhead_pct) =
         bench_web_pair(sizes.web_horizon, sizes.runs);
     println!("  {}", web_base.summary());
     println!("  {}", web_probed.summary());
-    timings.push(web_base);
-    timings.push(web_probed);
+    groups.push(BenchGroup {
+        timings: vec![web_base, web_probed],
+        rerun: Box::new(move || {
+            let (base, probed, _) = bench_web_pair(sizes.web_horizon, sizes.runs);
+            vec![base, probed]
+        }),
+    });
     println!("  NullProbe vs probe-less web run: {probe_overhead_pct:+.2}% (paired median)");
+    groups.push(run_group(Box::new(move || {
+        vec![bench_sci_run(sizes.sci_hours, sizes.runs)]
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_modeler_sweep(sizes.runs)]
+    })));
 
     // A real regression (the probe generic no longer compiling away)
     // shows up in every measurement; a VM scheduling artifact does not.
@@ -324,6 +515,56 @@ fn main() {
             );
         }
     }
+
+    // The regression gate, same re-measure-before-failing discipline as
+    // the probe gate above: anything >10% over the baseline median gets
+    // one fresh measurement of its whole group, and only a persistent
+    // breach fails the run. Names in the baseline that this run did not
+    // measure are reported (a silently shrinking suite would hollow the
+    // gate out); fresh names absent from the baseline pass — that is
+    // how new benchmarks land before the baseline is regenerated.
+    let mut gate_failures: Vec<String> = Vec::new();
+    if let Some(baseline) = &baseline {
+        const TOLERANCE: f64 = 1.10;
+        let lookup = |groups: &[BenchGroup], name: &str| -> Option<(usize, u128)> {
+            groups.iter().enumerate().find_map(|(i, g)| {
+                g.timings
+                    .iter()
+                    .find(|t| t.name == name)
+                    .map(|t| (i, t.median_ns()))
+            })
+        };
+        for (name, base_median) in baseline {
+            let Some((gi, fresh)) = lookup(&groups, name) else {
+                println!("  gate: baseline entry `{name}` was not measured this run");
+                continue;
+            };
+            let limit_ns = *base_median as f64 * TOLERANCE;
+            if fresh as f64 <= limit_ns {
+                continue;
+            }
+            println!(
+                "  gate: {name} median {fresh} ns exceeds baseline {base_median} ns by \
+                 >{:.0}% — re-measuring",
+                (TOLERANCE - 1.0) * 100.0
+            );
+            groups[gi].timings = (groups[gi].rerun)();
+            for t in &groups[gi].timings {
+                println!("  {}", t.summary());
+            }
+            let (_, fresh) = lookup(&groups, name).expect("re-measurement keeps the name");
+            if fresh as f64 > limit_ns {
+                gate_failures.push(format!(
+                    "{name}: median {fresh} ns vs baseline {base_median} ns \
+                     (limit {limit_ns:.0} ns)"
+                ));
+            } else {
+                println!("  gate: {name} back within the limit after re-measurement");
+            }
+        }
+    }
+
+    let timings: Vec<Timing> = groups.into_iter().flat_map(|g| g.timings).collect();
 
     // Headline comparison: calendar vs heap on the hold model.
     let rate = |name: &str| {
@@ -344,6 +585,7 @@ fn main() {
 
     let mut doc = bench_report(profile, &timings);
     if let Json::Obj(members) = &mut doc {
+        members.push(("sizes".to_string(), Json::from(sizes.tag().to_string())));
         members.push((
             "probe_overhead_pct".to_string(),
             Json::from(probe_overhead_pct),
@@ -361,5 +603,17 @@ fn main() {
             std::process::exit(1);
         }
         println!("  probe overhead within the {limit:.2}% limit");
+    }
+    if let Some(path) = &check_against {
+        if !gate_failures.is_empty() {
+            for failure in &gate_failures {
+                eprintln!("quickbench: regression gate: {failure}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "  regression gate: all medians within 10% of {}",
+            path.display()
+        );
     }
 }

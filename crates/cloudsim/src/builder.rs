@@ -1,14 +1,11 @@
 //! The run API: compose a scenario, attach a probe, run it.
 //!
-//! [`SimBuilder`] replaces the old six-positional-argument
-//! `run_scenario` free function so probes, FEL backend choice, metrics
-//! options, and future knobs compose without another argument
-//! explosion:
+//! [`SimBuilder`] replaced the old six-positional-argument
+//! `run_scenario` free function (removed after its one-release
+//! deprecation window) so probes, FEL backend choice, metrics options,
+//! and future knobs compose without another argument explosion:
 //!
 //! ```ignore
-//! // before
-//! let summary = run_scenario(cfg, workload, service, policy, dispatcher, &rngs);
-//! // after
 //! let summary = SimBuilder::new(cfg)
 //!     .workload(workload)
 //!     .service(service)
@@ -175,19 +172,11 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_positional_run() {
-        // The builder is a pure re-plumbing of the old free function:
-        // same seed → identical summary.
+    fn same_seed_same_build_is_reproducible() {
+        // Two independently-built runs with the same components and
+        // seed produce identical summaries.
         let a = base(8, 50.0, 500.0).run(&RngFactory::new(42));
-        #[allow(deprecated)]
-        let b = crate::sim::run_scenario(
-            cfg(),
-            Box::new(PoissonProcess::new(50.0, SimTime::from_secs(500.0))),
-            ServiceModel::new(0.100, 0.10),
-            Box::new(StaticPolicy::new(8, QosTargets::web_paper())),
-            Box::new(RoundRobin::new()),
-            &RngFactory::new(42),
-        );
+        let b = base(8, 50.0, 500.0).run(&RngFactory::new(42));
         assert_eq!(a, b);
     }
 

@@ -35,6 +35,4 @@ pub use probe::{
     CounterProbe, NullProbe, PoolSample, Probe, RejectReason, RequestClass, TimeSample, TimeSeries,
     TimeSeriesProbe, TraceProbe,
 };
-#[allow(deprecated)]
-pub use sim::run_scenario;
 pub use sim::{CloudSim, Event};

@@ -20,7 +20,6 @@ use crate::config::SimConfig;
 use crate::host::HostPool;
 use crate::metrics::{RunMetrics, RunSummary};
 use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
-use std::collections::VecDeque;
 use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
 use vmprov_des::stats::{OnlineStats, TimeWeighted};
@@ -59,6 +58,12 @@ pub enum Event {
     Sample,
 }
 
+// The FEL copies one `Event` per entry, so the payload must stay a
+// small index-keyed value (discriminant + u32 slot): no boxes, no wide
+// variants. Enforced at compile time.
+const _: () = assert!(std::mem::size_of::<Event>() == 8);
+const _: () = assert!(std::mem::size_of::<Option<Event>>() == 8);
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InstState {
     Booting,
@@ -67,22 +72,183 @@ enum InstState {
     Dead,
 }
 
-#[derive(Debug)]
-struct Instance {
-    state: InstState,
-    host: usize,
-    created_at: SimTime,
-    /// FIFO of (arrival time, service time); the head is in service.
-    queue: VecDeque<(f64, f64)>,
+/// Struct-of-arrays instance storage with free-list slot reuse.
+///
+/// The hot path (arrival → enqueue, completion → dequeue) touches only
+/// `qlen`/`qhead`/`qdata`, which stay contiguous across every live
+/// instance instead of being scattered per-`Instance` heap objects.
+/// Request queues live in one flat slab: slot `s` owns the ring
+/// `qdata[s·stride .. (s+1)·stride]` where `stride` is the smallest
+/// power of two holding `k + 1` entries, so admitting or completing a
+/// request is index arithmetic on shared storage and a destroyed slot's
+/// ring is reused verbatim by the next boot — steady-state VM churn
+/// allocates nothing.
+struct InstanceSlots {
+    state: Vec<InstState>,
+    host: Vec<usize>,
+    created_at: Vec<SimTime>,
+    /// Monotone creation sequence of the slot's current tenant. Slot
+    /// indices stop tracking creation order once the free list recycles
+    /// them, and end-of-run billing sums `vm_seconds` in creation order
+    /// (bit-identity with the pre-free-list float summation), so the
+    /// order is recorded explicitly.
+    created_seq: Vec<u64>,
     /// Pending [`Event::Booted`] timer while `Booting`; withdrawn when a
     /// scale-down cancels the boot.
-    boot_timer: Option<EventHandle>,
+    boot_timer: Vec<Option<EventHandle>>,
     /// Pending [`Event::Failure`] clock; withdrawn when the instance is
     /// destroyed before its crash (and at end-of-workload teardown).
-    failure_timer: Option<EventHandle>,
+    failure_timer: Vec<Option<EventHandle>>,
     /// Pending [`Event::Completion`] for the request in service;
     /// withdrawn when a crash discards the queue.
-    completion_timer: Option<EventHandle>,
+    completion_timer: Vec<Option<EventHandle>>,
+    /// Flat ring-buffer slab of (arrival time, service time) FIFOs; the
+    /// head entry of each slot's ring is the request in service.
+    qdata: Vec<(f64, f64)>,
+    qhead: Vec<u32>,
+    qlen: Vec<u32>,
+    /// Per-slot ring size (a power of two ≥ k + 1; grows on demand,
+    /// never shrinks).
+    stride: usize,
+    /// Freed slots available for reuse, popped LIFO.
+    free: Vec<u32>,
+    next_seq: u64,
+}
+
+impl InstanceSlots {
+    fn stride_for(k: u32) -> usize {
+        (k as usize + 1).next_power_of_two()
+    }
+
+    fn with_capacity(cap: usize, k: u32) -> Self {
+        let stride = Self::stride_for(k);
+        InstanceSlots {
+            state: Vec::with_capacity(cap),
+            host: Vec::with_capacity(cap),
+            created_at: Vec::with_capacity(cap),
+            created_seq: Vec::with_capacity(cap),
+            boot_timer: Vec::with_capacity(cap),
+            failure_timer: Vec::with_capacity(cap),
+            completion_timer: Vec::with_capacity(cap),
+            qdata: Vec::with_capacity(cap * stride),
+            qhead: Vec::with_capacity(cap),
+            qlen: Vec::with_capacity(cap),
+            stride,
+            free: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Total slots ever created (live + dead-awaiting-reuse).
+    fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Claims a slot in `Booting` state, reusing a freed one when
+    /// available (its ring storage is recycled as-is).
+    fn alloc(&mut self, host: usize, now: SimTime) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            debug_assert_eq!(self.state[i], InstState::Dead);
+            debug_assert_eq!(self.qlen[i], 0);
+            debug_assert!(
+                self.boot_timer[i].is_none()
+                    && self.failure_timer[i].is_none()
+                    && self.completion_timer[i].is_none(),
+                "freed slot still has timers armed"
+            );
+            self.state[i] = InstState::Booting;
+            self.host[i] = host;
+            self.created_at[i] = now;
+            self.created_seq[i] = seq;
+            self.qhead[i] = 0;
+            slot
+        } else {
+            let slot = self.state.len() as u32;
+            self.state.push(InstState::Booting);
+            self.host.push(host);
+            self.created_at.push(now);
+            self.created_seq.push(seq);
+            self.boot_timer.push(None);
+            self.failure_timer.push(None);
+            self.completion_timer.push(None);
+            self.qhead.push(0);
+            self.qlen.push(0);
+            self.qdata
+                .resize(self.qdata.len() + self.stride, (0.0, 0.0));
+            slot
+        }
+    }
+
+    /// Returns the slot to the free list (caller has already marked it
+    /// `Dead`, withdrawn its timers, and drained its queue).
+    fn release(&mut self, slot: u32) {
+        debug_assert_eq!(self.state[slot as usize], InstState::Dead);
+        debug_assert_eq!(self.qlen[slot as usize], 0);
+        self.free.push(slot);
+    }
+
+    #[inline]
+    fn queue_len(&self, slot: u32) -> u32 {
+        self.qlen[slot as usize]
+    }
+
+    /// Appends a request to the slot's ring; returns the new length.
+    #[inline]
+    fn push_back(&mut self, slot: u32, entry: (f64, f64)) -> u32 {
+        let i = slot as usize;
+        debug_assert!((self.qlen[i] as usize) < self.stride, "ring overflow");
+        let pos = (self.qhead[i] as usize + self.qlen[i] as usize) & (self.stride - 1);
+        self.qdata[i * self.stride + pos] = entry;
+        self.qlen[i] += 1;
+        self.qlen[i]
+    }
+
+    /// Removes and returns the request in service.
+    #[inline]
+    fn pop_front(&mut self, slot: u32) -> (f64, f64) {
+        let i = slot as usize;
+        debug_assert!(self.qlen[i] > 0, "pop on empty instance");
+        let e = self.qdata[i * self.stride + self.qhead[i] as usize];
+        self.qhead[i] = ((self.qhead[i] as usize + 1) & (self.stride - 1)) as u32;
+        self.qlen[i] -= 1;
+        e
+    }
+
+    /// The request in service (head of the ring).
+    #[inline]
+    fn front(&self, slot: u32) -> (f64, f64) {
+        let i = slot as usize;
+        self.qdata[i * self.stride + self.qhead[i] as usize]
+    }
+
+    fn clear_queue(&mut self, slot: u32) {
+        self.qhead[slot as usize] = 0;
+        self.qlen[slot as usize] = 0;
+    }
+
+    /// Grows every slot's ring when Eq. 1 raises `k` past the current
+    /// stride (rare: only when the monitored Tm crosses a capacity
+    /// boundary), preserving queue contents.
+    fn ensure_stride(&mut self, k: u32) {
+        let want = Self::stride_for(k);
+        if want <= self.stride {
+            return;
+        }
+        let n = self.len();
+        let mut data = vec![(0.0f64, 0.0f64); n * want];
+        for i in 0..n {
+            for j in 0..self.qlen[i] as usize {
+                let src = (self.qhead[i] as usize + j) & (self.stride - 1);
+                data[i * want + j] = self.qdata[i * self.stride + src];
+            }
+            self.qhead[i] = 0;
+        }
+        self.qdata = data;
+        self.stride = want;
+    }
 }
 
 /// Admission probe over the active instances. `capacity` is the
@@ -91,7 +257,7 @@ struct Instance {
 /// maintained counter; otherwise the default scan runs (used for the
 /// low-priority class, whose experiments are small-scale).
 struct PoolViewRef<'a> {
-    instances: &'a [Instance],
+    qlen: &'a [u32],
     active: &'a [u32],
     capacity: u32,
     exact_free: Option<usize>,
@@ -102,9 +268,8 @@ impl InstancePool for PoolViewRef<'_> {
         self.active.len()
     }
     fn view(&self, i: usize) -> InstanceView {
-        let inst = &self.instances[self.active[i] as usize];
         InstanceView {
-            in_system: inst.queue.len() as u32,
+            in_system: self.qlen[self.active[i] as usize],
             capacity: self.capacity,
             accepting: true,
         }
@@ -124,14 +289,15 @@ impl InstancePool for PoolViewRef<'_> {
 pub struct CloudSim<P: Probe = NullProbe> {
     cfg: SimConfig,
     hosts: HostPool,
-    instances: Vec<Instance>,
+    instances: InstanceSlots,
     /// Slots currently accepting requests, in creation order (the
     /// dispatcher's index space).
     active: Vec<u32>,
     /// Slots draining toward destruction.
     draining: Vec<u32>,
-    /// Number of booting instances.
-    booting: u32,
+    /// Booting slots in boot-start order (scale-downs cancel the newest
+    /// boot first, so cancellation pops from the back).
+    booting_slots: Vec<u32>,
     /// Active instances with room (the O(1) admission counter).
     free_count: usize,
     /// Active instances currently serving a request.
@@ -200,10 +366,10 @@ impl<P: Probe> CloudSim<P> {
         let k = policy.queue_capacity(cfg.initial_service_estimate);
         let world = CloudSim {
             hosts: HostPool::new(cfg.hosts, cfg.host_shape, cfg.placement),
-            instances: Vec::with_capacity(1024),
+            instances: InstanceSlots::with_capacity(1024, k),
             active: Vec::with_capacity(256),
             draining: Vec::new(),
-            booting: 0,
+            booting_slots: Vec::new(),
             free_count: 0,
             busy_count: 0,
             k,
@@ -234,7 +400,7 @@ impl<P: Probe> CloudSim<P> {
             if let Some(slot) = w.create_instance_immediately(SimTime::ZERO) {
                 if let Some(ttf) = w.draw_ttf() {
                     let h = engine.schedule(SimTime::from_secs(ttf), Event::Failure { slot });
-                    engine.world_mut().instances[slot as usize].failure_timer = Some(h);
+                    engine.world_mut().instances.failure_timer[slot as usize] = Some(h);
                 }
             }
         }
@@ -273,23 +439,24 @@ impl<P: Probe> CloudSim<P> {
             .active
             .iter()
             .chain(self.draining.iter())
-            .map(|&s| self.instances[s as usize].queue.len() as u64)
+            .map(|&s| self.instances.queue_len(s) as u64)
             .sum();
         // VM seconds accrued so far: destroyed instances are already in
-        // the metric; live ones are counted up to `now`, matching the
-        // end-of-run billing.
-        let live_vm_seconds: f64 = self
-            .instances
-            .iter()
-            .filter(|i| i.state != InstState::Dead)
-            .map(|i| now - i.created_at)
-            .sum();
+        // the metric; live ones are counted up to `now` in creation
+        // order (the same float summation order as the end-of-run
+        // billing, which slot reuse no longer guarantees by index).
+        let mut live: Vec<(u64, SimTime)> = (0..self.instances.len())
+            .filter(|&i| self.instances.state[i] != InstState::Dead)
+            .map(|i| (self.instances.created_seq[i], self.instances.created_at[i]))
+            .collect();
+        live.sort_unstable_by_key(|&(seq, _)| seq);
+        let live_vm_seconds: f64 = live.iter().map(|&(_, created)| now - created).sum();
         let completed = self.metrics.response.count();
         let sample = PoolSample {
             t: now.as_secs(),
             instances: self.existing(),
             active: self.active.len() as u32,
-            booting: self.booting,
+            booting: self.booting_slots.len() as u32,
             draining: self.draining.len() as u32,
             queue_depth,
             busy: self.busy_count as u32,
@@ -307,18 +474,18 @@ impl<P: Probe> CloudSim<P> {
 
     /// Existing (non-dead) instance count: booting + active + draining.
     fn existing(&self) -> u32 {
-        self.booting + self.active.len() as u32 + self.draining.len() as u32
+        (self.booting_slots.len() + self.active.len() + self.draining.len()) as u32
     }
 
     fn instance_has_room(&self, slot: u32) -> bool {
-        (self.instances[slot as usize].queue.len() as u32) < self.k
+        self.instances.queue_len(slot) < self.k
     }
 
     /// Creates an instance that is active immediately (initial fleet, or
     /// boot delay zero). Returns the slot if placement succeeded.
     fn create_instance_immediately(&mut self, now: SimTime) -> Option<u32> {
         let slot = self.allocate_instance(now)?;
-        self.instances[slot as usize].state = InstState::Active;
+        self.instances.state[slot as usize] = InstState::Active;
         self.active.push(slot);
         self.free_count += 1; // fresh instance is empty
         self.probe.on_vm_active(now, slot);
@@ -339,16 +506,7 @@ impl<P: Probe> CloudSim<P> {
             self.metrics.vm_creation_failures += 1;
             return None;
         };
-        let slot = self.instances.len() as u32;
-        self.instances.push(Instance {
-            state: InstState::Booting,
-            host,
-            created_at: now,
-            queue: VecDeque::with_capacity(self.k as usize + 1),
-            boot_timer: None,
-            failure_timer: None,
-            completion_timer: None,
-        });
+        let slot = self.instances.alloc(host, now);
         self.metrics.vms_created += 1;
         self.metrics.instances.add(now, 1.0);
         self.probe.on_vm_boot(now, slot);
@@ -358,25 +516,26 @@ impl<P: Probe> CloudSim<P> {
     /// Destroys an instance (must hold no requests), withdrawing every
     /// timer still armed for it so no dead-instance event ever fires.
     fn destroy_instance(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let inst = &mut self.instances[slot as usize];
-        debug_assert!(inst.queue.is_empty(), "destroying a busy instance");
-        debug_assert!(inst.state != InstState::Dead);
-        inst.state = InstState::Dead;
+        let i = slot as usize;
+        debug_assert_eq!(self.instances.qlen[i], 0, "destroying a busy instance");
+        debug_assert!(self.instances.state[i] != InstState::Dead);
+        self.instances.state[i] = InstState::Dead;
         for timer in [
-            inst.boot_timer.take(),
-            inst.failure_timer.take(),
-            inst.completion_timer.take(),
+            self.instances.boot_timer[i].take(),
+            self.instances.failure_timer[i].take(),
+            self.instances.completion_timer[i].take(),
         ]
         .into_iter()
         .flatten()
         {
             sched.cancel(timer);
         }
-        self.metrics.vm_seconds += now - inst.created_at;
+        self.metrics.vm_seconds += now - self.instances.created_at[i];
         self.metrics.instances.add(now, -1.0);
-        let host = inst.host;
+        let host = self.instances.host[i];
         self.hosts.release(host, self.cfg.vm_shape);
         self.probe.on_vm_destroy(now, slot);
+        self.instances.release(slot);
     }
 
     /// Recomputes `free_count` after `k` changes.
@@ -392,7 +551,7 @@ impl<P: Probe> CloudSim<P> {
     /// shrink (destroy idle, cancel booting, drain busy).
     fn apply_target(&mut self, target: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let target = target.max(1);
-        let existing_serving = self.booting + self.active.len() as u32;
+        let existing_serving = (self.booting_slots.len() + self.active.len()) as u32;
         if target > existing_serving {
             let mut need = target - existing_serving;
             // Revive draining instances first (§IV-C).
@@ -400,9 +559,8 @@ impl<P: Probe> CloudSim<P> {
                 let Some(slot) = self.draining.pop() else {
                     break;
                 };
-                let inst = &mut self.instances[slot as usize];
-                debug_assert_eq!(inst.state, InstState::Draining);
-                inst.state = InstState::Active;
+                debug_assert_eq!(self.instances.state[slot as usize], InstState::Draining);
+                self.instances.state[slot as usize] = InstState::Active;
                 self.active.push(slot);
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
@@ -415,9 +573,9 @@ impl<P: Probe> CloudSim<P> {
                 let created = if self.cfg.boot_delay <= 0.0 {
                     self.create_instance_immediately(now)
                 } else if let Some(slot) = self.allocate_instance(now) {
-                    self.booting += 1;
+                    self.booting_slots.push(slot);
                     let h = sched.after(self.cfg.boot_delay, Event::Booted { slot });
-                    self.instances[slot as usize].boot_timer = Some(h);
+                    self.instances.boot_timer[slot as usize] = Some(h);
                     Some(slot)
                 } else {
                     None
@@ -426,7 +584,7 @@ impl<P: Probe> CloudSim<P> {
                     if let Some(ttf) = self.draw_ttf() {
                         let h = sched
                             .after(self.cfg.boot_delay.max(0.0) + ttf, Event::Failure { slot });
-                        self.instances[slot as usize].failure_timer = Some(h);
+                        self.instances.failure_timer[slot as usize] = Some(h);
                     }
                 }
             }
@@ -436,7 +594,7 @@ impl<P: Probe> CloudSim<P> {
             let mut i = 0;
             while excess > 0 && i < self.active.len() {
                 let slot = self.active[i];
-                if self.instances[slot as usize].queue.is_empty() {
+                if self.instances.queue_len(slot) == 0 {
                     self.active.swap_remove(i);
                     self.free_count -= 1; // idle ⇒ had room
                     self.destroy_instance(slot, now, sched);
@@ -445,18 +603,15 @@ impl<P: Probe> CloudSim<P> {
                     i += 1;
                 }
             }
-            // 2. Cancel booting instances (they hold no work).
-            if excess > 0 {
-                for slot in (0..self.instances.len() as u32).rev() {
-                    if excess == 0 {
-                        break;
-                    }
-                    if self.instances[slot as usize].state == InstState::Booting {
-                        self.booting -= 1;
-                        self.destroy_instance(slot, now, sched);
-                        excess -= 1;
-                    }
-                }
+            // 2. Cancel booting instances (they hold no work), newest
+            //    boot first.
+            while excess > 0 {
+                let Some(slot) = self.booting_slots.pop() else {
+                    break;
+                };
+                debug_assert_eq!(self.instances.state[slot as usize], InstState::Booting);
+                self.destroy_instance(slot, now, sched);
+                excess -= 1;
             }
             // 3. Drain the busy instances with the fewest outstanding
             //    requests.
@@ -465,13 +620,13 @@ impl<P: Probe> CloudSim<P> {
                     .active
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, &s)| self.instances[s as usize].queue.len())
+                    .min_by_key(|(_, &s)| self.instances.queue_len(s))
                     .expect("non-empty");
                 let slot = self.active.swap_remove(idx);
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
                 }
-                self.instances[slot as usize].state = InstState::Draining;
+                self.instances.state[slot as usize] = InstState::Draining;
                 self.draining.push(slot);
                 self.probe.on_vm_drain(now, slot);
                 excess -= 1;
@@ -520,7 +675,7 @@ impl<P: Probe> CloudSim<P> {
             None
         } else {
             let view = PoolViewRef {
-                instances: &self.instances,
+                qlen: &self.instances.qlen,
                 active: &self.active,
                 capacity,
                 exact_free,
@@ -542,14 +697,12 @@ impl<P: Probe> CloudSim<P> {
         };
         let slot = self.active[idx];
         let svc = self.service.sample(&mut self.rng_service);
-        let inst = &mut self.instances[slot as usize];
-        inst.queue.push_back((now.as_secs(), svc));
-        let len = inst.queue.len() as u32;
+        let len = self.instances.push_back(slot, (now.as_secs(), svc));
         self.probe.on_admit(now, slot, len);
         if len == 1 {
             // Idle instance starts serving right away.
             self.busy_count += 1;
-            self.instances[slot as usize].completion_timer =
+            self.instances.completion_timer[slot as usize] =
                 Some(sched.after(svc, Event::Completion { slot }));
             self.probe.on_service_start(now, slot);
         }
@@ -559,27 +712,24 @@ impl<P: Probe> CloudSim<P> {
     }
 
     fn handle_completion(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let state = self.instances[slot as usize].state;
+        let state = self.instances.state[slot as usize];
         // Crashes withdraw the pending completion, so this event can
         // only reach a live instance.
         debug_assert!(
             state != InstState::Dead,
             "completion leaked past cancellation"
         );
-        self.instances[slot as usize].completion_timer = None;
-        let (arr, svc) = self.instances[slot as usize]
-            .queue
-            .pop_front()
-            .expect("completion on empty instance");
+        self.instances.completion_timer[slot as usize] = None;
+        let (arr, svc) = self.instances.pop_front(slot);
         let response = now.as_secs() - arr;
         self.metrics.record_completion(response, svc, self.ts);
         self.service_stats.push(svc);
         self.probe.on_service_complete(now, slot, response, svc);
-        let remaining = self.instances[slot as usize].queue.len() as u32;
+        let remaining = self.instances.queue_len(slot);
         if remaining > 0 {
-            let next_svc = self.instances[slot as usize].queue[0].1;
+            let next_svc = self.instances.front(slot).1;
             let h = sched.after(next_svc, Event::Completion { slot });
-            self.instances[slot as usize].completion_timer = Some(h);
+            self.instances.completion_timer[slot as usize] = Some(h);
             self.probe.on_service_start(now, slot);
         } else {
             self.busy_count -= 1;
@@ -607,11 +757,11 @@ impl<P: Probe> CloudSim<P> {
     /// lost, resources are released, and the policy is re-evaluated
     /// immediately (idealized instant failure detection).
     fn handle_failure(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let state = self.instances[slot as usize].state;
+        let state = self.instances.state[slot as usize];
         // Destruction withdraws the failure clock, so this event can
         // only reach a live instance.
         debug_assert!(state != InstState::Dead, "failure leaked past cancellation");
-        self.instances[slot as usize].failure_timer = None;
+        self.instances.failure_timer[slot as usize] = None;
         match state {
             InstState::Active => {
                 let idx = self
@@ -623,7 +773,7 @@ impl<P: Probe> CloudSim<P> {
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
                 }
-                if !self.instances[slot as usize].queue.is_empty() {
+                if self.instances.queue_len(slot) > 0 {
                     self.busy_count -= 1;
                 }
             }
@@ -631,14 +781,19 @@ impl<P: Probe> CloudSim<P> {
                 self.draining.retain(|&s| s != slot);
             }
             InstState::Booting => {
-                self.booting -= 1;
+                let idx = self
+                    .booting_slots
+                    .iter()
+                    .position(|&s| s == slot)
+                    .expect("booting instance not in booting list");
+                self.booting_slots.remove(idx);
             }
             InstState::Dead => unreachable!(),
         }
-        let lost = self.instances[slot as usize].queue.len() as u64;
+        let lost = self.instances.queue_len(slot) as u64;
         self.metrics.requests_lost_to_failures += lost;
         self.metrics.instance_failures += 1;
-        self.instances[slot as usize].queue.clear();
+        self.instances.clear_queue(slot);
         self.probe.on_vm_crash(now, slot, lost);
         // destroy_instance withdraws the in-flight completion timer of
         // the request that just died with the instance.
@@ -658,11 +813,12 @@ impl<P: Probe> CloudSim<P> {
         let new_k = self.policy.queue_capacity(tm);
         if new_k != self.k {
             self.k = new_k;
+            self.instances.ensure_stride(new_k);
             self.recount_free();
         }
         let status = PoolStatus {
             now,
-            active_instances: self.active.len() as u32 + self.booting,
+            active_instances: (self.active.len() + self.booting_slots.len()) as u32,
             draining_instances: self.draining.len() as u32,
             monitor: MonitorReport {
                 mean_service_time: tm,
@@ -719,17 +875,21 @@ impl<P: Probe> World for CloudSim<P> {
                 }
             }
             Event::Booted { slot } => {
-                let inst = &mut self.instances[slot as usize];
                 // Scale-downs withdraw the boot timer when they cancel a
                 // boot, so this event always finds the instance booting.
                 debug_assert_eq!(
-                    inst.state,
+                    self.instances.state[slot as usize],
                     InstState::Booting,
                     "boot leaked past cancellation"
                 );
-                inst.boot_timer = None;
-                inst.state = InstState::Active;
-                self.booting -= 1;
+                self.instances.boot_timer[slot as usize] = None;
+                self.instances.state[slot as usize] = InstState::Active;
+                let idx = self
+                    .booting_slots
+                    .iter()
+                    .position(|&s| s == slot)
+                    .expect("booted instance not in booting list");
+                self.booting_slots.remove(idx);
                 self.active.push(slot);
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
@@ -781,8 +941,9 @@ pub(crate) fn run_engine<P: Probe>(mut engine: Engine<CloudSim<P>>) -> (RunSumma
     let clocks: Vec<EventHandle> = engine
         .world_mut()
         .instances
+        .failure_timer
         .iter_mut()
-        .filter_map(|inst| inst.failure_timer.take())
+        .filter_map(|timer| timer.take())
         .collect();
     for clock in clocks {
         engine.cancel(clock);
@@ -796,36 +957,28 @@ pub(crate) fn run_engine<P: Probe>(mut engine: Engine<CloudSim<P>>) -> (RunSumma
     if world.probe.sample_interval().is_some() && end.as_secs() > world.last_sample_t {
         world.emit_sample(end);
     }
-    // Bill surviving VMs up to the end of the run. Billing only — the
-    // instance-count tracker keeps its final level so min/max reflect
-    // pool dynamics, not the teardown.
-    for inst in &world.instances {
-        if inst.state != InstState::Dead {
-            debug_assert!(inst.queue.is_empty(), "run ended with work in flight");
-            world.metrics.vm_seconds += end - inst.created_at;
-        }
+    // Bill surviving VMs up to the end of the run, summed in creation
+    // order (slot order no longer is creation order once the free list
+    // recycles slots, and the float summation order is part of the
+    // bit-identity contract). Billing only — the instance-count tracker
+    // keeps its final level so min/max reflect pool dynamics, not the
+    // teardown.
+    let mut live: Vec<(u64, SimTime)> = (0..world.instances.len())
+        .filter(|&i| world.instances.state[i] != InstState::Dead)
+        .inspect(|&i| debug_assert_eq!(world.instances.qlen[i], 0, "run ended with work in flight"))
+        .map(|i| {
+            (
+                world.instances.created_seq[i],
+                world.instances.created_at[i],
+            )
+        })
+        .collect();
+    live.sort_unstable_by_key(|&(seq, _)| seq);
+    for &(_, created) in &live {
+        world.metrics.vm_seconds += end - created;
     }
     let summary = world.metrics.finalize(end, &name);
     (summary, engine.into_world().probe)
-}
-
-/// Runs one complete scenario to completion and returns its summary.
-#[deprecated(note = "use SimBuilder: SimBuilder::new(cfg).workload(w).service(s)\
-            .policy(p).dispatcher(d).run(rngs)")]
-pub fn run_scenario(
-    cfg: SimConfig,
-    workload: Box<dyn ArrivalProcess + Send>,
-    service: ServiceModel,
-    policy: Box<dyn ProvisioningPolicy>,
-    dispatcher: Box<dyn Dispatcher>,
-    rngs: &RngFactory,
-) -> RunSummary {
-    crate::builder::SimBuilder::new(cfg)
-        .workload(workload)
-        .service(service)
-        .policy(policy)
-        .dispatcher(dispatcher)
-        .run(rngs)
 }
 
 #[cfg(test)]

@@ -38,6 +38,6 @@ pub use backend::AnalyticBackend;
 pub use composite::{CompositePlan, CompositePlanner, TierSpec};
 pub use dispatch::{Dispatcher, InstanceView, LeastOutstanding, RandomDispatch, RoundRobin};
 pub use hetero::{Fleet, HeteroInputs, HeteroPlanner, VmClass};
-pub use modeler::{ModelerOptions, PerformanceModeler, SizingDecision, SizingInputs};
+pub use modeler::{ModelerOptions, PerformanceModeler, SizingCache, SizingDecision, SizingInputs};
 pub use policy::{AdaptivePolicy, MonitorReport, PoolStatus, ProvisioningPolicy, StaticPolicy};
 pub use qos::QosTargets;

@@ -18,6 +18,7 @@
 
 use crate::backend::AnalyticBackend;
 use crate::qos::QosTargets;
+use std::collections::HashMap;
 use vmprov_queueing::QueueMetrics;
 
 /// Tuning knobs of the modeler.
@@ -122,6 +123,66 @@ impl PerformanceModeler {
     /// Algorithm 1: the number of virtualized application instances able
     /// to meet QoS for the given inputs.
     pub fn required_instances(&self, inputs: &SizingInputs) -> SizingDecision {
+        self.validate(inputs);
+        let k = self.qos.queue_capacity(inputs.monitored_service_time);
+        self.search(inputs, k, |m| {
+            self.options.backend.per_instance(
+                inputs.expected_arrival_rate,
+                m,
+                inputs.monitored_service_time,
+                inputs.service_scv,
+                k,
+            )
+        })
+    }
+
+    /// [`required_instances`](Self::required_instances) with memoized
+    /// analytics: per-`m` queue metrics and whole decisions are reused
+    /// from `cache` across control ticks. The cache key is the exact
+    /// bit pattern of every input (quantization at 1 ulp), and the
+    /// backend is a pure function of those bits, so a cached decision is
+    /// **bit-identical** to the cold one by construction — guaranteed by
+    /// the cold-vs-cached equivalence test below.
+    pub fn required_instances_cached(
+        &self,
+        inputs: &SizingInputs,
+        cache: &mut SizingCache,
+    ) -> SizingDecision {
+        self.validate(inputs);
+        cache.ensure_modeler(self);
+        if let Some(hit) = cache.last_decision {
+            if hit.inputs == *inputs {
+                return hit;
+            }
+        }
+        let k = self.qos.queue_capacity(inputs.monitored_service_time);
+        if cache.metrics.len() > SizingCache::MAX_ENTRIES {
+            cache.metrics.clear();
+        }
+        let metrics = &mut cache.metrics;
+        let decision = self.search(inputs, k, |m| {
+            let key = MetricsKey {
+                lambda_bits: inputs.expected_arrival_rate.to_bits(),
+                service_bits: inputs.monitored_service_time.to_bits(),
+                scv_bits: inputs.service_scv.to_bits(),
+                m,
+                k,
+            };
+            *metrics.entry(key).or_insert_with(|| {
+                self.options.backend.per_instance(
+                    inputs.expected_arrival_rate,
+                    m,
+                    inputs.monitored_service_time,
+                    inputs.service_scv,
+                    k,
+                )
+            })
+        });
+        cache.last_decision = Some(decision);
+        decision
+    }
+
+    fn validate(&self, inputs: &SizingInputs) {
         assert!(
             inputs.expected_arrival_rate > 0.0 && inputs.expected_arrival_rate.is_finite(),
             "expected arrival rate must be positive"
@@ -130,17 +191,19 @@ impl PerformanceModeler {
             inputs.monitored_service_time > 0.0 && inputs.monitored_service_time.is_finite(),
             "monitored service time must be positive"
         );
-        let k = self.qos.queue_capacity(inputs.monitored_service_time);
-        let predict = |m: u32| {
-            self.options.backend.per_instance(
-                inputs.expected_arrival_rate,
-                m,
-                inputs.monitored_service_time,
-                inputs.service_scv,
-                k,
-            )
-        };
+    }
 
+    /// The bracketed grow/shrink search, generic over the prediction
+    /// source so the cached and cold entry points share one loop.
+    /// `predict` must be a pure function of `m` — the terminal step
+    /// reuses the iteration's prediction when the iterate is unchanged
+    /// instead of re-evaluating it.
+    fn search(
+        &self,
+        inputs: &SizingInputs,
+        k: u32,
+        mut predict: impl FnMut(u32) -> QueueMetrics,
+    ) -> SizingDecision {
         let mut m = inputs.current_instances.clamp(1, self.max_vms);
         let mut min: u32 = 1;
         let mut max: u32 = self.max_vms;
@@ -171,8 +234,8 @@ impl PerformanceModeler {
                     m = mid;
                 }
             }
-            if m == old_m || iterations >= self.options.max_iterations {
-                let predicted = predict(m);
+            if m == old_m {
+                // `predicted` is predict(m) for this very m: converged.
                 return SizingDecision {
                     instances: m,
                     predicted,
@@ -181,6 +244,72 @@ impl PerformanceModeler {
                     inputs: *inputs,
                 };
             }
+            if iterations >= self.options.max_iterations {
+                return SizingDecision {
+                    instances: m,
+                    predicted: predict(m),
+                    queue_capacity: k,
+                    iterations,
+                    inputs: *inputs,
+                };
+            }
+        }
+    }
+}
+
+/// Exact-bit key of one per-instance metrics evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MetricsKey {
+    lambda_bits: u64,
+    service_bits: u64,
+    scv_bits: u64,
+    m: u32,
+    k: u32,
+}
+
+/// Cross-tick memo for [`PerformanceModeler::required_instances_cached`].
+///
+/// Holds (a) per-`(λ, Tm, SCV, m, k)` queue metrics, so a control tick
+/// whose monitored state repeats — or whose search revisits an `m` a
+/// previous tick already evaluated — skips the analytic model entirely,
+/// and (b) the last full decision, so an identical tick is O(1).
+/// Entries are keyed on exact input bits and invalidated wholesale when
+/// the owning modeler's configuration (QoS targets, MaxVMs, backend,
+/// options) changes, so stale physics can never leak across a
+/// reconfiguration.
+#[derive(Debug, Clone, Default)]
+pub struct SizingCache {
+    /// Fingerprint of the modeler the entries were computed under.
+    modeler: Option<PerformanceModeler>,
+    metrics: HashMap<MetricsKey, QueueMetrics>,
+    last_decision: Option<SizingDecision>,
+}
+
+impl SizingCache {
+    /// Eviction threshold: beyond this the memo is dropped wholesale
+    /// (the workloads that matter cycle through far fewer states).
+    const MAX_ENTRIES: usize = 1 << 16;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SizingCache::default()
+    }
+
+    /// Number of memoized metrics entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    fn ensure_modeler(&mut self, modeler: &PerformanceModeler) {
+        if self.modeler != Some(*modeler) {
+            self.metrics.clear();
+            self.last_decision = None;
+            self.modeler = Some(*modeler);
         }
     }
 }
@@ -349,5 +478,88 @@ mod tests {
     #[should_panic(expected = "expected arrival rate must be positive")]
     fn rejects_bad_rate() {
         web_modeler().required_instances(&web_inputs(0.0, 1));
+    }
+
+    /// Splitmix64: tiny deterministic generator for the property tests.
+    fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn cached_matches_cold_under_random_lambda_sequences() {
+        // The cold-vs-cached equivalence guarantee: over random λ
+        // sequences (with repeats, so the memo and the decision fast
+        // path both actually fire), every cached decision is identical —
+        // field for field — to the pure recomputation, warm-starting
+        // both searches from the previous accepted m.
+        for backend in [AnalyticBackend::TwoMoment, AnalyticBackend::Mm1k] {
+            let m = PerformanceModeler::new(
+                QosTargets::web_paper(),
+                1000,
+                ModelerOptions {
+                    backend,
+                    ..ModelerOptions::default()
+                },
+            );
+            let mut cache = SizingCache::new();
+            let mut state = 0xDEAD_BEEF_u64;
+            let mut prev = 50u32;
+            for step in 0..400 {
+                // 40 quantized λ levels so revisits are frequent.
+                let level = next_u64(&mut state) % 40;
+                let lambda = 30.0 + level as f64 * 30.0;
+                let inputs = web_inputs(lambda, prev);
+                let cold = m.required_instances(&inputs);
+                let cached = m.required_instances_cached(&inputs, &mut cache);
+                assert_eq!(cold, cached, "step {step} λ={lambda} backend {backend:?}");
+                prev = cached.instances;
+            }
+            assert!(!cache.is_empty());
+        }
+    }
+
+    #[test]
+    fn cache_invalidated_when_modeler_changes() {
+        // Reusing one cache across differently-configured modelers must
+        // never leak stale metrics between them.
+        let a = web_modeler();
+        let b = PerformanceModeler::new(
+            QosTargets::web_paper(),
+            1000,
+            ModelerOptions {
+                backend: AnalyticBackend::Mm1k,
+                ..ModelerOptions::default()
+            },
+        );
+        let mut cache = SizingCache::new();
+        let inputs = web_inputs(1200.0, 100);
+        assert_eq!(
+            a.required_instances_cached(&inputs, &mut cache),
+            a.required_instances(&inputs)
+        );
+        assert_eq!(
+            b.required_instances_cached(&inputs, &mut cache),
+            b.required_instances(&inputs)
+        );
+        assert_eq!(
+            a.required_instances_cached(&inputs, &mut cache),
+            a.required_instances(&inputs)
+        );
+    }
+
+    #[test]
+    fn repeated_tick_hits_decision_fast_path() {
+        let m = web_modeler();
+        let mut cache = SizingCache::new();
+        let inputs = web_inputs(900.0, 120);
+        let first = m.required_instances_cached(&inputs, &mut cache);
+        let entries = cache.len();
+        let again = m.required_instances_cached(&inputs, &mut cache);
+        assert_eq!(first, again);
+        assert_eq!(cache.len(), entries, "identical tick must not recompute");
     }
 }

@@ -7,7 +7,7 @@
 //! baseline (a fixed pool).
 
 use crate::analyzer::WorkloadAnalyzer;
-use crate::modeler::{PerformanceModeler, SizingDecision, SizingInputs};
+use crate::modeler::{PerformanceModeler, SizingCache, SizingDecision, SizingInputs};
 use vmprov_des::SimTime;
 
 /// Monitoring data available to a policy at evaluation time (the role
@@ -124,6 +124,14 @@ pub struct AdaptivePolicy {
     initial: u32,
     /// The last sizing decision, for inspection/telemetry.
     last_decision: Option<SizingDecision>,
+    /// The previously *accepted* m: Algorithm 1 warm-starts its bracket
+    /// search here instead of from the momentary pool size (the paper's
+    /// search is incremental across control ticks by design — `m` starts
+    /// at "the number of VMs currently allocated").
+    last_instances: Option<u32>,
+    /// Cross-tick memo of analytic metrics and decisions (exact-bit
+    /// keys, so it never changes a decision — see [`SizingCache`]).
+    cache: SizingCache,
 }
 
 impl AdaptivePolicy {
@@ -142,6 +150,8 @@ impl AdaptivePolicy {
             planning_horizon,
             initial,
             last_decision: None,
+            last_instances: None,
+            cache: SizingCache::new(),
         }
     }
 
@@ -170,16 +180,25 @@ impl ProvisioningPolicy for AdaptivePolicy {
             .predict_rate(status.now, self.planning_horizon);
         if predicted_rate <= 0.0 {
             // No load expected: keep the minimum footprint.
+            self.last_instances = Some(1);
             return 1;
         }
-        let decision = self.modeler.required_instances(&SizingInputs {
-            expected_arrival_rate: predicted_rate,
-            monitored_service_time: status.monitor.mean_service_time,
-            service_scv: status.monitor.service_scv,
-            current_instances: status.active_instances.max(1),
-        });
+        let decision = self.modeler.required_instances_cached(
+            &SizingInputs {
+                expected_arrival_rate: predicted_rate,
+                monitored_service_time: status.monitor.mean_service_time,
+                service_scv: status.monitor.service_scv,
+                // Warm start: resume the search from the previous
+                // accepted m (first tick falls back to the pool size).
+                current_instances: self
+                    .last_instances
+                    .unwrap_or_else(|| status.active_instances.max(1)),
+            },
+            &mut self.cache,
+        );
         let m = decision.instances;
         self.last_decision = Some(decision);
+        self.last_instances = Some(m);
         m
     }
 

@@ -179,7 +179,13 @@ struct PeekCache {
 /// floating-point window boundary, so bucketing and the pop scan can
 /// never disagree about which window an entry belongs to.
 struct Calendar<E> {
+    /// Bucket storage. Only the first `nbuckets` are addressable (the
+    /// mask keeps indices below `nbuckets`); the vector itself never
+    /// shrinks, so a shrink → regrow cycle reuses both the spine and
+    /// every bucket's capacity instead of reallocating them.
     buckets: Vec<Vec<CalEntry<E>>>,
+    /// Active bucket count (a power of two; `mask = nbuckets - 1`).
+    nbuckets: usize,
     mask: usize,
     width: f64,
     inv_width: f64,
@@ -200,6 +206,11 @@ struct Calendar<E> {
     /// estimator cannot spread (e.g. thousands of identical
     /// timestamps) never rebuilds faster than it scans.
     scan_debt: usize,
+    /// Entry staging area for rebuilds, retained across resizes so the
+    /// steady-state resize path allocates nothing once warm.
+    scratch: Vec<CalEntry<E>>,
+    /// Timestamp sample buffer for width estimation, likewise retained.
+    times_scratch: Vec<f64>,
 }
 
 const MIN_BUCKETS: usize = 16;
@@ -218,6 +229,7 @@ impl<E> Calendar<E> {
         let n = (cap / 2).next_power_of_two().max(MIN_BUCKETS);
         Calendar {
             buckets: (0..n).map(|_| Vec::new()).collect(),
+            nbuckets: n,
             mask: n - 1,
             width: 1.0,
             inv_width: 1.0,
@@ -227,6 +239,8 @@ impl<E> Calendar<E> {
             peek: None,
             famine_streak: 0,
             scan_debt: 0,
+            scratch: Vec::new(),
+            times_scratch: Vec::new(),
         }
     }
 
@@ -254,8 +268,8 @@ impl<E> Calendar<E> {
         let b = (w as usize) & self.mask;
         self.buckets[b].push(CalEntry { time: t, id, event });
         self.len += 1;
-        if self.len > self.buckets.len() * 2 {
-            self.resize(self.buckets.len() * 2);
+        if self.len > self.nbuckets * 2 {
+            self.resize(self.nbuckets * 2);
         }
     }
 
@@ -268,7 +282,7 @@ impl<E> Calendar<E> {
         if let Some(p) = self.peek {
             return Some(p);
         }
-        let n = self.buckets.len();
+        let n = self.nbuckets;
         // Track the global minimum for the long-jump fallback.
         let mut global: Option<PeekCache> = None;
         for (lap, window) in (self.window..).take(n).enumerate() {
@@ -319,7 +333,7 @@ impl<E> Calendar<E> {
         self.scan_debt += self.buckets[p.bucket].len() + 1;
         self.window = p.window;
         self.floor = entry.time;
-        let n = self.buckets.len();
+        let n = self.nbuckets;
         if self.famine_streak > 8 {
             // The spacing estimate went stale (e.g. a burst drained and
             // left sparse long-range timers): re-derive the width.
@@ -356,21 +370,36 @@ impl<E> Calendar<E> {
 
     /// Rebuilds with `n` buckets and a bucket width re-estimated from
     /// the current entries' spacing.
+    ///
+    /// Allocation-free once warm: entries drain into the retained
+    /// `scratch` vector, the bucket spine only ever grows (shrinks just
+    /// lower `nbuckets`/`mask`, keeping the tail buckets' capacity for
+    /// the next regrow), and the width estimator samples into its own
+    /// retained buffer.
     fn resize(&mut self, n: usize) {
-        let entries: Vec<CalEntry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
-        self.width = estimate_width(&entries, self.floor).unwrap_or(self.width);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        for b in &mut self.buckets[..self.nbuckets] {
+            scratch.append(b);
+        }
+        self.width =
+            estimate_width(&scratch, self.floor, &mut self.times_scratch).unwrap_or(self.width);
         self.inv_width = 1.0 / self.width;
-        if self.buckets.len() != n {
-            self.buckets = (0..n).map(|_| Vec::new()).collect();
+        if self.nbuckets != n {
+            if n > self.buckets.len() {
+                self.buckets.resize_with(n, Vec::new);
+            }
+            self.nbuckets = n;
             self.mask = n - 1;
         }
         self.window = self.window_of(self.floor);
         self.peek = None;
         self.scan_debt = 0;
-        for e in entries {
+        for e in scratch.drain(..) {
             let b = (self.window_of(e.time) as usize) & self.mask;
             self.buckets[b].push(e);
         }
+        self.scratch = scratch;
     }
 
     fn clear(&mut self) {
@@ -393,7 +422,7 @@ impl<E> Calendar<E> {
 /// (failure clocks, horizon markers) would stretch the width until the
 /// dense near-term cluster shares one bucket, and a dense head cluster
 /// would equally hide behind a long sparse tail.
-fn estimate_width<E>(entries: &[CalEntry<E>], floor: f64) -> Option<f64> {
+fn estimate_width<E>(entries: &[CalEntry<E>], floor: f64, times: &mut Vec<f64>) -> Option<f64> {
     if entries.len() < 2 {
         return None;
     }
@@ -404,7 +433,8 @@ fn estimate_width<E>(entries: &[CalEntry<E>], floor: f64) -> Option<f64> {
     // exceeds the cluster size.
     const MAX_SAMPLE: usize = 256;
     let finite = |a: &f64, b: &f64| a.partial_cmp(b).expect("times are finite");
-    let mut times: Vec<f64> = entries.iter().map(|e| e.time).collect();
+    times.clear();
+    times.extend(entries.iter().map(|e| e.time));
     let last = (times.len() - 1).min(MAX_SAMPLE);
     times.select_nth_unstable_by(last, finite);
     let sample = &mut times[..=last];

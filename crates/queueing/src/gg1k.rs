@@ -129,22 +129,28 @@ impl GG1K {
 
     /// Approximate steady-state probability of `n` in the system.
     pub fn prob_n(&self, n: u32) -> f64 {
+        self.prob_n_given(self.rho(), self.rho_hat(), n)
+    }
+
+    /// [`prob_n`](Self::prob_n) with ρ and ρ̂ precomputed, so bulk
+    /// callers (the L sum in [`metrics`](Self::metrics)) evaluate the
+    /// `exp` inside [`rho_hat`](Self::rho_hat) once instead of once per
+    /// state — and the saturated branch runs without its former
+    /// per-call weight vector. Same arithmetic per state as before,
+    /// term for term.
+    fn prob_n_given(&self, rho: f64, rh: f64, n: u32) -> f64 {
         assert!(n <= self.k);
-        let rho = self.rho();
         let k = self.k;
         if rho >= 1.0 {
             // Saturated: geometric mass piles at the top; in the limit the
             // buffer is simply full.
-            let rh = self.rho_hat();
             if !rh.is_finite() {
                 return if n == k { 1.0 } else { 0.0 };
             }
             // Renormalised increasing geometric over 0..=K.
-            let weights: Vec<f64> = (0..=k).map(|i| rh.powi(i as i32)).collect();
-            let s: f64 = weights.iter().sum();
-            return weights[n as usize] / s;
+            let s = self.saturated_norm(rh);
+            return rh.powi(n as i32) / s;
         }
-        let rh = self.rho_hat();
         if n == 0 {
             return 1.0 - rho;
         }
@@ -157,6 +163,16 @@ impl GG1K {
             (1.0 - rh.powi(k as i32)) / (1.0 - rh)
         };
         rho * rh.powi(n as i32 - 1) / norm
+    }
+
+    /// Normalizer Σ ρ̂ⁱ of the saturated (ρ ≥ 1) branch, summed in the
+    /// same order the former weight vector was.
+    fn saturated_norm(&self, rh: f64) -> f64 {
+        let mut s = 0.0;
+        for i in 0..=self.k {
+            s += rh.powi(i as i32);
+        }
+        s
     }
 
     /// Approximate blocking probability, monotone in ρ by construction.
@@ -173,9 +189,15 @@ impl GG1K {
     /// conservative: the provisioner only needs "QoS badly violated ⇒
     /// grow" there.
     pub fn blocking_probability(&self) -> f64 {
-        let rho = self.rho();
+        self.blocking_probability_given(self.rho(), self.rho_hat())
+    }
+
+    /// [`blocking_probability`](Self::blocking_probability) with ρ and
+    /// ρ̂ precomputed (shared with the rest of a
+    /// [`metrics`](Self::metrics) evaluation).
+    fn blocking_probability_given(&self, rho: f64, rh: f64) -> f64 {
         if rho < 1.0 {
-            return self.prob_n(self.k).clamp(0.0, 1.0);
+            return self.prob_n_given(rho, rh, self.k).clamp(0.0, 1.0);
         }
         let flow_bound = 1.0 - 1.0 / rho;
         let var = self.ca2 * rho + self.cs2;
@@ -187,12 +209,21 @@ impl GG1K {
     }
 
     /// Full approximate steady-state metrics.
+    ///
+    /// Allocation-free: the state loop shares one precomputed (ρ, ρ̂)
+    /// pair — bit-identical to evaluating [`prob_n`](Self::prob_n) per
+    /// state, since ρ̂ is a pure function of the model — so the hot
+    /// sizing path pays one `exp`, not K + 2 of them.
     pub fn metrics(&self) -> QueueMetrics {
-        let pk = self.blocking_probability();
+        let rho = self.rho();
+        let rh = self.rho_hat();
+        let pk = self.blocking_probability_given(rho, rh);
         let lambda_eff = self.lambda * (1.0 - pk);
         let mu = 1.0 / self.mean_service;
         let utilization = (lambda_eff / mu).min(1.0);
-        let l: f64 = (0..=self.k).map(|n| f64::from(n) * self.prob_n(n)).sum();
+        let l: f64 = (0..=self.k)
+            .map(|n| f64::from(n) * self.prob_n_given(rho, rh, n))
+            .sum();
         let (w, wq) = if lambda_eff > 1e-300 {
             let w = l / lambda_eff;
             (w, (w - self.mean_service).max(0.0))
