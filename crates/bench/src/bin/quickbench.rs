@@ -13,7 +13,13 @@
 //! explicitly attached `NullProbe`, to measure that the observability
 //! generic monomorphizes away — a scientific simulation under the
 //! adaptive policy, and an Algorithm 1 sizing sweep through the
-//! cross-tick cache. The results are written as JSON (default
+//! cross-tick cache. Two campaign-scheduler measurements round the
+//! suite out: `pool_dispatch_overhead` (thousands of trivial jobs
+//! through the persistent worker pool, bounding the pool's per-job
+//! scheduling cost) and `campaign_smoke_cached` (a fully warm
+//! campaign pass answered entirely from the run cache, the cost a
+//! second `repro` invocation pays). The results are written as JSON
+//! (default
 //! `BENCH_des.json` in the current directory) including the measured
 //! `probe_overhead_pct`; `--check-probe-overhead PCT` makes the binary
 //! exit non-zero when the overhead exceeds `PCT` percent (ci.sh
@@ -50,6 +56,10 @@ struct Sizes {
     /// Simulated hours of the scientific run (long batch jobs need
     /// hours before the adaptive policy scales).
     sci_hours: f64,
+    /// Trivial jobs per `pool_dispatch_overhead` batch.
+    pool_jobs: usize,
+    /// Simulated seconds per scenario of the cached-campaign pass.
+    campaign_horizon: f64,
     /// Measured runs per benchmark.
     runs: u32,
 }
@@ -63,6 +73,8 @@ impl Sizes {
             fill: 100_000,
             web_horizon: 600.0,
             sci_hours: 10.0,
+            pool_jobs: 20_000,
+            campaign_horizon: 600.0,
             runs: 5,
         }
     }
@@ -77,6 +89,8 @@ impl Sizes {
             // the probe-overhead gate needs stable per-run times.
             web_horizon: 120.0,
             sci_hours: 2.0,
+            pool_jobs: 2_000,
+            campaign_horizon: 120.0,
             runs: 3,
         }
     }
@@ -317,6 +331,62 @@ fn bench_modeler_sweep(runs: u32) -> Timing {
     })
 }
 
+/// Raw scheduling cost of the persistent worker pool: one `run_batch`
+/// of `jobs` trivial closures. Real jobs are whole simulation runs
+/// (milliseconds to minutes), so the per-job overhead measured here —
+/// boxing, dealing, stealing, result collection — must stay in the
+/// microsecond range for dispatch to be free in practice. The pool is
+/// created once outside the measured region, matching the process-wide
+/// pool's lifecycle.
+fn bench_pool_dispatch(jobs: usize, runs: u32) -> Timing {
+    use vmprov_experiments::pool::WorkerPool;
+    // A fixed width keeps the measurement comparable across machines
+    // with different core counts.
+    let pool = WorkerPool::new(2);
+    bench("pool_dispatch_overhead", jobs as u64, 1, runs, || {
+        let out = pool.run_batch((0..jobs as u64).collect::<Vec<u64>>(), |_, x| {
+            black_box(x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        });
+        black_box(out);
+    })
+}
+
+/// A fully warm campaign pass: every `(scenario, rep)` job answered
+/// from the run cache. Measures the whole hit path per job — key
+/// hashing over canonical scenario JSON, the file read, `RunSummary`
+/// parsing, and per-figure regrouping — which is the cost a second
+/// `repro` invocation pays instead of simulating.
+fn bench_campaign_cached(horizon: f64, runs: u32) -> Timing {
+    use vmprov_experiments::{Campaign, RunCache};
+    const REPS: u32 = 2;
+    let dir = std::env::temp_dir().join(format!("vmprov_quickbench_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let scenarios: Vec<Scenario> = [40, 60, 80, 100, 120, 140]
+        .iter()
+        .map(|&m| {
+            Scenario::web(PolicySpec::Static(m), 0xBE7C).with_horizon(SimTime::from_secs(horizon))
+        })
+        .collect();
+    // Unmeasured cold pass populates the cache.
+    let mut cold = Campaign::new(Some(RunCache::open(&dir).expect("cache dir")));
+    let cold_handle = cold.add_figure(scenarios.clone(), REPS);
+    let mut cold_result = cold.run();
+    black_box(cold_result.take(cold_handle));
+    let jobs = scenarios.len() as u64 * u64::from(REPS);
+    let timing = bench("campaign_smoke_cached", jobs, 1, runs, || {
+        let mut warm = Campaign::new(Some(RunCache::open(&dir).expect("cache dir")));
+        let handle = warm.add_figure(scenarios.clone(), REPS);
+        let mut result = warm.run();
+        assert_eq!(
+            result.stats.cache_misses, 0,
+            "warm campaign pass must be answered entirely from the cache"
+        );
+        black_box(result.take(handle));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    timing
+}
+
 struct Args {
     out: std::path::PathBuf,
     sizes: Sizes,
@@ -496,6 +566,12 @@ fn main() {
     })));
     groups.push(run_group(Box::new(move || {
         vec![bench_modeler_sweep(sizes.runs)]
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_pool_dispatch(sizes.pool_jobs, sizes.runs)]
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_campaign_cached(sizes.campaign_horizon, sizes.runs)]
     })));
 
     // A real regression (the probe generic no longer compiling away)

@@ -28,7 +28,7 @@
 use crate::config::SimConfig;
 use crate::metrics::{MetricsOptions, RunSummary};
 use crate::probe::{NullProbe, Probe};
-use crate::sim::{run_engine, CloudSim};
+use crate::sim::{run_engine, run_engine_scratch, CloudSim, SimScratch};
 use vmprov_core::dispatch::Dispatcher;
 use vmprov_core::policy::ProvisioningPolicy;
 use vmprov_des::{FelBackend, RngFactory};
@@ -141,6 +141,41 @@ impl<P: Probe> SimBuilder<P> {
         );
         run_engine(engine)
     }
+
+    /// Like [`run`](Self::run), but recycles warm simulation storage
+    /// from `scratch` (and returns it there afterwards). Bit-identical
+    /// to `run`; campaign worker threads use it to avoid rebuilding the
+    /// slot slab and FEL buckets on every job.
+    pub fn run_scratch(self, rngs: &RngFactory, scratch: &mut SimScratch) -> RunSummary {
+        self.run_probed_scratch(rngs, scratch).0
+    }
+
+    /// Like [`run_probed`](Self::run_probed), with warm-storage reuse —
+    /// see [`run_scratch`](Self::run_scratch).
+    ///
+    /// `inline(never)` for the same phantom-overhead reason as
+    /// `run_probed`.
+    #[inline(never)]
+    pub fn run_probed_scratch(
+        self,
+        rngs: &RngFactory,
+        scratch: &mut SimScratch,
+    ) -> (RunSummary, P) {
+        let missing = |what: &str| -> ! {
+            panic!("SimBuilder::run: no {what} was set (call .{what}(…) before .run)")
+        };
+        let engine = CloudSim::engine_with_probe_scratch(
+            self.cfg,
+            self.workload.unwrap_or_else(|| missing("workload")),
+            self.service.unwrap_or_else(|| missing("service")),
+            self.policy.unwrap_or_else(|| missing("policy")),
+            self.dispatcher.unwrap_or_else(|| missing("dispatcher")),
+            rngs,
+            self.probe,
+            scratch,
+        );
+        run_engine_scratch(engine, scratch)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +242,56 @@ mod tests {
             .fel_backend(FelBackend::BinaryHeap)
             .run(&RngFactory::new(9));
         assert_eq!(a, b, "FEL backends must agree bit-for-bit");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh() {
+        // Run two *different* scenarios back-to-back through the same
+        // scratch — the second inherits storage shaped by the first
+        // (different k, different event population) and must still
+        // match a cold run exactly, on both FEL backends.
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let fresh_a = base(8, 50.0, 500.0)
+                .fel_backend(backend)
+                .run(&RngFactory::new(42));
+            let fresh_b = base(3, 20.0, 700.0)
+                .fel_backend(backend)
+                .run(&RngFactory::new(43));
+
+            let mut scratch = SimScratch::new();
+            let warm_a = base(8, 50.0, 500.0)
+                .fel_backend(backend)
+                .run_scratch(&RngFactory::new(42), &mut scratch);
+            let warm_b = base(3, 20.0, 700.0)
+                .fel_backend(backend)
+                .run_scratch(&RngFactory::new(43), &mut scratch);
+            // And the same scenario again, now through storage warmed
+            // by a different one.
+            let warm_a2 = base(8, 50.0, 500.0)
+                .fel_backend(backend)
+                .run_scratch(&RngFactory::new(42), &mut scratch);
+
+            assert_eq!(fresh_a, warm_a, "{backend:?}: first warm run diverged");
+            assert_eq!(
+                fresh_b, warm_b,
+                "{backend:?}: cross-scenario reuse diverged"
+            );
+            assert_eq!(fresh_a, warm_a2, "{backend:?}: re-warmed run diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_backend_switch() {
+        // A queue recycled from one backend must not leak into a run on
+        // the other: the mismatch falls back to fresh storage.
+        let mut scratch = SimScratch::new();
+        let a = base(8, 50.0, 500.0)
+            .fel_backend(FelBackend::Calendar)
+            .run_scratch(&RngFactory::new(9), &mut scratch);
+        let b = base(8, 50.0, 500.0)
+            .fel_backend(FelBackend::BinaryHeap)
+            .run_scratch(&RngFactory::new(9), &mut scratch);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
 use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
 use vmprov_des::stats::{OnlineStats, TimeWeighted};
-use vmprov_des::{Engine, EventHandle, RngFactory, Scheduler, SimRng, SimTime, World};
+use vmprov_des::{Engine, EventHandle, EventQueue, RngFactory, Scheduler, SimRng, SimTime, World};
 use vmprov_workloads::{ArrivalBatch, ArrivalProcess, ServiceModel};
 
 /// Simulation events.
@@ -137,6 +137,27 @@ impl InstanceSlots {
             free: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// Clears all slot state for reuse by a fresh run with queue
+    /// capacity `k`, keeping every backing allocation (the point of
+    /// recycling). After `reset` the struct is indistinguishable from
+    /// `with_capacity(_, k)` except for retained capacity, which never
+    /// affects behaviour.
+    fn reset(&mut self, k: u32) {
+        self.state.clear();
+        self.host.clear();
+        self.created_at.clear();
+        self.created_seq.clear();
+        self.boot_timer.clear();
+        self.failure_timer.clear();
+        self.completion_timer.clear();
+        self.qdata.clear();
+        self.qhead.clear();
+        self.qlen.clear();
+        self.stride = Self::stride_for(k);
+        self.free.clear();
+        self.next_seq = 0;
     }
 
     /// Total slots ever created (live + dead-awaiting-reuse).
@@ -332,6 +353,31 @@ pub struct CloudSim<P: Probe = NullProbe> {
     last_sample_t: f64,
 }
 
+/// Warm per-thread simulation storage recycled between consecutive
+/// runs: the instance-slot slab (state vectors + the flat queue-ring
+/// slab) and the future-event-list storage (calendar buckets or heap).
+///
+/// A campaign worker thread keeps one `SimScratch` and threads it
+/// through every run it executes, so steady-state campaign execution
+/// rebuilds no per-run storage. Recycling is behaviour-neutral: every
+/// structure is fully reset before reuse (only capacity survives), and
+/// FEL pop order is `(time, id)` regardless of retained calendar
+/// geometry — a scratch-vs-fresh run is bit-identical (pinned by
+/// tests).
+#[derive(Default)]
+pub struct SimScratch {
+    slots: Option<InstanceSlots>,
+    queue: Option<EventQueue<Event>>,
+}
+
+impl SimScratch {
+    /// An empty scratch; the first run through it allocates, later runs
+    /// reuse.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
+
 impl CloudSim {
     /// Builds an unprobed world — see
     /// [`engine_with_probe`](CloudSim::engine_with_probe).
@@ -360,13 +406,66 @@ impl<P: Probe> CloudSim<P> {
         rngs: &RngFactory,
         probe: P,
     ) -> Engine<CloudSim<P>> {
+        Self::build_engine(
+            cfg, workload, service, policy, dispatcher, rngs, probe, None,
+        )
+    }
+
+    /// Like [`engine_with_probe`](Self::engine_with_probe), but recycles
+    /// the slot slab and FEL storage held in `scratch` (taking them out;
+    /// [`run_engine_scratch`] puts them back after the run).
+    #[allow(clippy::too_many_arguments)]
+    pub fn engine_with_probe_scratch(
+        cfg: SimConfig,
+        workload: Box<dyn ArrivalProcess + Send>,
+        service: ServiceModel,
+        policy: Box<dyn ProvisioningPolicy>,
+        dispatcher: Box<dyn Dispatcher>,
+        rngs: &RngFactory,
+        probe: P,
+        scratch: &mut SimScratch,
+    ) -> Engine<CloudSim<P>> {
+        Self::build_engine(
+            cfg,
+            workload,
+            service,
+            policy,
+            dispatcher,
+            rngs,
+            probe,
+            Some(scratch),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_engine(
+        cfg: SimConfig,
+        workload: Box<dyn ArrivalProcess + Send>,
+        service: ServiceModel,
+        policy: Box<dyn ProvisioningPolicy>,
+        dispatcher: Box<dyn Dispatcher>,
+        rngs: &RngFactory,
+        probe: P,
+        scratch: Option<&mut SimScratch>,
+    ) -> Engine<CloudSim<P>> {
         let horizon = workload.horizon();
         let initial = policy.initial_instances();
         let ts = cfg.qos_ts;
         let k = policy.queue_capacity(cfg.initial_service_estimate);
+        let (warm_slots, warm_queue) = match scratch {
+            Some(s) => (s.slots.take(), s.queue.take()),
+            None => (None, None),
+        };
+        let instances = match warm_slots {
+            Some(mut slots) => {
+                slots.reset(k);
+                slots
+            }
+            None => InstanceSlots::with_capacity(1024, k),
+        };
         let world = CloudSim {
             hosts: HostPool::new(cfg.hosts, cfg.host_shape, cfg.placement),
-            instances: InstanceSlots::with_capacity(1024, k),
+            instances,
             active: Vec::with_capacity(256),
             draining: Vec::new(),
             booting_slots: Vec::new(),
@@ -393,7 +492,13 @@ impl<P: Probe> CloudSim<P> {
             cfg,
         };
         let backend = world.cfg.fel_backend;
-        let mut engine = Engine::with_backend(world, backend);
+        // A recycled queue is only usable if its backend matches the
+        // run's; otherwise fall back to a fresh one (the mismatched
+        // queue is simply dropped).
+        let mut engine = match warm_queue {
+            Some(q) if q.backend() == backend => Engine::with_recycled_queue(world, q),
+            _ => Engine::with_backend(world, backend),
+        };
         // Initial fleet exists (active) at t = 0, as in the paper.
         for _ in 0..initial {
             let w = engine.world_mut();
@@ -929,7 +1034,26 @@ impl<P: Probe> World for CloudSim<P> {
 /// The run ends when the workload is exhausted and every accepted
 /// request has completed; surviving VMs are then destroyed and billed to
 /// that final instant.
-pub(crate) fn run_engine<P: Probe>(mut engine: Engine<CloudSim<P>>) -> (RunSummary, P) {
+pub(crate) fn run_engine<P: Probe>(engine: Engine<CloudSim<P>>) -> (RunSummary, P) {
+    let (summary, world, _queue) = run_engine_core(engine);
+    (summary, world.probe)
+}
+
+/// Like [`run_engine`], but returns the run's slot slab and FEL storage
+/// to `scratch` so the next run on this thread reuses them.
+pub(crate) fn run_engine_scratch<P: Probe>(
+    engine: Engine<CloudSim<P>>,
+    scratch: &mut SimScratch,
+) -> (RunSummary, P) {
+    let (summary, world, queue) = run_engine_core(engine);
+    scratch.slots = Some(world.instances);
+    scratch.queue = Some(queue);
+    (summary, world.probe)
+}
+
+fn run_engine_core<P: Probe>(
+    mut engine: Engine<CloudSim<P>>,
+) -> (RunSummary, CloudSim<P>, EventQueue<Event>) {
     let name = engine.world().policy.name();
     let horizon = engine.world().horizon;
     engine.run_until(horizon);
@@ -978,7 +1102,8 @@ pub(crate) fn run_engine<P: Probe>(mut engine: Engine<CloudSim<P>>) -> (RunSumma
         world.metrics.vm_seconds += end - created;
     }
     let summary = world.metrics.finalize(end, &name);
-    (summary, engine.into_world().probe)
+    let (world, queue) = engine.into_parts();
+    (summary, world, queue)
 }
 
 #[cfg(test)]

@@ -128,6 +128,25 @@ impl<W: World> Engine<W> {
         }
     }
 
+    /// Creates an engine at time zero around `world`, recycling `queue`
+    /// from a previous run so its bucket/heap storage is reused instead
+    /// of reallocated. The queue is cleared first; any events still
+    /// pending in it are dropped.
+    ///
+    /// Recycling never changes what a run computes: pop order is
+    /// `(time, insertion-id)` — a total order independent of the
+    /// queue's retained capacity or calendar geometry (pinned by the
+    /// calendar-vs-heap equivalence tests).
+    pub fn with_recycled_queue(world: W, mut queue: EventQueue<W::Event>) -> Self {
+        queue.clear();
+        Engine {
+            queue,
+            now: SimTime::ZERO,
+            world,
+            steps: 0,
+        }
+    }
+
     /// Which future-event-list backend this engine runs on.
     pub fn fel_backend(&self) -> FelBackend {
         self.queue.backend()
@@ -171,6 +190,13 @@ impl<W: World> Engine<W> {
     /// Consumes the engine, returning the model.
     pub fn into_world(self) -> W {
         self.world
+    }
+
+    /// Consumes the engine, returning the model *and* the event queue so
+    /// its storage can be recycled into a later
+    /// [`with_recycled_queue`](Self::with_recycled_queue) engine.
+    pub fn into_parts(self) -> (W, EventQueue<W::Event>) {
+        (self.world, self.queue)
     }
 
     /// Processes a single event. Returns `false` when no events remain.
@@ -342,6 +368,44 @@ mod tests {
             eng.run();
             assert!(!eng.world().timer_fired, "{backend:?}");
             assert_eq!(eng.now().as_secs(), 5.0, "cancelled timer moved the clock");
+        }
+    }
+
+    #[test]
+    fn recycled_queue_runs_identically_to_fresh() {
+        fn drive(mut eng: Engine<Recorder>) -> (Vec<(f64, u32)>, EventQueue<Ev>) {
+            eng.schedule(
+                SimTime::ZERO,
+                Ev::Chain {
+                    id: 1,
+                    remaining: 50,
+                    gap: 1.5,
+                },
+            );
+            eng.schedule(
+                SimTime::from_secs(0.25),
+                Ev::Chain {
+                    id: 2,
+                    remaining: 50,
+                    gap: 1.5,
+                },
+            );
+            eng.run();
+            let (world, queue) = eng.into_parts();
+            (world.fired, queue)
+        }
+
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let (fresh, queue) = drive(Engine::with_backend(Recorder { fired: vec![] }, backend));
+            // Leave stale pending events in the queue to prove recycling
+            // clears them.
+            let mut queue = queue;
+            queue.schedule(SimTime::from_secs(9999.0), Ev::Mark(99));
+            let recycled_engine = Engine::with_recycled_queue(Recorder { fired: vec![] }, queue);
+            assert_eq!(recycled_engine.now(), SimTime::ZERO);
+            assert_eq!(recycled_engine.steps(), 0);
+            let (recycled, _) = drive(recycled_engine);
+            assert_eq!(fresh, recycled, "{backend:?}");
         }
     }
 

@@ -70,6 +70,7 @@
 pub mod dist;
 mod engine;
 mod event;
+mod hash;
 mod rng;
 pub mod special;
 pub mod stats;
@@ -77,5 +78,6 @@ mod time;
 
 pub use engine::{Engine, Scheduler, World};
 pub use event::{EventHandle, EventQueue, FelBackend};
+pub use hash::{stable_hash64, StableHasher};
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimTime, DAY, HOUR, MINUTE, WEEK};

@@ -19,15 +19,12 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Hashes a label into a 64-bit stream discriminator (FNV-1a).
+/// Hashes a label into a 64-bit stream discriminator (FNV-1a via the
+/// crate's [`stable_hash64`](crate::stable_hash64) — same constants the
+/// original inline hash used, so every derived stream is unchanged).
 #[inline]
 fn hash_label(label: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in label.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    crate::hash::stable_hash64(label.as_bytes())
 }
 
 /// Derives independent, reproducible random streams from a master seed.

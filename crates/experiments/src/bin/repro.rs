@@ -3,7 +3,7 @@
 //! ```text
 //! repro [table2|fig3|fig4|fig5|fig6|ablations|all]
 //!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
-//!       [--trace DIR]
+//!       [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`):
@@ -13,17 +13,27 @@
 //! `figN_adaptive.jsonl` (the event trace), `figN_timeseries.json`
 //! (the sampled panel quantities), and `figN_curves.txt` (the Fig.
 //! 5/6 (a)–(d) curves as sparklines).
+//!
+//! Fig. 5 and Fig. 6 execute as one *campaign*: their `(scenario, rep)`
+//! jobs share a single persistent worker pool (no inter-figure
+//! barrier) and a content-addressed run cache under `--cache DIR`
+//! (default `<out>/.runcache`; disable with `--no-cache`), so
+//! regenerating unchanged figures is answered from disk.
+//! `cache_stats.json` in the output directory records jobs, hits, and
+//! wall-clock. `--jobs N` pins the worker count (default: `$VMPROV_JOBS`
+//! or the machine's parallelism).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use vmprov_experiments::pool::configure_global_workers;
 use vmprov_experiments::report::{
     figure_table, runs_csv, runs_json, series_csv, sparkline, timeseries_curves,
 };
 use vmprov_experiments::{
     ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
-    fig3_series, fig4_series, fig5, fig6, table2, trace_dt, traced_run, PolicySpec, Replicated,
-    RunMode, Scenario,
+    fig3_series, fig4_series, fig5_spec, fig6_spec, table2, trace_dt, traced_run, Campaign,
+    PolicySpec, Replicated, RunCache, RunMode, Scenario,
 };
 use vmprov_json::ToJson;
 
@@ -33,6 +43,10 @@ struct Args {
     seed: u64,
     out: PathBuf,
     trace: Option<PathBuf>,
+    /// Run-cache directory; `None` = `<out>/.runcache`.
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +55,9 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 20110926; // ICPP 2011 conference date
     let mut out = PathBuf::from("results");
     let mut trace = None;
+    let mut cache = None;
+    let mut no_cache = false;
+    let mut jobs = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -58,10 +75,22 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 trace = Some(PathBuf::from(it.next().ok_or("--trace needs a value")?));
             }
+            "--cache" => {
+                cache = Some(PathBuf::from(it.next().ok_or("--cache needs a value")?));
+            }
+            "--no-cache" => no_cache = true,
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                if n < 1 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
                             [--mode smoke|quick|paper|full] [--seed N] [--out DIR] \
-                            [--trace DIR]"
+                            [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]"
                     .into())
             }
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
@@ -75,13 +104,90 @@ fn parse_args() -> Result<Args, String> {
             .map(String::from)
             .to_vec();
     }
+    // A repeated target would double-emit (and double-consume campaign
+    // results); keep the first occurrence of each.
+    let mut seen = Vec::new();
+    targets.retain(|t| {
+        let fresh = !seen.contains(t);
+        if fresh {
+            seen.push(t.clone());
+        }
+        fresh
+    });
+    if no_cache && cache.is_some() {
+        return Err("--cache and --no-cache are mutually exclusive".into());
+    }
     Ok(Args {
         targets,
         mode,
         seed,
         out,
         trace,
+        cache,
+        no_cache,
+        jobs,
     })
+}
+
+/// Pre-runs the figure experiments of this invocation as one campaign:
+/// one pooled job queue across figures, cache-first. Returns the
+/// results for `emit_experiment` to consume in the target loop.
+fn run_figure_campaign(args: &Args) -> (Option<Vec<Replicated>>, Option<Vec<Replicated>>) {
+    let want5 = args.targets.iter().any(|t| t == "fig5");
+    let want6 = args.targets.iter().any(|t| t == "fig6");
+    if !want5 && !want6 {
+        return (None, None);
+    }
+    let cache = if args.no_cache {
+        None
+    } else {
+        let dir = args
+            .cache
+            .clone()
+            .unwrap_or_else(|| args.out.join(".runcache"));
+        match RunCache::open(&dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open run cache {}: {e} (running uncached)",
+                    dir.display()
+                );
+                None
+            }
+        }
+    };
+    if let Some(c) = &cache {
+        println!("run cache: {}", c.dir().display());
+    }
+
+    let mut campaign = Campaign::new(cache);
+    let h5 = want5.then(|| {
+        let (scenarios, reps) = fig5_spec(args.mode, args.seed);
+        campaign.add_figure(scenarios, reps)
+    });
+    let h6 = want6.then(|| {
+        let (scenarios, reps) = fig6_spec(args.mode, args.seed);
+        campaign.add_figure(scenarios, reps)
+    });
+    println!(
+        "running figure campaign (fig5: {want5}, fig6: {want6}, mode {:?})…",
+        args.mode
+    );
+    let mut result = campaign.run();
+    let stats = result.stats.clone();
+    println!(
+        "campaign: {} job(s), {} cache hit(s), {} miss(es), {} corrupt, {:.1}s\n",
+        stats.jobs,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.corrupt_entries,
+        stats.wall.as_secs_f64()
+    );
+    write(
+        &args.out.join("cache_stats.json"),
+        &stats.to_json().to_string_pretty(),
+    );
+    (h5.map(|h| result.take(h)), h6.map(|h| result.take(h)))
 }
 
 fn write(path: &Path, content: &str) {
@@ -139,6 +245,10 @@ fn main() {
         "repro: targets={:?} mode={:?} seed={}\n",
         args.targets, args.mode, args.seed
     );
+    if let Some(n) = args.jobs {
+        configure_global_workers(n);
+    }
+    let (mut fig5_runs, mut fig6_runs) = run_figure_campaign(&args);
 
     for target in &args.targets {
         let started = Instant::now();
@@ -186,7 +296,7 @@ fn main() {
                     args.mode.web_horizon().as_hours(),
                     args.mode.web_reps()
                 );
-                let reps = fig5(args.mode, args.seed);
+                let reps = fig5_runs.take().expect("fig5 campaign results");
                 emit_experiment(
                     "fig5",
                     "Fig. 5 — web (Wikipedia) workload: adaptive vs static provisioning",
@@ -204,7 +314,7 @@ fn main() {
                     "running fig6 (scientific, 1 day, {} rep(s) × 6 policies)…",
                     args.mode.sci_reps()
                 );
-                let reps = fig6(args.mode, args.seed);
+                let reps = fig6_runs.take().expect("fig6 campaign results");
                 emit_experiment(
                     "fig6",
                     "Fig. 6 — scientific (Bag-of-Tasks) workload: adaptive vs static provisioning",

@@ -1,0 +1,193 @@
+//! Content-addressed on-disk cache of completed runs.
+//!
+//! A run is fully determined by its [`Scenario`] and replication index
+//! (the simulation is deterministic given its derived seed), so its
+//! [`RunSummary`] can be addressed by *content*: the cache key is a
+//! stable 64-bit hash over the canonical JSON of the scenario plus the
+//! replication index, its derived seed, and a schema tag. Re-running an
+//! unchanged figure then costs one file read per replication instead of
+//! a simulation.
+//!
+//! Keying rules:
+//!
+//! * **Every** result-influencing scenario field is in the canonical
+//!   JSON (`Scenario::to_json` serializes all fields; an exhaustiveness
+//!   test breaks when a new field is added unserialized).
+//! * [`CACHE_SCHEMA_VERSION`] must be bumped whenever the *meaning* of
+//!   a cached entry changes: a `RunSummary` field is added/removed/
+//!   reinterpreted, simulation semantics change intentionally (i.e.
+//!   whenever goldens are regenerated), or the key derivation itself
+//!   changes. The bump orphans all old entries, which simply become
+//!   dead files (there is no eviction — entries are a few hundred bytes
+//!   and campaigns are finite).
+//! * A corrupted, truncated, or unparseable entry is a **miss**, never
+//!   an error: the run is recomputed and the entry rewritten.
+//!
+//! Writes go through a per-process temp file renamed into place, so a
+//! concurrent reader sees either the old entry or the new one, never a
+//! torn write.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::runner::replication_seed;
+use crate::scenario::Scenario;
+use vmprov_cloudsim::RunSummary;
+use vmprov_des::StableHasher;
+use vmprov_json::{FromJson, Json, ToJson};
+
+/// Bump on any change to run semantics, `RunSummary` layout, or key
+/// derivation (see the module docs for the checklist).
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Computes the content-addressed cache key of `(scenario, rep)`.
+pub fn run_key(scenario: &Scenario, rep: u32) -> u64 {
+    let mut h = StableHasher::new();
+    h.write(b"vmprov-run-cache");
+    h.write_u32(CACHE_SCHEMA_VERSION);
+    h.write(scenario.to_json().to_string_canonical().as_bytes());
+    h.write_u32(rep);
+    // The derived seed is implied by (scenario.seed, rep), but hashing
+    // it too means a future change to the derivation function cannot
+    // silently alias old entries.
+    h.write_u64(replication_seed(scenario.seed, rep));
+    h.finish()
+}
+
+/// Result of a cache probe, kept three-valued so campaign statistics
+/// can distinguish "never ran" from "entry rotted".
+#[derive(Debug)]
+pub enum Lookup {
+    /// A valid entry was found.
+    Hit(Box<RunSummary>),
+    /// No entry on disk.
+    Miss,
+    /// An entry exists but is unreadable/corrupt; treated as a miss
+    /// (the run is recomputed and the entry overwritten).
+    Corrupt,
+}
+
+/// A directory of `{key:016x}.json` run summaries.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<RunCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RunCache { dir })
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `key`.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Probes the cache for `key`.
+    pub fn lookup(&self, key: u64) -> Lookup {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Lookup::Miss,
+            // Unreadable for any other reason (permissions, I/O error):
+            // degrade to recomputing, same as corrupt content.
+            Err(_) => return Lookup::Corrupt,
+        };
+        match Json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|j| RunSummary::from_json(&j))
+        {
+            Ok(summary) => Lookup::Hit(Box::new(summary)),
+            Err(_) => Lookup::Corrupt,
+        }
+    }
+
+    /// Stores `summary` under `key` (atomic rename; last writer wins —
+    /// harmless, since every writer computes the same bytes for a key).
+    pub fn store(&self, key: u64, summary: &RunSummary) -> io::Result<()> {
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{}-{key:016x}", std::process::id()));
+        std::fs::write(&tmp, summary.to_json().to_string_pretty())?;
+        let result = std::fs::rename(&tmp, self.entry_path(key));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_once;
+    use crate::scenario::PolicySpec;
+    use vmprov_des::SimTime;
+
+    fn tiny() -> Scenario {
+        Scenario::web(PolicySpec::Static(5), 31).with_horizon(SimTime::from_secs(60.0))
+    }
+
+    fn tmp_cache(tag: &str) -> RunCache {
+        let dir =
+            std::env::temp_dir().join(format!("vmprov_cache_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RunCache::open(dir).expect("cache dir")
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips_bit_identically() {
+        let cache = tmp_cache("roundtrip");
+        let s = tiny();
+        let fresh = run_once(&s, 0);
+        let key = run_key(&s, 0);
+        assert!(matches!(cache.lookup(key), Lookup::Miss));
+        cache.store(key, &fresh).expect("store");
+        match cache.lookup(key) {
+            Lookup::Hit(cached) => assert_eq!(*cached, fresh),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_misses_not_errors() {
+        let cache = tmp_cache("corrupt");
+        let s = tiny();
+        let key = run_key(&s, 0);
+        // Garbage bytes.
+        std::fs::write(cache.entry_path(key), b"{not json").unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Corrupt));
+        // Valid JSON, wrong shape.
+        std::fs::write(cache.entry_path(key), b"{\"policy\": 3}").unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Corrupt));
+        // Truncated entry (torn write simulation).
+        let full = run_once(&s, 0).to_json().to_string_pretty();
+        std::fs::write(cache.entry_path(key), &full[..full.len() / 2]).unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Corrupt));
+        // Recovery: a store over the rot yields a hit again.
+        let fresh = run_once(&s, 0);
+        cache.store(key, &fresh).unwrap();
+        assert!(matches!(cache.lookup(key), Lookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_depends_on_rep_and_seed() {
+        let s = tiny();
+        let k0 = run_key(&s, 0);
+        assert_eq!(k0, run_key(&s, 0), "key must be stable");
+        assert_ne!(k0, run_key(&s, 1));
+        let mut reseeded = s.clone();
+        reseeded.seed += 1;
+        assert_ne!(k0, run_key(&reseeded, 0));
+    }
+}

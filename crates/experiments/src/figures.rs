@@ -9,7 +9,7 @@
 //! | Fig. 6 | [`fig6`] | scientific: adaptive vs Static-{15..75}, panels a–d |
 
 use crate::runner::{run_policy_set, Replicated};
-use crate::scenario::{fig5_scenarios, fig6_scenarios};
+use crate::scenario::{fig5_scenarios, fig6_scenarios, Scenario};
 use vmprov_des::{RngFactory, SimTime, DAY, HOUR, WEEK};
 use vmprov_workloads::{
     ArrivalProcess, ScientificWorkload, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES,
@@ -126,16 +126,27 @@ pub fn fig4_series(bucket: f64, reps: u32, seed: u64) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// The `(scenarios, reps)` job spec of Fig. 5 — for queuing on a
+/// [`Campaign`](crate::campaign::Campaign) alongside other figures.
+pub fn fig5_spec(mode: RunMode, seed: u64) -> (Vec<Scenario>, u32) {
+    (fig5_scenarios(seed, mode.web_horizon()), mode.web_reps())
+}
+
+/// The `(scenarios, reps)` job spec of Fig. 6.
+pub fn fig6_spec(mode: RunMode, seed: u64) -> (Vec<Scenario>, u32) {
+    (fig6_scenarios(seed), mode.sci_reps())
+}
+
 /// Fig. 5: the web experiment — Adaptive vs Static-{50,75,100,125,150}.
 pub fn fig5(mode: RunMode, seed: u64) -> Vec<Replicated> {
-    let scenarios = fig5_scenarios(seed, mode.web_horizon());
-    run_policy_set(&scenarios, mode.web_reps())
+    let (scenarios, reps) = fig5_spec(mode, seed);
+    run_policy_set(&scenarios, reps)
 }
 
 /// Fig. 6: the scientific experiment — Adaptive vs Static-{15,…,75}.
 pub fn fig6(mode: RunMode, seed: u64) -> Vec<Replicated> {
-    let scenarios = fig6_scenarios(seed);
-    run_policy_set(&scenarios, mode.sci_reps())
+    let (scenarios, reps) = fig6_spec(mode, seed);
+    run_policy_set(&scenarios, reps)
 }
 
 #[cfg(test)]

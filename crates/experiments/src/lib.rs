@@ -18,7 +18,10 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cache;
+pub mod campaign;
 pub mod figures;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -27,10 +30,12 @@ pub use ablations::{
     ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
     AblationRow,
 };
-pub use figures::{fig3_series, fig4_series, fig5, fig6, table2, RunMode};
+pub use cache::{run_key, Lookup, RunCache, CACHE_SCHEMA_VERSION};
+pub use campaign::{Campaign, CampaignResult, CampaignStats, FigureHandle};
+pub use figures::{fig3_series, fig4_series, fig5, fig5_spec, fig6, fig6_spec, table2, RunMode};
 pub use runner::{
-    builder_for, run_once, run_policy_set, run_replicated, trace_dt, traced_run, Replicated,
-    TracedRun,
+    builder_for, run_once, run_once_warm, run_policy_set, run_replicated, trace_dt, traced_run,
+    Replicated, TracedRun,
 };
 pub use scenario::{
     fig5_scenarios, fig6_scenarios, DispatchSpec, PolicySpec, Scenario, WorkloadKind,

@@ -2,11 +2,16 @@
 //!
 //! The paper repeats every scenario 10 times and reports averages
 //! (§V-A); [`run_replicated`] does the same, fanning replications out
-//! over scoped worker threads and folding the per-run [`RunSummary`]
-//! records into means with 95% Student-t confidence intervals.
+//! over the persistent worker pool (see [`crate::pool`]) and folding
+//! the per-run [`RunSummary`] records into means with 95% Student-t
+//! confidence intervals. Multi-figure invocations should batch through
+//! [`crate::campaign::Campaign`] instead, which shares one job queue
+//! (and optionally a run cache) across figures.
 
 use crate::scenario::Scenario;
-use vmprov_cloudsim::{RunSummary, SimBuilder, TimeSeries, TimeSeriesProbe, TraceProbe};
+use vmprov_cloudsim::{
+    RunSummary, SimBuilder, SimScratch, TimeSeries, TimeSeriesProbe, TraceProbe,
+};
 use vmprov_des::stats::{confidence_interval, Interval, Level, OnlineStats};
 use vmprov_des::RngFactory;
 use vmprov_json::{field_str, FromJson, Json, ToJson};
@@ -61,49 +66,6 @@ impl FromJson for Replicated {
     }
 }
 
-/// Runs `f` over every item of `jobs` on scoped worker threads,
-/// returning results in job order. A registry-free stand-in for rayon's
-/// parallel iterators: each worker pulls the next unclaimed index from a
-/// shared atomic counter, so uneven run lengths still load-balance.
-fn parallel_map<T: Sync, R: Send>(jobs: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(jobs.len().max(1));
-    if workers <= 1 {
-        return jobs.iter().map(f).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    // One lock per slot; contention-free because each index is claimed
-    // by exactly one worker, and the lock cost is nothing next to a
-    // simulation run.
-    let slots: Vec<std::sync::Mutex<Option<R>>> = (0..jobs.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let next = &next;
-            let f = &f;
-            let slots = &slots;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                *slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("slot lock")
-                .expect("worker filled slot")
-        })
-        .collect()
-}
-
 /// Derives the replication seed: deterministic, well-separated per rep.
 pub fn replication_seed(base: u64, rep: u32) -> u64 {
     base.wrapping_add(u64::from(rep).wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -112,6 +74,25 @@ pub fn replication_seed(base: u64, rep: u32) -> u64 {
 /// Runs one replication of `scenario`.
 pub fn run_once(scenario: &Scenario, rep: u32) -> RunSummary {
     builder_for(scenario).run(&RngFactory::new(replication_seed(scenario.seed, rep)))
+}
+
+std::thread_local! {
+    /// Warm per-thread simulation storage for [`run_once_warm`]: pool
+    /// workers (and any other thread that runs jobs back-to-back) reuse
+    /// the previous run's slot slab and FEL storage instead of
+    /// reallocating them.
+    static WARM: std::cell::RefCell<SimScratch> = std::cell::RefCell::new(SimScratch::new());
+}
+
+/// [`run_once`] with warm per-thread storage reuse — bit-identical
+/// results (pinned by the pool-width sweep test), cheaper back-to-back.
+pub fn run_once_warm(scenario: &Scenario, rep: u32) -> RunSummary {
+    WARM.with(|scratch| {
+        builder_for(scenario).run_scratch(
+            &RngFactory::new(replication_seed(scenario.seed, rep)),
+            &mut scratch.borrow_mut(),
+        )
+    })
 }
 
 /// A [`SimBuilder`] primed with every component of `scenario` — attach
@@ -166,11 +147,15 @@ pub fn traced_run(
     })
 }
 
-/// Runs `reps` replications of `scenario` in parallel.
+/// Runs `reps` replications of `scenario` on the persistent worker
+/// pool. A single replication runs inline on the caller — the smoke
+/// path pays no dispatch cost.
 pub fn run_replicated(scenario: &Scenario, reps: u32) -> Replicated {
     assert!(reps >= 1);
-    let jobs: Vec<u32> = (0..reps).collect();
-    let runs = parallel_map(&jobs, |&rep| run_once(scenario, rep));
+    let scenario_for_jobs = scenario.clone();
+    let runs = crate::pool::global().run_batch((0..reps).collect(), move |_, rep| {
+        run_once_warm(&scenario_for_jobs, rep)
+    });
     Replicated {
         policy: scenario.policy_label(),
         runs,
@@ -178,26 +163,15 @@ pub fn run_replicated(scenario: &Scenario, reps: u32) -> Replicated {
 }
 
 /// Runs a whole policy set (e.g. one figure) with `reps` replications
-/// each, parallelising over (scenario × replication).
+/// each, parallelising over (scenario × replication). A thin wrapper
+/// over an uncached single-figure [`Campaign`](crate::campaign::Campaign);
+/// multi-figure invocations should build the campaign themselves so
+/// figures share one job queue.
 pub fn run_policy_set(scenarios: &[Scenario], reps: u32) -> Vec<Replicated> {
     assert!(reps >= 1);
-    let jobs: Vec<(usize, u32)> = (0..scenarios.len())
-        .flat_map(|s| (0..reps).map(move |r| (s, r)))
-        .collect();
-    let results = parallel_map(&jobs, |&(s, r)| run_once(&scenarios[s], r));
-    scenarios
-        .iter()
-        .enumerate()
-        .map(|(i, sc)| Replicated {
-            policy: sc.policy_label(),
-            runs: jobs
-                .iter()
-                .zip(&results)
-                .filter(|&(&(s, _), _)| s == i)
-                .map(|(_, run)| run.clone())
-                .collect(),
-        })
-        .collect()
+    let mut campaign = crate::campaign::Campaign::new(None);
+    let handle = campaign.add_figure(scenarios.to_vec(), reps);
+    campaign.run().take(handle)
 }
 
 #[cfg(test)]
@@ -258,17 +232,30 @@ mod tests {
 
     #[test]
     fn traced_run_observes_without_perturbing() {
+        /// Deletes the trace file even when an assertion below panics —
+        /// and the per-process name means two concurrently running test
+        /// binaries (e.g. two CI jobs on one machine) cannot clobber
+        /// each other's file.
+        struct TempTrace(std::path::PathBuf);
+        impl Drop for TempTrace {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        let path = TempTrace(std::env::temp_dir().join(format!(
+            "vmprov_traced_run_test_{}.jsonl",
+            std::process::id()
+        )));
+
         let s = Scenario::web(PolicySpec::Adaptive, 99).with_horizon(SimTime::from_secs(120.0));
-        let path = std::env::temp_dir().join("vmprov_traced_run_test.jsonl");
-        let traced = traced_run(&s, 0, trace_dt(120.0), &path).expect("traced run");
+        let traced = traced_run(&s, 0, trace_dt(120.0), &path.0).expect("traced run");
         // The probes must not perturb the simulation.
         assert_eq!(traced.summary, run_once(&s, 0));
         assert!(traced.trace_lines > 0);
         // Δt clamps to 1 s here: one sample per second plus t = 0.
         assert!(traced.series.samples.len() >= 100);
-        let on_disk = std::fs::read_to_string(&path).expect("trace file");
+        let on_disk = std::fs::read_to_string(&path.0).expect("trace file");
         assert_eq!(on_disk.lines().count() as u64, traced.trace_lines);
-        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

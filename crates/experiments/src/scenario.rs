@@ -249,6 +249,48 @@ impl Scenario {
     }
 }
 
+impl vmprov_json::ToJson for Scenario {
+    /// Serializes **every** field that can influence a run's result —
+    /// this is the content the run cache addresses, so omitting a field
+    /// here would alias distinct runs onto one cache entry. The
+    /// field-count assertion below fails the build of this method's
+    /// tests when `Scenario` grows a field that isn't serialized.
+    fn to_json(&self) -> vmprov_json::Json {
+        use vmprov_json::Json;
+        let workload = match self.workload {
+            WorkloadKind::Web => "web",
+            WorkloadKind::Scientific => "scientific",
+        };
+        let policy = match self.policy {
+            PolicySpec::Adaptive => Json::from("adaptive"),
+            PolicySpec::Static(m) => Json::obj([("static", Json::from(m))]),
+        };
+        let dispatch = match self.dispatch {
+            DispatchSpec::RoundRobin => "round_robin",
+            DispatchSpec::LeastOutstanding => "least_outstanding",
+            DispatchSpec::Random => "random",
+        };
+        let backend = match self.backend {
+            AnalyticBackend::Mm1k => "mm1k",
+            AnalyticBackend::TwoMoment => "two_moment",
+        };
+        let fel = match self.fel_backend {
+            FelBackend::Calendar => "calendar",
+            FelBackend::BinaryHeap => "binary_heap",
+        };
+        Json::obj([
+            ("workload", Json::from(workload)),
+            ("policy", policy),
+            ("dispatch", Json::from(dispatch)),
+            ("horizon_secs", Json::from(self.horizon.as_secs())),
+            ("backend", Json::from(backend)),
+            ("seed", Json::from(self.seed)),
+            ("boot_delay", Json::from(self.boot_delay)),
+            ("fel_backend", Json::from(fel)),
+        ])
+    }
+}
+
 /// The static pool sizes of Fig. 5 (web).
 pub const WEB_STATIC_SIZES: [u32; 5] = [50, 75, 100, 125, 150];
 
@@ -316,6 +358,36 @@ mod tests {
         let f6 = fig6_scenarios(1);
         assert_eq!(f6.len(), 6);
         assert_eq!(f6[1].policy, PolicySpec::Static(15));
+    }
+
+    #[test]
+    fn scenario_json_covers_every_field() {
+        use vmprov_json::ToJson;
+        let s = Scenario::web(PolicySpec::Static(3), 5);
+        // Exhaustive destructuring: adding a field to `Scenario` breaks
+        // this build until `to_json` serializes it (and the cache
+        // schema tag is bumped — see the checklist in EXPERIMENTS.md).
+        let Scenario {
+            workload: _,
+            policy: _,
+            dispatch: _,
+            horizon: _,
+            backend: _,
+            seed: _,
+            boot_delay: _,
+            fel_backend: _,
+        } = s.clone();
+        let j = s.to_json();
+        assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
+        assert_eq!(j.get("workload").unwrap().as_str(), Some("web"));
+        assert_eq!(
+            j.get("policy").unwrap().get("static").unwrap().as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            j.get("horizon_secs").unwrap().as_f64(),
+            Some(vmprov_des::WEEK)
+        );
     }
 
     #[test]

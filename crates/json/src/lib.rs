@@ -142,6 +142,17 @@ impl Json {
         write::write_compact(self, &mut out);
         out
     }
+
+    /// Serializes canonically: compact, with object members sorted by
+    /// key at every level. Two semantically equal documents (same
+    /// key→value mappings, regardless of member order) serialize to the
+    /// same byte string — the property content-addressed hashing needs.
+    /// Array order is meaningful in JSON and is preserved.
+    pub fn to_string_canonical(&self) -> String {
+        let mut out = String::new();
+        write::write_canonical(self, &mut out);
+        out
+    }
 }
 
 impl fmt::Display for Json {
@@ -308,6 +319,44 @@ mod tests {
         let text = Json::from(big).to_string_compact();
         let back = Json::parse(&text).unwrap();
         assert_eq!(back.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn canonical_sorts_members_recursively() {
+        let a = Json::obj([
+            ("b", Json::from(2_u64)),
+            (
+                "a",
+                Json::obj([("z", Json::from(1_u64)), ("y", Json::from(0_u64))]),
+            ),
+        ]);
+        let b = Json::obj([
+            (
+                "a",
+                Json::obj([("y", Json::from(0_u64)), ("z", Json::from(1_u64))]),
+            ),
+            ("b", Json::from(2_u64)),
+        ]);
+        assert_eq!(a.to_string_canonical(), b.to_string_canonical());
+        assert_eq!(a.to_string_canonical(), r#"{"a":{"y":0,"z":1},"b":2}"#);
+        // Array order stays meaningful.
+        let arr = Json::arr([Json::from(2_u64), Json::from(1_u64)]);
+        assert_eq!(arr.to_string_canonical(), "[2,1]");
+    }
+
+    #[test]
+    fn canonical_reparses_to_same_value_modulo_order() {
+        let doc = Json::obj([
+            ("beta", Json::from(0.105)),
+            ("alpha", Json::from("x\ny")),
+            ("arr", Json::arr([Json::Null, Json::from(true)])),
+        ]);
+        let back = Json::parse(&doc.to_string_canonical()).unwrap();
+        assert_eq!(back.get("beta"), doc.get("beta"));
+        assert_eq!(back.get("alpha"), doc.get("alpha"));
+        assert_eq!(back.get("arr"), doc.get("arr"));
+        // Canonical form is a fixed point.
+        assert_eq!(back.to_string_canonical(), doc.to_string_canonical());
     }
 
     #[test]

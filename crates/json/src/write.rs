@@ -72,6 +72,41 @@ pub(crate) fn write_compact(v: &Json, out: &mut String) {
     }
 }
 
+pub(crate) fn write_canonical(v: &Json, out: &mut String) {
+    match v {
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_canonical(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(members) => {
+            // Sort by key (ties keep input order) so semantically equal
+            // objects built in different member orders serialize to the
+            // same bytes. Duplicate keys are not deduplicated — the
+            // document is preserved, only reordered.
+            let mut order: Vec<usize> = (0..members.len()).collect();
+            order.sort_by(|&a, &b| members[a].0.cmp(&members[b].0));
+            out.push('{');
+            for (i, &m) in order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (k, item) = &members[m];
+                write_escaped(k, out);
+                out.push(':');
+                write_canonical(item, out);
+            }
+            out.push('}');
+        }
+        leaf => write_compact(leaf, out),
+    }
+}
+
 fn indent(depth: usize, out: &mut String) {
     for _ in 0..depth {
         out.push_str("  ");

@@ -39,5 +39,9 @@ run cargo test "${OFFLINE[@]}" --workspace -q
 #   cargo run --release -p vmprov-bench --bin quickbench -- --out BENCH_des.json
 # keeping each benchmark's slowest median.
 run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --out target/BENCH_des.json --check-probe-overhead 2 --check-against BENCH_des.json
+# The campaign run cache end to end: a cold fig5+fig6 smoke pass, then a
+# warm pass that must be ≥90% cache hits, measurably faster, and
+# byte-identical in its figure output.
+run bash scripts/cache_smoke.sh
 
 echo "ci.sh: all checks passed" >&2
