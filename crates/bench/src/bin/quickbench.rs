@@ -4,6 +4,7 @@
 //! ```text
 //! quickbench [--out PATH] [--quick] [--check-probe-overhead PCT]
 //!            [--check-against PATH]
+//! quickbench --diff OLD.json NEW.json
 //! ```
 //!
 //! Covers the future-event-list backends (calendar queue vs binary
@@ -30,6 +31,10 @@
 //! regression persists across re-measurements; a scheduler artifact
 //! does not). `--quick` shrinks the workloads so the suite stays fast
 //! in debug builds; headline numbers should come from `--release` runs.
+//!
+//! `--diff OLD.json NEW.json` measures nothing: it renders a markdown
+//! before/after table from two existing reports (ci.sh publishes it as
+//! a build artifact) and exits 0.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
 use vmprov_cloudsim::NullProbe;
@@ -58,6 +63,8 @@ struct Sizes {
     sci_hours: f64,
     /// Trivial jobs per `pool_dispatch_overhead` batch.
     pool_jobs: usize,
+    /// Standard-exponential draws per `exp_sampler_hot` run.
+    sampler_draws: usize,
     /// Simulated seconds per scenario of the cached-campaign pass.
     campaign_horizon: f64,
     /// Measured runs per benchmark.
@@ -74,6 +81,7 @@ impl Sizes {
             web_horizon: 600.0,
             sci_hours: 10.0,
             pool_jobs: 20_000,
+            sampler_draws: 4_000_000,
             campaign_horizon: 600.0,
             runs: 5,
         }
@@ -90,6 +98,7 @@ impl Sizes {
             web_horizon: 120.0,
             sci_hours: 2.0,
             pool_jobs: 2_000,
+            sampler_draws: 200_000,
             campaign_horizon: 120.0,
             runs: 3,
         }
@@ -331,6 +340,51 @@ fn bench_modeler_sweep(runs: u32) -> Timing {
     })
 }
 
+/// The batched ziggurat exponential sampler in a tight loop: the cost
+/// of one standard-exponential deviate through the block-refill path
+/// (the per-draw unit every workload's interarrival sampling pays on
+/// the ziggurat backend).
+fn bench_exp_sampler(draws: usize, runs: u32) -> Timing {
+    use vmprov_des::dist::StdExp;
+    use vmprov_des::SamplerBackend;
+    let mut rng = RngFactory::new(0x216).stream("zig-exp-hot");
+    let mut sampler = StdExp::new(SamplerBackend::Ziggurat);
+    bench("exp_sampler_hot", draws as u64, 1, runs, || {
+        let mut acc = 0.0f64;
+        for _ in 0..draws {
+            acc += sampler.next(&mut rng);
+        }
+        black_box(acc);
+    })
+}
+
+/// The same scenario as `web_small_run`, but driven through the
+/// `Box<dyn>`-erased entry point (boxed workload through the forwarding
+/// impl, boxed dispatcher enum): the per-request price of runtime
+/// erasure relative to the monomorphized path. The two runs consume
+/// identical RNG streams, so the ratio printed against `web_small_run`
+/// is pure dispatch overhead.
+fn bench_dispatch_erased(horizon: f64, runs: u32) -> Timing {
+    use vmprov_cloudsim::SimBuilder;
+    use vmprov_workloads::ArrivalProcess;
+    let scenario =
+        Scenario::web(PolicySpec::Static(60), 0xBE7C).with_horizon(SimTime::from_secs(horizon));
+    let rngs = RngFactory::new(replication_seed(scenario.seed, 0));
+    let run = || {
+        let workload: Box<dyn ArrivalProcess + Send> = Box::new(scenario.build_workload());
+        SimBuilder::new(scenario.sim_config())
+            .workload(workload)
+            .service(scenario.service_model())
+            .policy(scenario.build_policy())
+            .dispatcher(Box::new(scenario.build_dispatcher()))
+            .run(&rngs)
+    };
+    let offered = run().offered_requests;
+    bench("dispatch_static_vs_dyn", offered.max(1), 1, runs, || {
+        black_box(run());
+    })
+}
+
 /// Raw scheduling cost of the persistent worker pool: one `run_batch`
 /// of `jobs` trivial closures. Real jobs are whole simulation runs
 /// (milliseconds to minutes), so the per-job overhead measured here —
@@ -387,6 +441,73 @@ fn bench_campaign_cached(horizon: f64, runs: u32) -> Timing {
     timing
 }
 
+/// `name -> ns_per_op` of every benchmark in a report, in file order,
+/// for the `--diff` table. Exits with status 2 on an unreadable report.
+fn load_ns_per_op(path: &std::path::Path) -> Vec<(String, f64)> {
+    let fail = |msg: String| -> ! {
+        eprintln!("quickbench: --diff {}: {msg}", path.display());
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(e.to_string()));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(format!("parse error: {e:?}")));
+    let entries: Vec<(String, f64)> = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|b| {
+                    Some((
+                        b.get("name")?.as_str()?.to_string(),
+                        b.get("ns_per_op")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if entries.is_empty() {
+        fail("no benchmark entries found".to_string());
+    }
+    entries
+}
+
+/// `--diff OLD NEW`: renders a markdown before/after table of ns/op to
+/// stdout and exits 0. Entries present on only one side are listed with
+/// a dash; a negative delta is an improvement.
+fn run_diff(old_path: &std::path::Path, new_path: &std::path::Path) -> ! {
+    let old = load_ns_per_op(old_path);
+    let new = load_ns_per_op(new_path);
+    println!(
+        "| benchmark | old ns/op | new ns/op | Δ |\n\
+         |---|---:|---:|---:|"
+    );
+    let fmt = |v: f64| {
+        if v >= 100.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.1}")
+        }
+    };
+    for (name, old_ns) in &old {
+        match new.iter().find(|(n, _)| n == name) {
+            Some((_, new_ns)) => {
+                let delta = 100.0 * (new_ns / old_ns - 1.0);
+                println!(
+                    "| {name} | {} | {} | {delta:+.1}% |",
+                    fmt(*old_ns),
+                    fmt(*new_ns)
+                );
+            }
+            None => println!("| {name} | {} | — | removed |", fmt(*old_ns)),
+        }
+    }
+    for (name, new_ns) in &new {
+        if !old.iter().any(|(n, _)| n == name) {
+            println!("| {name} | — | {} | new |", fmt(*new_ns));
+        }
+    }
+    std::process::exit(0);
+}
+
 struct Args {
     out: std::path::PathBuf,
     sizes: Sizes,
@@ -404,6 +525,16 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--diff" => match (it.next(), it.next()) {
+                (Some(old), Some(new)) => run_diff(
+                    &std::path::PathBuf::from(old),
+                    &std::path::PathBuf::from(new),
+                ),
+                _ => {
+                    eprintln!("--diff needs OLD.json and NEW.json (try --help)");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(path) => args.out = std::path::PathBuf::from(path),
                 None => {
@@ -429,7 +560,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: quickbench [--out PATH] [--quick] [--check-probe-overhead PCT] \
-                     [--check-against PATH]"
+                     [--check-against PATH]\n       quickbench --diff OLD.json NEW.json"
                 );
                 std::process::exit(0);
             }
@@ -568,6 +699,12 @@ fn main() {
         vec![bench_modeler_sweep(sizes.runs)]
     })));
     groups.push(run_group(Box::new(move || {
+        vec![bench_exp_sampler(sizes.sampler_draws, sizes.runs)]
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_dispatch_erased(sizes.web_horizon, sizes.runs)]
+    })));
+    groups.push(run_group(Box::new(move || {
         vec![bench_pool_dispatch(sizes.pool_jobs, sizes.runs)]
     })));
     groups.push(run_group(Box::new(move || {
@@ -656,6 +793,23 @@ fn main() {
         println!(
             "  hold @ {pending} pending: calendar {:.2}x heap ({cal:.0} vs {heap:.0} ops/s)",
             cal / heap
+        );
+    }
+    // Headline comparison: the erased entry point vs the monomorphized
+    // hot path on the identical seeded web run.
+    let ns_per_op = |name: &str| {
+        timings
+            .iter()
+            .find(|t| t.name == name)
+            .map(Timing::ns_per_op)
+    };
+    if let (Some(mono), Some(erased)) = (
+        ns_per_op("web_small_run"),
+        ns_per_op("dispatch_static_vs_dyn"),
+    ) {
+        println!(
+            "  erased vs monomorphized web run: {:.2}x ({erased:.1} vs {mono:.1} ns/request)",
+            erased / mono
         );
     }
 

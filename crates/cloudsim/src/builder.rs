@@ -29,26 +29,40 @@ use crate::config::SimConfig;
 use crate::metrics::{MetricsOptions, RunSummary};
 use crate::probe::{NullProbe, Probe};
 use crate::sim::{run_engine, run_engine_scratch, CloudSim, SimScratch};
-use vmprov_core::dispatch::Dispatcher;
+use vmprov_core::dispatch::{AnyDispatcher, Dispatcher};
 use vmprov_core::policy::ProvisioningPolicy;
 use vmprov_des::{FelBackend, RngFactory};
-use vmprov_workloads::{ArrivalProcess, ServiceModel};
+use vmprov_workloads::{AnyWorkload, ArrivalProcess, ServiceModel};
 
 /// Builder for one simulation run. Construct with [`SimBuilder::new`],
 /// supply the four required components (workload, service model,
 /// policy, dispatcher), optionally attach a [`Probe`] and tweak knobs,
 /// then [`run`](SimBuilder::run). Missing components panic at `run`
 /// time with the component's name.
-pub struct SimBuilder<P: Probe = NullProbe> {
+///
+/// The builder is generic over the workload and dispatcher it carries
+/// (mirroring [`CloudSim`]); [`workload`](SimBuilder::workload) and
+/// [`dispatcher`](SimBuilder::dispatcher) rebind those parameters the
+/// same way [`probe`](SimBuilder::probe) rebinds the probe type, so the
+/// simulation that eventually runs is monomorphized over exactly the
+/// component types supplied. The defaults ([`AnyWorkload`],
+/// [`AnyDispatcher`]) are what the experiments layer's scenario decoder
+/// supplies, keeping the un-annotated `SimBuilder` name valid there.
+pub struct SimBuilder<P = NullProbe, W = AnyWorkload, D = AnyDispatcher>
+where
+    P: Probe,
+    W: ArrivalProcess + Send,
+    D: Dispatcher,
+{
     cfg: SimConfig,
-    workload: Option<Box<dyn ArrivalProcess + Send>>,
+    workload: Option<W>,
     service: Option<ServiceModel>,
     policy: Option<Box<dyn ProvisioningPolicy>>,
-    dispatcher: Option<Box<dyn Dispatcher>>,
+    dispatcher: Option<D>,
     probe: P,
 }
 
-impl SimBuilder<NullProbe> {
+impl SimBuilder {
     /// Starts a builder from a scenario configuration, with no probe.
     pub fn new(cfg: SimConfig) -> Self {
         SimBuilder {
@@ -62,11 +76,20 @@ impl SimBuilder<NullProbe> {
     }
 }
 
-impl<P: Probe> SimBuilder<P> {
-    /// The arrival process driving the run (required).
-    pub fn workload(mut self, workload: Box<dyn ArrivalProcess + Send>) -> Self {
-        self.workload = Some(workload);
-        self
+impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
+    /// The arrival process driving the run (required). Rebinds the
+    /// builder's workload type: pass a concrete process for a fully
+    /// monomorphized run, or `Box<dyn ArrivalProcess + Send>` to keep
+    /// the choice erased until runtime.
+    pub fn workload<W2: ArrivalProcess + Send>(self, workload: W2) -> SimBuilder<P, W2, D> {
+        SimBuilder {
+            cfg: self.cfg,
+            workload: Some(workload),
+            service: self.service,
+            policy: self.policy,
+            dispatcher: self.dispatcher,
+            probe: self.probe,
+        }
     }
 
     /// The service-time model (required).
@@ -81,10 +104,17 @@ impl<P: Probe> SimBuilder<P> {
         self
     }
 
-    /// The request dispatcher (required).
-    pub fn dispatcher(mut self, dispatcher: Box<dyn Dispatcher>) -> Self {
-        self.dispatcher = Some(dispatcher);
-        self
+    /// The request dispatcher (required). Rebinds the builder's
+    /// dispatcher type (see [`workload`](Self::workload)).
+    pub fn dispatcher<D2: Dispatcher>(self, dispatcher: D2) -> SimBuilder<P, W, D2> {
+        SimBuilder {
+            cfg: self.cfg,
+            workload: self.workload,
+            service: self.service,
+            policy: self.policy,
+            dispatcher: Some(dispatcher),
+            probe: self.probe,
+        }
     }
 
     /// Overrides the future-event-list backend (default: the config's).
@@ -101,7 +131,7 @@ impl<P: Probe> SimBuilder<P> {
 
     /// Attaches a probe, rebinding the builder's probe type. Compose
     /// several with a tuple: `.probe((trace, sampler))`.
-    pub fn probe<Q: Probe>(self, probe: Q) -> SimBuilder<Q> {
+    pub fn probe<Q: Probe>(self, probe: Q) -> SimBuilder<Q, W, D> {
         SimBuilder {
             cfg: self.cfg,
             workload: self.workload,
@@ -195,15 +225,14 @@ mod tests {
         }
     }
 
-    fn base(m: u32, rate: f64, horizon: f64) -> SimBuilder {
+    /// A monomorphized builder: concrete workload and dispatcher types,
+    /// no boxes anywhere on the hot path.
+    fn base(m: u32, rate: f64, horizon: f64) -> SimBuilder<NullProbe, PoissonProcess, RoundRobin> {
         SimBuilder::new(cfg())
-            .workload(Box::new(PoissonProcess::new(
-                rate,
-                SimTime::from_secs(horizon),
-            )))
+            .workload(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
             .service(ServiceModel::new(0.100, 0.10))
             .policy(Box::new(StaticPolicy::new(m, QosTargets::web_paper())))
-            .dispatcher(Box::new(RoundRobin::new()))
+            .dispatcher(RoundRobin::new())
     }
 
     #[test]

@@ -20,11 +20,11 @@ use crate::config::SimConfig;
 use crate::host::HostPool;
 use crate::metrics::{RunMetrics, RunSummary};
 use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
-use vmprov_core::dispatch::{Dispatcher, InstancePool, InstanceView};
+use vmprov_core::dispatch::{AnyDispatcher, Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
 use vmprov_des::stats::{OnlineStats, TimeWeighted};
 use vmprov_des::{Engine, EventHandle, EventQueue, RngFactory, Scheduler, SimRng, SimTime, World};
-use vmprov_workloads::{ArrivalBatch, ArrivalProcess, ServiceModel};
+use vmprov_workloads::{AnyWorkload, ArrivalBatch, ArrivalProcess, ServiceModel};
 
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
@@ -303,11 +303,23 @@ impl InstancePool for PoolViewRef<'_> {
     }
 }
 
-/// The simulation world, generic over its observer. The default
-/// [`NullProbe`] monomorphizes every hook to nothing, so an unprobed
-/// `CloudSim` compiles to the same hot path as before the observability
-/// layer existed.
-pub struct CloudSim<P: Probe = NullProbe> {
+/// The simulation world, generic over its observer, workload, and
+/// dispatcher. The default [`NullProbe`] monomorphizes every hook to
+/// nothing, so an unprobed `CloudSim` compiles to the same hot path as
+/// before the observability layer existed; the workload and dispatcher
+/// parameters monomorphize the per-request hot path
+/// (`handle_arrival` → `pick`, `Batch` → `next_batch`) to direct calls.
+/// The defaults are the closed runtime-selection enums the scenario
+/// decoder produces, so `CloudSim`/`SimBuilder` written without type
+/// arguments still names one concrete devirtualized type. Callers that
+/// must erase the component types instead (plugin-style composition)
+/// pass `Box<dyn ArrivalProcess + Send>` / `Box<ConcreteDispatcher>`,
+/// which satisfy the same bounds through the forwarding impls.
+pub struct CloudSim<P: Probe = NullProbe, W = AnyWorkload, D = AnyDispatcher>
+where
+    W: ArrivalProcess + Send,
+    D: Dispatcher,
+{
     cfg: SimConfig,
     hosts: HostPool,
     instances: InstanceSlots,
@@ -326,11 +338,11 @@ pub struct CloudSim<P: Probe = NullProbe> {
     /// Current per-instance queue capacity (Eq. 1, re-derived from the
     /// monitored Tm at each evaluation).
     k: u32,
-    workload: Box<dyn ArrivalProcess + Send>,
+    workload: W,
     pending_batch: Option<ArrivalBatch>,
     service: ServiceModel,
     policy: Box<dyn ProvisioningPolicy>,
-    dispatcher: Box<dyn Dispatcher>,
+    dispatcher: D,
     rng_arrivals: SimRng,
     rng_service: SimRng,
     rng_dispatch: SimRng,
@@ -378,34 +390,34 @@ impl SimScratch {
     }
 }
 
-impl CloudSim {
+impl<W: ArrivalProcess + Send, D: Dispatcher> CloudSim<NullProbe, W, D> {
     /// Builds an unprobed world — see
     /// [`engine_with_probe`](CloudSim::engine_with_probe).
     pub fn engine(
         cfg: SimConfig,
-        workload: Box<dyn ArrivalProcess + Send>,
+        workload: W,
         service: ServiceModel,
         policy: Box<dyn ProvisioningPolicy>,
-        dispatcher: Box<dyn Dispatcher>,
+        dispatcher: D,
         rngs: &RngFactory,
-    ) -> Engine<CloudSim> {
+    ) -> Engine<Self> {
         Self::engine_with_probe(cfg, workload, service, policy, dispatcher, rngs, NullProbe)
     }
 }
 
-impl<P: Probe> CloudSim<P> {
+impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     /// Builds the world and returns an [`Engine`] primed with the
     /// initial fleet, first batch, first evaluation, and monitor tick
     /// (plus the sampling tick when the probe asks for one).
     pub fn engine_with_probe(
         cfg: SimConfig,
-        workload: Box<dyn ArrivalProcess + Send>,
+        workload: W,
         service: ServiceModel,
         policy: Box<dyn ProvisioningPolicy>,
-        dispatcher: Box<dyn Dispatcher>,
+        dispatcher: D,
         rngs: &RngFactory,
         probe: P,
-    ) -> Engine<CloudSim<P>> {
+    ) -> Engine<Self> {
         Self::build_engine(
             cfg, workload, service, policy, dispatcher, rngs, probe, None,
         )
@@ -417,14 +429,14 @@ impl<P: Probe> CloudSim<P> {
     #[allow(clippy::too_many_arguments)]
     pub fn engine_with_probe_scratch(
         cfg: SimConfig,
-        workload: Box<dyn ArrivalProcess + Send>,
+        workload: W,
         service: ServiceModel,
         policy: Box<dyn ProvisioningPolicy>,
-        dispatcher: Box<dyn Dispatcher>,
+        dispatcher: D,
         rngs: &RngFactory,
         probe: P,
         scratch: &mut SimScratch,
-    ) -> Engine<CloudSim<P>> {
+    ) -> Engine<Self> {
         Self::build_engine(
             cfg,
             workload,
@@ -440,14 +452,14 @@ impl<P: Probe> CloudSim<P> {
     #[allow(clippy::too_many_arguments)]
     fn build_engine(
         cfg: SimConfig,
-        workload: Box<dyn ArrivalProcess + Send>,
+        workload: W,
         service: ServiceModel,
         policy: Box<dyn ProvisioningPolicy>,
-        dispatcher: Box<dyn Dispatcher>,
+        dispatcher: D,
         rngs: &RngFactory,
         probe: P,
         scratch: Option<&mut SimScratch>,
-    ) -> Engine<CloudSim<P>> {
+    ) -> Engine<Self> {
         let horizon = workload.horizon();
         let initial = policy.initial_instances();
         let ts = cfg.qos_ts;
@@ -953,7 +965,7 @@ impl<P: Probe> CloudSim<P> {
     }
 }
 
-impl<P: Probe> World for CloudSim<P> {
+impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> World for CloudSim<P, W, D> {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
@@ -1034,15 +1046,17 @@ impl<P: Probe> World for CloudSim<P> {
 /// The run ends when the workload is exhausted and every accepted
 /// request has completed; surviving VMs are then destroyed and billed to
 /// that final instant.
-pub(crate) fn run_engine<P: Probe>(engine: Engine<CloudSim<P>>) -> (RunSummary, P) {
+pub(crate) fn run_engine<P: Probe, W: ArrivalProcess + Send, D: Dispatcher>(
+    engine: Engine<CloudSim<P, W, D>>,
+) -> (RunSummary, P) {
     let (summary, world, _queue) = run_engine_core(engine);
     (summary, world.probe)
 }
 
 /// Like [`run_engine`], but returns the run's slot slab and FEL storage
 /// to `scratch` so the next run on this thread reuses them.
-pub(crate) fn run_engine_scratch<P: Probe>(
-    engine: Engine<CloudSim<P>>,
+pub(crate) fn run_engine_scratch<P: Probe, W: ArrivalProcess + Send, D: Dispatcher>(
+    engine: Engine<CloudSim<P, W, D>>,
     scratch: &mut SimScratch,
 ) -> (RunSummary, P) {
     let (summary, world, queue) = run_engine_core(engine);
@@ -1051,9 +1065,9 @@ pub(crate) fn run_engine_scratch<P: Probe>(
     (summary, world.probe)
 }
 
-fn run_engine_core<P: Probe>(
-    mut engine: Engine<CloudSim<P>>,
-) -> (RunSummary, CloudSim<P>, EventQueue<Event>) {
+fn run_engine_core<P: Probe, W: ArrivalProcess + Send, D: Dispatcher>(
+    mut engine: Engine<CloudSim<P, W, D>>,
+) -> (RunSummary, CloudSim<P, W, D>, EventQueue<Event>) {
     let name = engine.world().policy.name();
     let horizon = engine.world().horizon;
     engine.run_until(horizon);

@@ -71,6 +71,12 @@ impl InstancePool for &[InstanceView] {
 }
 
 /// A strategy for picking the instance that receives the next request.
+///
+/// `pick` is generic over the pool probe (not `&dyn InstancePool`), so a
+/// monomorphized simulation compiles the per-request strategy and the
+/// pool's `view`/`has_free` down to direct, inlinable calls. The trait
+/// is therefore not object-safe; runtime strategy selection goes through
+/// the closed [`AnyDispatcher`] enum instead of a vtable.
 pub trait Dispatcher: Send {
     /// Index of the chosen instance, or `None` to reject the request
     /// (admission control: every instance is full or not accepting).
@@ -78,10 +84,85 @@ pub trait Dispatcher: Send {
     /// `random01` is a uniform draw in `[0, 1)` supplied by the caller so
     /// strategies stay deterministic under the simulation's seeded
     /// streams.
-    fn pick(&mut self, pool: &dyn InstancePool, random01: f64) -> Option<usize>;
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, random01: f64) -> Option<usize>;
 
     /// Human-readable strategy name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Forwarding impl so heap-owned strategies (`Box<RoundRobin>`, or the
+/// erased-entry-point `Box<AnyDispatcher>`) plug into the same generic
+/// seams.
+impl<T: Dispatcher> Dispatcher for Box<T> {
+    #[inline]
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, random01: f64) -> Option<usize> {
+        (**self).pick(pool, random01)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Every dispatch strategy in the repository, as a closed enum.
+///
+/// The scenario decoder needs *runtime* strategy selection, but routing
+/// that through `Box<dyn Dispatcher>` would drag a vtable call into the
+/// per-request hot path. A `match` over a three-variant enum compiles to
+/// a jump the branch predictor resolves perfectly within a run (the
+/// variant never changes mid-simulation), and the callee bodies stay
+/// inlinable.
+#[derive(Debug, Clone)]
+pub enum AnyDispatcher {
+    /// The paper's round-robin strategy.
+    RoundRobin(RoundRobin),
+    /// Join-the-shortest-queue.
+    LeastOutstanding(LeastOutstanding),
+    /// Random probing.
+    Random(RandomDispatch),
+}
+
+impl Default for AnyDispatcher {
+    fn default() -> Self {
+        AnyDispatcher::RoundRobin(RoundRobin::new())
+    }
+}
+
+impl From<RoundRobin> for AnyDispatcher {
+    fn from(d: RoundRobin) -> Self {
+        AnyDispatcher::RoundRobin(d)
+    }
+}
+
+impl From<LeastOutstanding> for AnyDispatcher {
+    fn from(d: LeastOutstanding) -> Self {
+        AnyDispatcher::LeastOutstanding(d)
+    }
+}
+
+impl From<RandomDispatch> for AnyDispatcher {
+    fn from(d: RandomDispatch) -> Self {
+        AnyDispatcher::Random(d)
+    }
+}
+
+impl Dispatcher for AnyDispatcher {
+    #[inline]
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, random01: f64) -> Option<usize> {
+        match self {
+            AnyDispatcher::RoundRobin(d) => d.pick(pool, random01),
+            AnyDispatcher::LeastOutstanding(d) => d.pick(pool, random01),
+            AnyDispatcher::Random(d) => d.pick(pool, random01),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyDispatcher::RoundRobin(d) => d.name(),
+            AnyDispatcher::LeastOutstanding(d) => d.name(),
+            AnyDispatcher::Random(d) => d.name(),
+        }
+    }
 }
 
 /// The paper's strategy: cycle through instances in order, skipping full
@@ -99,17 +180,28 @@ impl RoundRobin {
 }
 
 impl Dispatcher for RoundRobin {
-    fn pick(&mut self, pool: &dyn InstancePool, _random01: f64) -> Option<usize> {
+    #[inline]
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, _random01: f64) -> Option<usize> {
         let n = pool.len();
         if n == 0 || !pool.has_free() {
             return None;
         }
-        let start = self.next % n;
-        for off in 0..n {
-            let i = (start + off) % n;
+        // One integer division to re-enter the ring (the pool may have
+        // shrunk since the last pick), then conditional wrapping: the
+        // probe order is identical to the old `(start + off) % n` loop
+        // without a division per probe.
+        let mut i = self.next % n;
+        for _ in 0..n {
             if pool.view(i).has_room() {
-                self.next = (i + 1) % n;
+                self.next = i + 1;
+                if self.next == n {
+                    self.next = 0;
+                }
                 return Some(i);
+            }
+            i += 1;
+            if i == n {
+                i = 0;
             }
         }
         None
@@ -133,7 +225,8 @@ impl LeastOutstanding {
 }
 
 impl Dispatcher for LeastOutstanding {
-    fn pick(&mut self, pool: &dyn InstancePool, _random01: f64) -> Option<usize> {
+    #[inline]
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, _random01: f64) -> Option<usize> {
         let mut best: Option<(usize, u32)> = None;
         for i in 0..pool.len() {
             let v = pool.view(i);
@@ -165,7 +258,8 @@ impl RandomDispatch {
 }
 
 impl Dispatcher for RandomDispatch {
-    fn pick(&mut self, pool: &dyn InstancePool, random01: f64) -> Option<usize> {
+    #[inline]
+    fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, random01: f64) -> Option<usize> {
         let n = pool.len();
         if n == 0 || !pool.has_free() {
             return None;
@@ -271,6 +365,32 @@ mod tests {
             counts[rr.pick(&views, 0.0).unwrap()] += 1;
         }
         assert!(counts.iter().all(|&c| c == 100), "{counts:?}");
+    }
+
+    #[test]
+    fn any_dispatcher_matches_inner_strategy() {
+        // The enum must be a transparent wrapper: same picks, same
+        // internal state evolution, same name.
+        let views = vec![view(1, 2, true), view(2, 2, true), view(0, 2, true)];
+        let mut rr = RoundRobin::new();
+        let mut any = AnyDispatcher::from(RoundRobin::new());
+        let mut boxed = Box::new(RoundRobin::new());
+        assert_eq!(any.name(), rr.name());
+        for i in 0..10 {
+            let u = i as f64 / 10.0;
+            let want = rr.pick(&views, u);
+            assert_eq!(any.pick(&views, u), want);
+            assert_eq!(boxed.pick(&views, u), want);
+        }
+        assert_eq!(
+            AnyDispatcher::from(LeastOutstanding::new()).name(),
+            "least-outstanding"
+        );
+        assert_eq!(AnyDispatcher::from(RandomDispatch::new()).name(), "random");
+        assert!(matches!(
+            AnyDispatcher::default(),
+            AnyDispatcher::RoundRobin(_)
+        ));
     }
 
     #[test]

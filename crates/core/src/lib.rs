@@ -36,7 +36,9 @@ pub use analyzer::{
 };
 pub use backend::AnalyticBackend;
 pub use composite::{CompositePlan, CompositePlanner, TierSpec};
-pub use dispatch::{Dispatcher, InstanceView, LeastOutstanding, RandomDispatch, RoundRobin};
+pub use dispatch::{
+    AnyDispatcher, Dispatcher, InstanceView, LeastOutstanding, RandomDispatch, RoundRobin,
+};
 pub use hetero::{Fleet, HeteroInputs, HeteroPlanner, VmClass};
 pub use modeler::{ModelerOptions, PerformanceModeler, SizingCache, SizingDecision, SizingInputs};
 pub use policy::{AdaptivePolicy, MonitorReport, PoolStatus, ProvisioningPolicy, StaticPolicy};

@@ -38,7 +38,10 @@ use vmprov_json::{FromJson, Json, ToJson};
 
 /// Bump on any change to run semantics, `RunSummary` layout, or key
 /// derivation (see the module docs for the checklist).
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `Scenario` gained the `sampler` field (variate-sampler backend),
+/// which enters the canonical JSON and therefore every key.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Computes the content-addressed cache key of `(scenario, rep)`.
 pub fn run_key(scenario: &Scenario, rep: u32) -> u64 {

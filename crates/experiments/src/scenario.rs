@@ -7,14 +7,14 @@ use vmprov_core::analyzer::ScheduleAnalyzer;
 use vmprov_core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
 use vmprov_core::policy::{AdaptivePolicy, ProvisioningPolicy, StaticPolicy};
 use vmprov_core::qos::QosTargets;
-use vmprov_core::{AnalyticBackend, Dispatcher, LeastOutstanding, RandomDispatch, RoundRobin};
-use vmprov_des::{FelBackend, SimTime};
+use vmprov_core::{AnalyticBackend, AnyDispatcher, LeastOutstanding, RandomDispatch, RoundRobin};
+use vmprov_des::{FelBackend, SamplerBackend, SimTime};
 use vmprov_workloads::scientific::{
     is_peak, OFFPEAK_JOBS_MODE, OFFPEAK_WINDOW, PEAK_INTERARRIVAL_MODE, SIZE_CLASS_MODE,
 };
 use vmprov_workloads::{
-    scientific_service_model, web_service_model, ArrivalProcess, ScientificConfig,
-    ScientificWorkload, ServiceModel, WebConfig, WebWorkload,
+    scientific_service_model, web_service_model, AnyWorkload, ScientificConfig, ScientificWorkload,
+    ServiceModel, WebConfig, WebWorkload,
 };
 
 /// Which of the two evaluation workloads drives the run.
@@ -67,6 +67,11 @@ pub struct Scenario {
     /// Future-event-list backend (calendar queue by default; the binary
     /// heap is kept for A/B determinism checks).
     pub fel_backend: FelBackend,
+    /// Variate-sampler backend feeding the workload's exponential and
+    /// normal draws (inverse CDF by default; ziggurat is the fast path,
+    /// A/B-checked distributionally the way the FEL backends are
+    /// checked bit-for-bit).
+    pub sampler: SamplerBackend,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -93,6 +98,7 @@ impl Scenario {
             seed,
             boot_delay: 0.0,
             fel_backend: FelBackend::default(),
+            sampler: SamplerBackend::default(),
         }
     }
 
@@ -107,6 +113,7 @@ impl Scenario {
             seed,
             boot_delay: 0.0,
             fel_backend: FelBackend::default(),
+            sampler: SamplerBackend::default(),
         }
     }
 
@@ -120,6 +127,14 @@ impl Scenario {
     /// determinism checks: both backends must yield identical results).
     pub fn with_fel_backend(mut self, backend: FelBackend) -> Self {
         self.fel_backend = backend;
+        self
+    }
+
+    /// Same scenario on a different variate-sampler backend. Unlike the
+    /// FEL A/B, switching samplers changes the RNG draw sequence, so
+    /// results are only distributionally — not bitwise — equivalent.
+    pub fn with_sampler(mut self, sampler: SamplerBackend) -> Self {
+        self.sampler = sampler;
         self
     }
 
@@ -150,16 +165,23 @@ impl Scenario {
         }
     }
 
-    /// Builds the arrival process for this scenario's horizon.
-    pub fn build_workload(&self) -> Box<dyn ArrivalProcess + Send> {
+    /// Builds the arrival process for this scenario's horizon, as the
+    /// closed [`AnyWorkload`] enum — the simulation stays monomorphized
+    /// (no `Box<dyn ArrivalProcess>` on the hot path) even though the
+    /// model is picked at runtime.
+    pub fn build_workload(&self) -> AnyWorkload {
         match self.workload {
-            WorkloadKind::Web => Box::new(WebWorkload::new(WebConfig {
+            WorkloadKind::Web => WebWorkload::new(WebConfig {
                 horizon: self.horizon,
+                sampler: self.sampler,
                 ..WebConfig::default()
-            })),
-            WorkloadKind::Scientific => Box::new(ScientificWorkload::new(ScientificConfig {
+            })
+            .into(),
+            WorkloadKind::Scientific => ScientificWorkload::new(ScientificConfig {
                 horizon: self.horizon,
-            })),
+                sampler: self.sampler,
+            })
+            .into(),
         }
     }
 
@@ -231,12 +253,13 @@ impl Scenario {
         }
     }
 
-    /// Builds the dispatcher.
-    pub fn build_dispatcher(&self) -> Box<dyn Dispatcher> {
+    /// Builds the dispatcher, as the closed [`AnyDispatcher`] enum (same
+    /// static-dispatch rationale as [`build_workload`](Self::build_workload)).
+    pub fn build_dispatcher(&self) -> AnyDispatcher {
         match self.dispatch {
-            DispatchSpec::RoundRobin => Box::new(RoundRobin::new()),
-            DispatchSpec::LeastOutstanding => Box::new(LeastOutstanding::new()),
-            DispatchSpec::Random => Box::new(RandomDispatch::new()),
+            DispatchSpec::RoundRobin => RoundRobin::new().into(),
+            DispatchSpec::LeastOutstanding => LeastOutstanding::new().into(),
+            DispatchSpec::Random => RandomDispatch::new().into(),
         }
     }
 
@@ -287,6 +310,7 @@ impl vmprov_json::ToJson for Scenario {
             ("seed", Json::from(self.seed)),
             ("boot_delay", Json::from(self.boot_delay)),
             ("fel_backend", Json::from(fel)),
+            ("sampler", Json::from(self.sampler.label())),
         ])
     }
 }
@@ -376,10 +400,12 @@ mod tests {
             seed: _,
             boot_delay: _,
             fel_backend: _,
+            sampler: _,
         } = s.clone();
         let j = s.to_json();
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("workload").unwrap().as_str(), Some("web"));
+        assert_eq!(j.get("sampler").unwrap().as_str(), Some("inverse_cdf"));
         assert_eq!(
             j.get("policy").unwrap().get("static").unwrap().as_u64(),
             Some(3)

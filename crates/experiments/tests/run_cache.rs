@@ -6,7 +6,7 @@
 
 use vmprov_check::{cases, Gen};
 use vmprov_core::AnalyticBackend;
-use vmprov_des::{FelBackend, SimTime};
+use vmprov_des::{FelBackend, SamplerBackend, SimTime};
 use vmprov_experiments::runner::run_once;
 use vmprov_experiments::scenario::{DispatchSpec, PolicySpec, Scenario, WorkloadKind};
 use vmprov_experiments::{run_key, Campaign, Lookup, RunCache};
@@ -80,6 +80,11 @@ fn random_scenario(g: &mut Gen) -> Scenario {
     } else {
         FelBackend::BinaryHeap
     };
+    s.sampler = if g.chance(0.5) {
+        SamplerBackend::InverseCdf
+    } else {
+        SamplerBackend::Ziggurat
+    };
     s
 }
 
@@ -93,7 +98,7 @@ fn any_field_perturbation_changes_the_key() {
         assert_ne!(key, run_key(&s, rep + 1), "rep must perturb the key");
 
         let mut p = s.clone();
-        let field = match g.u32_in(0..8) {
+        let field = match g.u32_in(0..9) {
             0 => {
                 p.seed = p.seed.wrapping_add(1 + g.u64() % 1_000);
                 "seed"
@@ -135,12 +140,19 @@ fn any_field_perturbation_changes_the_key() {
                 };
                 "backend"
             }
-            _ => {
+            7 => {
                 p.fel_backend = match p.fel_backend {
                     FelBackend::Calendar => FelBackend::BinaryHeap,
                     FelBackend::BinaryHeap => FelBackend::Calendar,
                 };
                 "fel_backend"
+            }
+            _ => {
+                p.sampler = match p.sampler {
+                    SamplerBackend::InverseCdf => SamplerBackend::Ziggurat,
+                    SamplerBackend::Ziggurat => SamplerBackend::InverseCdf,
+                };
+                "sampler"
             }
         };
         assert_ne!(

@@ -25,3 +25,55 @@ pub use scientific::{scientific_service_model, ScientificConfig, ScientificWorkl
 pub use trace::{Trace, TraceReplay};
 pub use traits::{ArrivalBatch, ArrivalProcess, ServiceModel};
 pub use web::{eq2_rate, web_service_model, WebConfig, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES};
+
+use vmprov_des::{SimRng, SimTime};
+
+/// The production workload models as a closed enum.
+///
+/// The scenario decoder picks the model at runtime; a two-variant
+/// `match` (instead of `Box<dyn ArrivalProcess>`) keeps the per-batch
+/// call devirtualized and inlinable in a monomorphized simulation while
+/// still being a single concrete type the decoder can return.
+#[derive(Debug, Clone)]
+pub enum AnyWorkload {
+    /// The web workload (§V-B1).
+    Web(WebWorkload),
+    /// The scientific Bag-of-Tasks workload (§V-B2).
+    Scientific(ScientificWorkload),
+}
+
+impl From<WebWorkload> for AnyWorkload {
+    fn from(w: WebWorkload) -> Self {
+        AnyWorkload::Web(w)
+    }
+}
+
+impl From<ScientificWorkload> for AnyWorkload {
+    fn from(w: ScientificWorkload) -> Self {
+        AnyWorkload::Scientific(w)
+    }
+}
+
+impl ArrivalProcess for AnyWorkload {
+    #[inline]
+    fn next_batch(&mut self, rng: &mut SimRng) -> Option<ArrivalBatch> {
+        match self {
+            AnyWorkload::Web(w) => w.next_batch(rng),
+            AnyWorkload::Scientific(w) => w.next_batch(rng),
+        }
+    }
+
+    fn model_rate(&self, t: SimTime) -> f64 {
+        match self {
+            AnyWorkload::Web(w) => w.model_rate(t),
+            AnyWorkload::Scientific(w) => w.model_rate(t),
+        }
+    }
+
+    fn horizon(&self) -> SimTime {
+        match self {
+            AnyWorkload::Web(w) => w.horizon(),
+            AnyWorkload::Scientific(w) => w.horizon(),
+        }
+    }
+}

@@ -39,6 +39,10 @@ run cargo test "${OFFLINE[@]}" --workspace -q
 #   cargo run --release -p vmprov-bench --bin quickbench -- --out BENCH_des.json
 # keeping each benchmark's slowest median.
 run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --out target/BENCH_des.json --check-probe-overhead 2 --check-against BENCH_des.json
+# Before/after table (committed envelope vs this run), published as a
+# build artifact by ci.yml and handy locally for eyeballing a perf PR.
+run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --diff BENCH_des.json target/BENCH_des.json > target/bench_diff.md
+echo "ci.sh: wrote target/bench_diff.md" >&2
 # The campaign run cache end to end: a cold fig5+fig6 smoke pass, then a
 # warm pass that must be ≥90% cache hits, measurably faster, and
 # byte-identical in its figure output.
