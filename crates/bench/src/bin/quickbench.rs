@@ -19,7 +19,9 @@
 //! through the persistent worker pool, bounding the pool's per-job
 //! scheduling cost) and `campaign_smoke_cached` (a fully warm
 //! campaign pass answered entirely from the run cache, the cost a
-//! second `repro` invocation pays). The results are written as JSON
+//! second `repro` invocation pays). `sharded_large_run_s{1,4}` time
+//! one large run through the intra-run sharded engine at 1 and 4
+//! shards, printing the scaling-efficiency headline T₁/(Tₙ·n). The results are written as JSON
 //! (default
 //! `BENCH_des.json` in the current directory) including the measured
 //! `probe_overhead_pct`; `--check-probe-overhead PCT` makes the binary
@@ -37,7 +39,7 @@
 //! a build artifact) and exits 0.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
-use vmprov_cloudsim::NullProbe;
+use vmprov_cloudsim::{NullProbe, SimBuilder, SimConfig};
 use vmprov_des::{EventQueue, FelBackend, RngFactory, SimTime};
 use vmprov_experiments::runner::{builder_for, replication_seed};
 use vmprov_experiments::scenario::{PolicySpec, Scenario};
@@ -67,6 +69,8 @@ struct Sizes {
     sampler_draws: usize,
     /// Simulated seconds per scenario of the cached-campaign pass.
     campaign_horizon: f64,
+    /// Simulated seconds of the sharded-vs-serial scaling run.
+    shard_horizon: f64,
     /// Measured runs per benchmark.
     runs: u32,
 }
@@ -83,6 +87,7 @@ impl Sizes {
             pool_jobs: 20_000,
             sampler_draws: 4_000_000,
             campaign_horizon: 600.0,
+            shard_horizon: 600.0,
             runs: 5,
         }
     }
@@ -100,6 +105,7 @@ impl Sizes {
             pool_jobs: 2_000,
             sampler_draws: 200_000,
             campaign_horizon: 120.0,
+            shard_horizon: 60.0,
             runs: 3,
         }
     }
@@ -441,6 +447,52 @@ fn bench_campaign_cached(horizon: f64, runs: u32) -> Timing {
     timing
 }
 
+/// One large run through the sharded engine at shard counts 1 and 4:
+/// a heavily loaded static fleet where request events dominate, the
+/// work per barrier window is large, and the barrier overhead has to
+/// amortize — the workload intra-run sharding exists for. The two
+/// timings feed the scaling headline T₁/(Tₙ·n); on a single-core
+/// machine the efficiency is necessarily ~1/n and only the absence of
+/// *overhead* regressions is informative (CI's multi-core matrix jobs
+/// pin the determinism side; this pins the time side).
+fn bench_sharded_run(horizon: f64, runs: u32) -> Vec<Timing> {
+    use vmprov_core::{QosTargets, RoundRobin, StaticPolicy};
+    use vmprov_workloads::synthetic::PoissonProcess;
+    use vmprov_workloads::ServiceModel;
+    const FLEET: u32 = 250;
+    const RATE: f64 = 2_000.0; // util ≈ 0.8 at 100 ms mean service
+    let cfg = SimConfig {
+        hosts: 300,
+        ..SimConfig::paper(0.100, 0.250)
+    };
+    let rngs = RngFactory::new(0xBE7C);
+    let run = |shards: u32| {
+        let summary = SimBuilder::new(cfg)
+            .workload(PoissonProcess::new(RATE, SimTime::from_secs(horizon)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(FLEET, QosTargets::web_paper())))
+            .dispatcher(RoundRobin::new())
+            .shards(Some(shards))
+            .run(&rngs);
+        black_box(summary)
+    };
+    let offered = run(1).offered_requests;
+    [1u32, 4]
+        .iter()
+        .map(|&n| {
+            bench(
+                &format!("sharded_large_run_s{n}"),
+                offered.max(1),
+                1,
+                runs,
+                || {
+                    run(n);
+                },
+            )
+        })
+        .collect()
+}
+
 /// `name -> ns_per_op` of every benchmark in a report, in file order,
 /// for the `--diff` table. Exits with status 2 on an unreadable report.
 fn load_ns_per_op(path: &std::path::Path) -> Vec<(String, f64)> {
@@ -710,6 +762,9 @@ fn main() {
     groups.push(run_group(Box::new(move || {
         vec![bench_campaign_cached(sizes.campaign_horizon, sizes.runs)]
     })));
+    groups.push(run_group(Box::new(move || {
+        bench_sharded_run(sizes.shard_horizon, sizes.runs)
+    })));
 
     // A real regression (the probe generic no longer compiling away)
     // shows up in every measurement; a VM scheduling artifact does not.
@@ -810,6 +865,20 @@ fn main() {
         println!(
             "  erased vs monomorphized web run: {:.2}x ({erased:.1} vs {mono:.1} ns/request)",
             erased / mono
+        );
+    }
+    // Headline: intra-run shard scaling. Speedup is T₁/Tₙ, efficiency
+    // divides by the shard count; both are bounded by the cores the
+    // machine actually has.
+    if let (Some(t1), Some(t4)) = (
+        ns_per_op("sharded_large_run_s1"),
+        ns_per_op("sharded_large_run_s4"),
+    ) {
+        println!(
+            "  shard scaling @4: {:.2}x speedup, {:.0}% efficiency \
+             ({t1:.1} vs {t4:.1} ns/request)",
+            t1 / t4,
+            100.0 * t1 / (t4 * 4.0)
         );
     }
 

@@ -60,6 +60,7 @@ where
     policy: Option<Box<dyn ProvisioningPolicy>>,
     dispatcher: Option<D>,
     probe: P,
+    shards: Option<u32>,
 }
 
 impl SimBuilder {
@@ -72,6 +73,7 @@ impl SimBuilder {
             policy: None,
             dispatcher: None,
             probe: NullProbe,
+            shards: None,
         }
     }
 }
@@ -89,6 +91,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
             policy: self.policy,
             dispatcher: self.dispatcher,
             probe: self.probe,
+            shards: self.shards,
         }
     }
 
@@ -114,6 +117,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
             policy: self.policy,
             dispatcher: Some(dispatcher),
             probe: self.probe,
+            shards: self.shards,
         }
     }
 
@@ -139,7 +143,26 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
             policy: self.policy,
             dispatcher: self.dispatcher,
             probe,
+            shards: self.shards,
         }
+    }
+
+    /// Partitions the run across `n` worker shards synchronized at
+    /// every control tick, or `None` (the default) for the serial
+    /// engine. The merged summary is bit-identical for every
+    /// `Some(n)` — shard count changes wall clock, never results — but
+    /// the sharded path draws per-request randomness from
+    /// counter-indexed streams, so `Some(1)` is *not* bit-identical to
+    /// `None` (each path is deterministic on its own; see DESIGN.md
+    /// §10). Sharded runs reject sampling probes, response-time
+    /// histograms, and queue-state-dependent dispatchers
+    /// (least-outstanding).
+    pub fn shards(mut self, shards: Option<u32>) -> Self {
+        if let Some(n) = shards {
+            assert!(n >= 1, "shard count must be at least 1");
+        }
+        self.shards = shards;
+        self
     }
 
     /// Runs the scenario to completion and returns its summary.
@@ -160,6 +183,19 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
         let missing = |what: &str| -> ! {
             panic!("SimBuilder::run: no {what} was set (call .{what}(…) before .run)")
         };
+        if let Some(n) = self.shards {
+            return crate::shard::run_sharded(
+                self.cfg,
+                self.workload.unwrap_or_else(|| missing("workload")),
+                self.service.unwrap_or_else(|| missing("service")),
+                self.policy.unwrap_or_else(|| missing("policy")),
+                self.dispatcher.unwrap_or_else(|| missing("dispatcher")),
+                rngs,
+                self.probe,
+                n,
+                None,
+            );
+        }
         let engine = CloudSim::engine_with_probe(
             self.cfg,
             self.workload.unwrap_or_else(|| missing("workload")),
@@ -194,6 +230,19 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> SimBuilder<P, W, D> {
         let missing = |what: &str| -> ! {
             panic!("SimBuilder::run: no {what} was set (call .{what}(…) before .run)")
         };
+        if let Some(n) = self.shards {
+            return crate::shard::run_sharded(
+                self.cfg,
+                self.workload.unwrap_or_else(|| missing("workload")),
+                self.service.unwrap_or_else(|| missing("service")),
+                self.policy.unwrap_or_else(|| missing("policy")),
+                self.dispatcher.unwrap_or_else(|| missing("dispatcher")),
+                rngs,
+                self.probe,
+                n,
+                Some(scratch),
+            );
+        }
         let engine = CloudSim::engine_with_probe_scratch(
             self.cfg,
             self.workload.unwrap_or_else(|| missing("workload")),

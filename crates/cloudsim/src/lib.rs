@@ -25,6 +25,7 @@ pub mod config;
 pub mod host;
 pub mod metrics;
 pub mod probe;
+mod shard;
 pub mod sim;
 
 pub use builder::SimBuilder;

@@ -380,6 +380,10 @@ where
 pub struct SimScratch {
     slots: Option<InstanceSlots>,
     queue: Option<EventQueue<Event>>,
+    /// Per-shard FELs recycled between sharded runs
+    /// ([`SimBuilder::shards`](crate::SimBuilder::shards)); unused on
+    /// the serial path.
+    pub(crate) shard_queues: Vec<EventQueue<crate::shard::ShardEvent>>,
 }
 
 impl SimScratch {

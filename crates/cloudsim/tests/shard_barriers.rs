@@ -1,0 +1,337 @@
+//! Barrier edge cases of the sharded engine: the merged summary must be
+//! bit-identical for every shard count, including when the partition is
+//! degenerate — more shards than instances, shards emptied mid-tick by
+//! a scale-down, boots and drains landing exactly on a barrier.
+
+use vmprov_cloudsim::config::PriorityConfig;
+use vmprov_cloudsim::{
+    CounterProbe, MetricsOptions, RunSummary, SimBuilder, SimConfig, SimScratch, TimeSeriesProbe,
+    TraceProbe,
+};
+use vmprov_core::policy::{PoolStatus, ProvisioningPolicy};
+use vmprov_core::qos::QosTargets;
+use vmprov_core::{LeastOutstanding, RandomDispatch, RoundRobin, StaticPolicy};
+use vmprov_des::{FelBackend, RngFactory, SimTime};
+use vmprov_workloads::synthetic::PoissonProcess;
+use vmprov_workloads::ServiceModel;
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 7];
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        hosts: 50,
+        monitor_interval: 10.0,
+        ..SimConfig::paper(0.100, 0.250)
+    }
+}
+
+/// A policy that walks a scripted target sequence, one step per
+/// evaluation — the tool for forcing scale transitions onto exact
+/// barrier times.
+struct TargetSequence {
+    targets: Vec<u32>,
+    step: usize,
+    interval: f64,
+    k: u32,
+}
+
+impl TargetSequence {
+    fn boxed(targets: &[u32], interval: f64, k: u32) -> Box<dyn ProvisioningPolicy> {
+        Box::new(TargetSequence {
+            targets: targets.to_vec(),
+            step: 0,
+            interval,
+            k,
+        })
+    }
+}
+
+impl ProvisioningPolicy for TargetSequence {
+    fn name(&self) -> String {
+        "TargetSequence".to_string()
+    }
+
+    fn initial_instances(&self) -> u32 {
+        self.targets[0]
+    }
+
+    fn evaluate(&mut self, _status: &PoolStatus) -> u32 {
+        let t = self.targets[self.step.min(self.targets.len() - 1)];
+        self.step += 1;
+        t
+    }
+
+    fn next_evaluation(&self, now: SimTime) -> SimTime {
+        now + self.interval
+    }
+
+    fn queue_capacity(&self, _tm: f64) -> u32 {
+        self.k
+    }
+}
+
+fn run_static(
+    shards: Option<u32>,
+    backend: FelBackend,
+    config: SimConfig,
+    m: u32,
+    rate: f64,
+    horizon: f64,
+    seed: u64,
+) -> RunSummary {
+    SimBuilder::new(config)
+        .workload(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(m, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .fel_backend(backend)
+        .shards(shards)
+        .run(&RngFactory::new(seed))
+}
+
+fn run_scripted(
+    shards: Option<u32>,
+    backend: FelBackend,
+    config: SimConfig,
+    targets: &[u32],
+    rate: f64,
+    horizon: f64,
+    seed: u64,
+) -> RunSummary {
+    SimBuilder::new(config)
+        .workload(PoissonProcess::new(rate, SimTime::from_secs(horizon)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(TargetSequence::boxed(targets, 10.0, 3))
+        .dispatcher(RoundRobin::new())
+        .fel_backend(backend)
+        .shards(shards)
+        .run(&RngFactory::new(seed))
+}
+
+/// The anchor invariant: shard count never changes the merged summary,
+/// on either FEL backend, with priority classes and failures active.
+#[test]
+fn shard_count_is_invariant_across_backends() {
+    let config = SimConfig {
+        priority: Some(PriorityConfig {
+            high_fraction: 0.3,
+            reserved_slots: 1,
+        }),
+        instance_mtbf: Some(400.0),
+        ..cfg()
+    };
+    let baseline = run_static(Some(1), FelBackend::Calendar, config, 8, 60.0, 500.0, 42);
+    assert!(baseline.offered_requests > 10_000, "workload must be real");
+    assert!(baseline.accepted_requests > 0);
+    for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+        for n in SHARD_COUNTS {
+            let s = run_static(Some(n), backend, config, 8, 60.0, 500.0, 42);
+            assert_eq!(baseline, s, "shards={n} on {backend:?} diverged");
+        }
+    }
+}
+
+/// Random dispatch routes by a counter-indexed stream, so it must be
+/// shard-count invariant too.
+#[test]
+fn random_dispatch_is_shard_count_invariant() {
+    let run = |n: u32| {
+        SimBuilder::new(cfg())
+            .workload(PoissonProcess::new(50.0, SimTime::from_secs(400.0)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(6, QosTargets::web_paper())))
+            .dispatcher(RandomDispatch::new())
+            .shards(Some(n))
+            .run(&RngFactory::new(7))
+    };
+    let baseline = run(1);
+    assert!(baseline.offered_requests > 0);
+    for n in [2, 4, 7] {
+        assert_eq!(baseline, run(n), "random dispatch diverged at {n} shards");
+    }
+}
+
+/// More shards than instances: most shards own nothing (and with m = 2,
+/// at least five of seven own no VM at all) yet still participate in
+/// every barrier.
+#[test]
+fn shard_count_may_exceed_live_instances() {
+    let baseline = run_static(Some(1), FelBackend::Calendar, cfg(), 2, 25.0, 300.0, 11);
+    assert!(baseline.offered_requests > 0);
+    for n in [2, 7, 16] {
+        let s = run_static(Some(n), FelBackend::Calendar, cfg(), 2, 25.0, 300.0, 11);
+        assert_eq!(baseline, s, "shards={n} diverged with a 2-VM fleet");
+    }
+}
+
+/// A scripted collapse from 12 instances to 1 empties most shards
+/// mid-run: their draining instances die inside a window and the empty
+/// shards keep hitting barriers with nothing to do.
+#[test]
+fn scale_down_may_empty_a_shard() {
+    let targets = [12, 12, 1, 1, 12, 1, 12, 12, 1];
+    let baseline = run_scripted(
+        Some(1),
+        FelBackend::Calendar,
+        cfg(),
+        &targets,
+        80.0,
+        400.0,
+        13,
+    );
+    assert!(baseline.offered_requests > 0);
+    assert!(
+        baseline.max_instances >= 12 && baseline.min_instances <= 1,
+        "the script must actually swing the fleet: {baseline:?}"
+    );
+    for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+        for n in SHARD_COUNTS {
+            let s = run_scripted(Some(n), backend, cfg(), &targets, 80.0, 400.0, 13);
+            assert_eq!(baseline, s, "shards={n} on {backend:?} diverged");
+        }
+    }
+}
+
+/// Boot completions land *exactly* on evaluation barriers (boot delay =
+/// evaluation interval), and the oscillating target cancels pending
+/// boots and drains instances at those same barriers.
+#[test]
+fn boot_and_drain_transitions_on_exact_barriers() {
+    let config = SimConfig {
+        boot_delay: 10.0, // == monitor_interval == evaluation interval
+        ..cfg()
+    };
+    let targets = [6, 2, 9, 2, 9, 2, 6, 6, 2, 9];
+    let baseline = run_scripted(
+        Some(1),
+        FelBackend::Calendar,
+        config,
+        &targets,
+        60.0,
+        400.0,
+        17,
+    );
+    assert!(baseline.offered_requests > 0);
+    assert!(baseline.vms_created > 6, "boots must happen: {baseline:?}");
+    for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+        for n in SHARD_COUNTS {
+            let s = run_scripted(Some(n), backend, config, &targets, 60.0, 400.0, 17);
+            assert_eq!(baseline, s, "shards={n} on {backend:?} diverged");
+        }
+    }
+}
+
+/// Warm scratch reuse on the sharded path is bit-identical to fresh
+/// runs, across shard-count and backend switches through one scratch.
+#[test]
+fn sharded_scratch_reuse_is_bit_identical() {
+    let fresh = run_static(Some(4), FelBackend::Calendar, cfg(), 8, 50.0, 400.0, 19);
+    let mut scratch = SimScratch::new();
+    let mut run_warm = |n: u32, backend: FelBackend| {
+        SimBuilder::new(cfg())
+            .workload(PoissonProcess::new(50.0, SimTime::from_secs(400.0)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(8, QosTargets::web_paper())))
+            .dispatcher(RoundRobin::new())
+            .fel_backend(backend)
+            .shards(Some(n))
+            .run_scratch(&RngFactory::new(19), &mut scratch)
+    };
+    assert_eq!(fresh, run_warm(4, FelBackend::Calendar), "cold scratch");
+    assert_eq!(fresh, run_warm(4, FelBackend::Calendar), "warm scratch");
+    assert_eq!(
+        fresh,
+        run_warm(2, FelBackend::Calendar),
+        "shard-count switch through one scratch"
+    );
+    assert_eq!(
+        fresh,
+        run_warm(4, FelBackend::BinaryHeap),
+        "backend switch through one scratch"
+    );
+}
+
+/// Probes observe the same events whatever the shard count: counters
+/// must match exactly, and a sharded trace differs from the one-shard
+/// trace only in its `shard` tags.
+#[test]
+fn probes_are_shard_count_invariant() {
+    let run = |n: u32| {
+        SimBuilder::new(cfg())
+            .workload(PoissonProcess::new(40.0, SimTime::from_secs(200.0)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(TargetSequence::boxed(&[6, 2, 6, 2], 10.0, 3))
+            .dispatcher(RoundRobin::new())
+            .probe((TraceProbe::new(Vec::new()), CounterProbe::new()))
+            .shards(Some(n))
+            .run_probed(&RngFactory::new(23))
+    };
+    let (s1, (t1, c1)) = run(1);
+    let (s4, (t4, c4)) = run(4);
+    assert_eq!(s1, s4);
+    assert_eq!(c1.arrivals, c4.arrivals);
+    assert_eq!(c1.admits, c4.admits);
+    assert_eq!(c1.completions, c4.completions);
+    assert_eq!(c1.vm_boots, c4.vm_boots);
+    assert_eq!(c1.vm_destroys, c4.vm_destroys);
+    assert_eq!(c1.arrivals, s1.offered_requests);
+    assert_eq!(c1.completions, s1.accepted_requests);
+    assert_eq!(t1.lines(), t4.lines());
+    let strip = |buf: Vec<u8>| -> Vec<String> {
+        String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let v = vmprov_json::Json::parse(l).expect("valid trace JSON");
+                let vmprov_json::Json::Obj(members) = v else {
+                    panic!("trace line is not an object: {l}");
+                };
+                vmprov_json::Json::Obj(members.into_iter().filter(|(k, _)| k != "shard").collect())
+                    .to_string_compact()
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip(t1.into_inner()),
+        strip(t4.into_inner()),
+        "traces must agree up to shard tags"
+    );
+}
+
+#[test]
+#[should_panic(expected = "least-outstanding")]
+fn sharded_rejects_queue_state_dispatchers() {
+    SimBuilder::new(cfg())
+        .workload(PoissonProcess::new(10.0, SimTime::from_secs(50.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(2, QosTargets::web_paper())))
+        .dispatcher(LeastOutstanding)
+        .shards(Some(2))
+        .run(&RngFactory::new(1));
+}
+
+#[test]
+#[should_panic(expected = "sampling probes are not supported")]
+fn sharded_rejects_sampling_probes() {
+    SimBuilder::new(cfg())
+        .workload(PoissonProcess::new(10.0, SimTime::from_secs(50.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(2, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .probe(TimeSeriesProbe::new(10.0))
+        .shards(Some(2))
+        .run_probed(&RngFactory::new(1));
+}
+
+#[test]
+#[should_panic(expected = "histograms are not supported")]
+fn sharded_rejects_histogram_metrics() {
+    SimBuilder::new(cfg())
+        .workload(PoissonProcess::new(10.0, SimTime::from_secs(50.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(2, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .metrics(MetricsOptions::with_histogram())
+        .shards(Some(2))
+        .run(&RngFactory::new(1));
+}

@@ -71,6 +71,7 @@ pub mod dist;
 mod engine;
 mod event;
 mod hash;
+pub mod pool;
 mod rng;
 pub mod special;
 pub mod stats;

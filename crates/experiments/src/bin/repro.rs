@@ -4,6 +4,7 @@
 //! repro [table2|fig3|fig4|fig5|fig6|ablations|all]
 //!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
 //!       [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]
+//!       [--shards N] [--fel calendar|binary_heap]
 //! ```
 //!
 //! Results are printed and written under `--out` (default `results/`):
@@ -22,10 +23,19 @@
 //! `cache_stats.json` in the output directory records jobs, hits, and
 //! wall-clock. `--jobs N` pins the worker count (default: `$VMPROV_JOBS`
 //! or the machine's parallelism).
+//!
+//! `--shards N` splits each figure run across `N` intra-run shards
+//! (results are bit-identical for every `N` but follow the sharded
+//! stream, distinct from the serial default — see DESIGN.md §10).
+//! Traced runs (`--trace`) always stay serial. `--fel` pins the
+//! future-event-list backend of figure runs (an A/B knob: both backends
+//! must produce identical results; `scripts/shard_smoke.sh` crosses it
+//! with `--shards` to pin exactly that).
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use vmprov_des::FelBackend;
 use vmprov_experiments::pool::configure_global_workers;
 use vmprov_experiments::report::{
     figure_table, runs_csv, runs_json, series_csv, sparkline, timeseries_curves,
@@ -47,6 +57,10 @@ struct Args {
     cache: Option<PathBuf>,
     no_cache: bool,
     jobs: Option<usize>,
+    /// Intra-run shard count for figure runs; `None` = serial engine.
+    shards: Option<u32>,
+    /// FEL backend override for figure runs; `None` = scenario default.
+    fel: Option<FelBackend>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
     let mut cache = None;
     let mut no_cache = false;
     let mut jobs = None;
+    let mut shards = None;
+    let mut fel = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -87,10 +103,27 @@ fn parse_args() -> Result<Args, String> {
                 }
                 jobs = Some(n);
             }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad shard count {v}"))?;
+                if n < 1 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
+            "--fel" => {
+                let v = it.next().ok_or("--fel needs a value")?;
+                fel = Some(match v.as_str() {
+                    "calendar" => FelBackend::Calendar,
+                    "binary_heap" | "heap" => FelBackend::BinaryHeap,
+                    other => return Err(format!("unknown FEL backend {other}")),
+                });
+            }
             "--help" | "-h" => {
                 return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
                             [--mode smoke|quick|paper|full] [--seed N] [--out DIR] \
-                            [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]"
+                            [--trace DIR] [--cache DIR] [--no-cache] [--jobs N] \
+                            [--shards N] [--fel calendar|binary_heap]"
                     .into())
             }
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
@@ -126,6 +159,8 @@ fn parse_args() -> Result<Args, String> {
         cache,
         no_cache,
         jobs,
+        shards,
+        fel,
     })
 }
 
@@ -161,13 +196,25 @@ fn run_figure_campaign(args: &Args) -> (Option<Vec<Replicated>>, Option<Vec<Repl
     }
 
     let mut campaign = Campaign::new(cache);
+    let shard = |scenarios: Vec<Scenario>| -> Vec<Scenario> {
+        scenarios
+            .into_iter()
+            .map(|s| {
+                let s = s.with_shards(args.shards);
+                match args.fel {
+                    Some(fel) => s.with_fel_backend(fel),
+                    None => s,
+                }
+            })
+            .collect()
+    };
     let h5 = want5.then(|| {
         let (scenarios, reps) = fig5_spec(args.mode, args.seed);
-        campaign.add_figure(scenarios, reps)
+        campaign.add_figure(shard(scenarios), reps)
     });
     let h6 = want6.then(|| {
         let (scenarios, reps) = fig6_spec(args.mode, args.seed);
-        campaign.add_figure(scenarios, reps)
+        campaign.add_figure(shard(scenarios), reps)
     });
     println!(
         "running figure campaign (fig5: {want5}, fig6: {want6}, mode {:?})…",

@@ -41,7 +41,13 @@ use vmprov_json::{FromJson, Json, ToJson};
 ///
 /// v2: `Scenario` gained the `sampler` field (variate-sampler backend),
 /// which enters the canonical JSON and therefore every key.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `Scenario` gained the `shards` field (intra-run shard count).
+/// Serial entries are unchanged in meaning, but the canonical JSON now
+/// carries a `shards` member, so every key moves; sharded cells hash
+/// distinctly from serial ones because the sharded stream is its own
+/// deterministic semantics.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Computes the content-addressed cache key of `(scenario, rep)`.
 pub fn run_key(scenario: &Scenario, rep: u32) -> u64 {

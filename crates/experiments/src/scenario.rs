@@ -72,6 +72,11 @@ pub struct Scenario {
     /// A/B-checked distributionally the way the FEL backends are
     /// checked bit-for-bit).
     pub sampler: SamplerBackend,
+    /// Intra-run shard count (`None` = the serial engine). Sharded
+    /// runs are bit-identical across `Some(n)` values but follow their
+    /// own deterministic semantics, so `Some(1)` is *not* the same
+    /// stream as `None` — see `DESIGN.md` §10.
+    pub shards: Option<u32>,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -99,6 +104,7 @@ impl Scenario {
             boot_delay: 0.0,
             fel_backend: FelBackend::default(),
             sampler: SamplerBackend::default(),
+            shards: None,
         }
     }
 
@@ -114,6 +120,7 @@ impl Scenario {
             boot_delay: 0.0,
             fel_backend: FelBackend::default(),
             sampler: SamplerBackend::default(),
+            shards: None,
         }
     }
 
@@ -135,6 +142,15 @@ impl Scenario {
     /// results are only distributionally — not bitwise — equivalent.
     pub fn with_sampler(mut self, sampler: SamplerBackend) -> Self {
         self.sampler = sampler;
+        self
+    }
+
+    /// Same scenario split across `n` intra-run shards (`None` = the
+    /// serial engine). Results are bit-identical for every `Some(n)`,
+    /// but the sharded stream differs from the serial one, so sharded
+    /// and serial cells never alias in the run cache.
+    pub fn with_shards(mut self, shards: Option<u32>) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -311,6 +327,13 @@ impl vmprov_json::ToJson for Scenario {
             ("boot_delay", Json::from(self.boot_delay)),
             ("fel_backend", Json::from(fel)),
             ("sampler", Json::from(self.sampler.label())),
+            (
+                "shards",
+                match self.shards {
+                    Some(n) => Json::from(n),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -401,11 +424,15 @@ mod tests {
             boot_delay: _,
             fel_backend: _,
             sampler: _,
+            shards: _,
         } = s.clone();
         let j = s.to_json();
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("workload").unwrap().as_str(), Some("web"));
         assert_eq!(j.get("sampler").unwrap().as_str(), Some("inverse_cdf"));
+        assert_eq!(j.get("shards"), Some(&vmprov_json::Json::Null));
+        let sharded = s.with_shards(Some(4)).to_json();
+        assert_eq!(sharded.get("shards").unwrap().as_u64(), Some(4));
         assert_eq!(
             j.get("policy").unwrap().get("static").unwrap().as_u64(),
             Some(3)

@@ -45,7 +45,12 @@ run cargo run "${OFFLINE[@]}" --release -p vmprov-bench --bin quickbench -- --di
 echo "ci.sh: wrote target/bench_diff.md" >&2
 # The campaign run cache end to end: a cold fig5+fig6 smoke pass, then a
 # warm pass that must be ≥90% cache hits, measurably faster, and
-# byte-identical in its figure output.
+# byte-identical in its figure output (plus a sharded cell covering the
+# v3 cache key).
 run bash scripts/cache_smoke.sh
+# Shard determinism matrix: figure summaries must be byte-identical
+# across shard counts {1,2,4} and both FEL backends. CI runs one cell
+# per matrix job; locally we sweep the full matrix.
+run bash scripts/shard_smoke.sh
 
 echo "ci.sh: all checks passed" >&2

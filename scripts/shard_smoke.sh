@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Shard determinism smoke: the figure campaign's merged RunSummary JSON
+# must be byte-identical whatever the shard count and FEL backend. Runs
+# the fig5+fig6 smoke campaign for one or more `shards:fel` cells and
+# byte-diffs every cell's figure output against the `1:calendar`
+# reference cell. Since each cell equals the reference, all cells are
+# pairwise identical.
+#
+# usage: shard_smoke.sh [SHARDS:FEL]...
+#   shard_smoke.sh                 # full local matrix {1,2,4}×{calendar,binary_heap}
+#   shard_smoke.sh 4:binary_heap   # one cell (the CI matrix invocation)
+#
+# Leaves each cell's figure JSON under target/shard-smoke/ for the CI
+# artifact upload. Runs uncached: the point is recomputation agreeing,
+# not the cache answering twice.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "shard_smoke.sh: registry unreachable, continuing with --offline" >&2
+    OFFLINE=(--offline)
+fi
+
+OUT=target/shard-smoke
+CELLS=("$@")
+if [ ${#CELLS[@]} -eq 0 ]; then
+    CELLS=(1:calendar 2:calendar 4:calendar 1:binary_heap 2:binary_heap 4:binary_heap)
+fi
+
+run_cell() { # SHARDS FEL DIR
+    cargo run "${OFFLINE[@]}" --release -p vmprov-experiments --bin repro -- \
+        fig5 fig6 --mode smoke --no-cache --shards "$1" --fel "$2" --out "$3"
+}
+
+rm -rf "$OUT"
+echo "shard_smoke.sh: reference cell 1:calendar" >&2
+run_cell 1 calendar "$OUT/s1_calendar"
+
+for cell in "${CELLS[@]}"; do
+    shards="${cell%%:*}"
+    fel="${cell##*:}"
+    dir="$OUT/s${shards}_${fel}"
+    if [ "$dir" != "$OUT/s1_calendar" ]; then
+        echo "shard_smoke.sh: cell ${cell}" >&2
+        run_cell "$shards" "$fel" "$dir"
+    fi
+    for fig in fig5 fig6; do
+        if ! diff -q "$OUT/s1_calendar/$fig.json" "$dir/$fig.json" >&2; then
+            echo "shard_smoke.sh: FAIL — $fig summaries at shards=$shards fel=$fel" \
+                 "differ from the 1:calendar reference" >&2
+            exit 1
+        fi
+    done
+    echo "shard_smoke.sh: cell ${cell} matches the reference byte for byte" >&2
+done
+
+echo "shard_smoke.sh: ok (${#CELLS[@]} cell(s))" >&2
