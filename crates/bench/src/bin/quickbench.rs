@@ -21,7 +21,10 @@
 //! campaign pass answered entirely from the run cache, the cost a
 //! second `repro` invocation pays). `sharded_large_run_s{1,4}` time
 //! one large run through the intra-run sharded engine at 1 and 4
-//! shards, printing the scaling-efficiency headline T₁/(Tₙ·n). The results are written as JSON
+//! shards, printing the scaling-efficiency headline T₁/(Tₙ·n).
+//! `trace_replay_hot` streams a generated on-disk Poisson trace
+//! through the `DatasetReader` seam and the full simulation, bounding
+//! per-request ingestion cost. The results are written as JSON
 //! (default
 //! `BENCH_des.json` in the current directory) including the measured
 //! `probe_overhead_pct`; `--check-probe-overhead PCT` makes the binary
@@ -71,6 +74,8 @@ struct Sizes {
     campaign_horizon: f64,
     /// Simulated seconds of the sharded-vs-serial scaling run.
     shard_horizon: f64,
+    /// Simulated seconds (at 2000 req/s) of the streamed trace replay.
+    trace_horizon: f64,
     /// Measured runs per benchmark.
     runs: u32,
 }
@@ -88,6 +93,7 @@ impl Sizes {
             sampler_draws: 4_000_000,
             campaign_horizon: 600.0,
             shard_horizon: 600.0,
+            trace_horizon: 600.0,
             runs: 5,
         }
     }
@@ -106,6 +112,7 @@ impl Sizes {
             sampler_draws: 200_000,
             campaign_horizon: 120.0,
             shard_horizon: 60.0,
+            trace_horizon: 60.0,
             runs: 3,
         }
     }
@@ -493,6 +500,32 @@ fn bench_sharded_run(horizon: f64, runs: u32) -> Vec<Timing> {
         .collect()
 }
 
+/// A streamed trace replay end to end: a stationary Poisson trace is
+/// generated to disk once (unmeasured), then every run pays the full
+/// replay path — CSV re-read through the `DatasetReader` seam in
+/// default-sized chunks, arrival-batch parsing, and the simulation
+/// itself under the adaptive policy. This bounds the per-request cost
+/// of trace ingestion on top of the synthetic-arrival hot path.
+fn bench_trace_replay(horizon: f64, runs: u32) -> Timing {
+    use vmprov_experiments::run_once;
+    use vmprov_workloads::{generate_poisson_csv, TraceSpec, DEFAULT_CHUNK};
+    const RATE: f64 = 2_000.0;
+    let path = std::env::temp_dir().join(format!(
+        "vmprov_quickbench_trace_{}.csv",
+        std::process::id()
+    ));
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let gen =
+        generate_poisson_csv(file, RATE, SimTime::from_secs(horizon), 0xBE7C).expect("write trace");
+    let spec = TraceSpec::scan(&path, DEFAULT_CHUNK).expect("scan trace");
+    let scenario = Scenario::trace_replay(spec, PolicySpec::Adaptive, 0xBE7C);
+    let timing = bench("trace_replay_hot", gen.rows.max(1), 1, runs, || {
+        black_box(run_once(&scenario, 0));
+    });
+    let _ = std::fs::remove_file(&path);
+    timing
+}
+
 /// `name -> ns_per_op` of every benchmark in a report, in file order,
 /// for the `--diff` table. Exits with status 2 on an unreadable report.
 fn load_ns_per_op(path: &std::path::Path) -> Vec<(String, f64)> {
@@ -764,6 +797,9 @@ fn main() {
     })));
     groups.push(run_group(Box::new(move || {
         bench_sharded_run(sizes.shard_horizon, sizes.runs)
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_trace_replay(sizes.trace_horizon, sizes.runs)]
     })));
 
     // A real regression (the probe generic no longer compiling away)

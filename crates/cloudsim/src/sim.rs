@@ -1397,7 +1397,7 @@ mod tests {
             count: 10,
             spread: 0.0,
         };
-        let trace = vmprov_workloads::Trace::new(vec![burst(5.0), burst(120.0)]);
+        let trace = vmprov_workloads::Trace::new(vec![burst(5.0), burst(120.0)]).unwrap();
         let s = run_sim(
             cfg,
             Box::new(trace.replay()),

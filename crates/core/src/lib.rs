@@ -25,6 +25,7 @@ pub mod analyzer;
 pub mod backend;
 pub mod composite;
 pub mod dispatch;
+pub mod estimator;
 pub mod hetero;
 pub mod modeler;
 pub mod policy;
@@ -39,6 +40,7 @@ pub use composite::{CompositePlan, CompositePlanner, TierSpec};
 pub use dispatch::{
     AnyDispatcher, Dispatcher, InstanceView, LeastOutstanding, RandomDispatch, RoundRobin,
 };
+pub use estimator::{EstimatorAnalyzer, EwmaRate, RateEstimator, SlidingWindowMle};
 pub use hetero::{Fleet, HeteroInputs, HeteroPlanner, VmClass};
 pub use modeler::{ModelerOptions, PerformanceModeler, SizingCache, SizingDecision, SizingInputs};
 pub use policy::{AdaptivePolicy, MonitorReport, PoolStatus, ProvisioningPolicy, StaticPolicy};

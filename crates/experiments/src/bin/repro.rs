@@ -1,53 +1,86 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates the paper's tables and figures and replays
+//! external traces.
 //!
 //! ```text
-//! repro [table2|fig3|fig4|fig5|fig6|ablations|all]
+//! repro figures [table2|fig3|fig4|fig5|fig6|ablations|all]…
 //!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
 //!       [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]
 //!       [--shards N] [--fel calendar|binary_heap]
+//! repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N]
+//!       [--shards N] [--fel calendar|binary_heap] [--seed N]
+//!       [--out DIR] [--cache DIR] [--no-cache]
+//! repro smoke [figures flags]
+//! repro gen-trace --out FILE [--rate R] [--horizon SECS] [--seed N]
+//!       [--step-at SECS --step-rate R2]
 //! ```
 //!
-//! Results are printed and written under `--out` (default `results/`):
-//! `figN.txt` (the table/series), `figN.csv`, and `figN.json` for the
-//! experiment figures. With `--trace DIR`, fig5/fig6 additionally run
-//! one fully-observed adaptive replication and write
-//! `figN_adaptive.jsonl` (the event trace), `figN_timeseries.json`
-//! (the sampled panel quantities), and `figN_curves.txt` (the Fig.
-//! 5/6 (a)–(d) curves as sparklines).
+//! `figures` is the original behavior: results are printed and written
+//! under `--out` (default `results/`): `figN.txt` (the table/series),
+//! `figN.csv`, and `figN.json`. With `--trace DIR`, fig5/fig6
+//! additionally run one fully-observed adaptive replication and write
+//! `figN_adaptive.jsonl`, `figN_timeseries.json`, and `figN_curves.txt`.
+//! Fig. 5 and Fig. 6 execute as one *campaign* sharing a persistent
+//! worker pool and a content-addressed run cache under `--cache DIR`
+//! (default `<out>/.runcache`; disable with `--no-cache`);
+//! `cache_stats.json` records jobs, hits, and wall-clock. `--jobs N`
+//! pins the worker count; `--shards N` splits each figure run across
+//! intra-run shards; `--fel` pins the future-event-list backend.
 //!
-//! Fig. 5 and Fig. 6 execute as one *campaign*: their `(scenario, rep)`
-//! jobs share a single persistent worker pool (no inter-figure
-//! barrier) and a content-addressed run cache under `--cache DIR`
-//! (default `<out>/.runcache`; disable with `--no-cache`), so
-//! regenerating unchanged figures is answered from disk.
-//! `cache_stats.json` in the output directory records jobs, hits, and
-//! wall-clock. `--jobs N` pins the worker count (default: `$VMPROV_JOBS`
-//! or the machine's parallelism).
+//! `replay` streams a `time,count,spread` CSV trace through the
+//! `DatasetReader` seam (peak ingestion memory = one chunk of batches,
+//! whatever the trace length), runs the adaptive policy over it, and
+//! emits a Fig 5-style QoS report: `replay_<analyzer>.txt/.json` plus
+//! `replay_<analyzer>_qos.json` with the pass/fail verdicts and the
+//! process's peak RSS. `--analyzer` picks the rate source driving
+//! Algorithm 1: the oracle (whole-trace mean), the sliding-window MLE,
+//! or the EWMA estimator. Replays share the figures' run cache, keyed
+//! by trace *content hash* (schema v4).
 //!
-//! `--shards N` splits each figure run across `N` intra-run shards
-//! (results are bit-identical for every `N` but follow the sharded
-//! stream, distinct from the serial default — see DESIGN.md §10).
-//! Traced runs (`--trace`) always stay serial. `--fel` pins the
-//! future-event-list backend of figure runs (an A/B knob: both backends
-//! must produce identical results; `scripts/shard_smoke.sh` crosses it
-//! with `--shards` to pin exactly that).
+//! `smoke` is shorthand for `figures all --mode smoke`. `gen-trace`
+//! writes a deterministic synthetic Poisson trace (optionally with one
+//! rate step) for offline CI and benchmarking.
+//!
+//! The pre-subcommand spelling (`repro fig5 --mode quick`) still works
+//! as a hidden alias for `figures` for one release and prints a
+//! deprecation note.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
-use vmprov_des::FelBackend;
+use vmprov_des::{FelBackend, SimTime};
 use vmprov_experiments::pool::configure_global_workers;
 use vmprov_experiments::report::{
     figure_table, runs_csv, runs_json, series_csv, sparkline, timeseries_curves,
 };
 use vmprov_experiments::{
     ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
-    fig3_series, fig4_series, fig5_spec, fig6_spec, table2, trace_dt, traced_run, Campaign,
-    PolicySpec, Replicated, RunCache, RunMode, Scenario,
+    fig3_series, fig4_series, fig5_spec, fig6_spec, peak_rss_kb, qos_verdict, replay_once, table2,
+    trace_dt, traced_run, AnalyzerSpec, Campaign, PolicySpec, Replicated, RunCache, RunMode,
+    Scenario,
 };
-use vmprov_json::ToJson;
+use vmprov_json::{Json, ToJson};
+use vmprov_workloads::{generate_piecewise_csv, TraceSpec, DEFAULT_CHUNK};
 
-struct Args {
+const USAGE: &str = "usage: repro <figures|replay|smoke|gen-trace> …
+  repro figures [table2|fig3|fig4|fig5|fig6|ablations|all]… \
+[--mode smoke|quick|paper|full] [--seed N] [--out DIR] [--trace DIR] \
+[--cache DIR] [--no-cache] [--jobs N] [--shards N] [--fel calendar|binary_heap]
+  repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N] \
+[--shards N] [--fel calendar|binary_heap] [--seed N] [--out DIR] \
+[--cache DIR] [--no-cache]
+  repro smoke [figures flags]
+  repro gen-trace --out FILE [--rate R] [--horizon SECS] [--seed N] \
+[--step-at SECS --step-rate R2]";
+
+fn parse_fel(v: &str) -> Result<FelBackend, String> {
+    match v {
+        "calendar" => Ok(FelBackend::Calendar),
+        "binary_heap" | "heap" => Ok(FelBackend::BinaryHeap),
+        other => Err(format!("unknown FEL backend {other}")),
+    }
+}
+
+struct FigureArgs {
     targets: Vec<String>,
     mode: RunMode,
     seed: u64,
@@ -63,7 +96,7 @@ struct Args {
     fel: Option<FelBackend>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
     let mut targets = Vec::new();
     let mut mode = RunMode::Quick;
     let mut seed = 20110926; // ICPP 2011 conference date
@@ -74,12 +107,12 @@ fn parse_args() -> Result<Args, String> {
     let mut jobs = None;
     let mut shards = None;
     let mut fel = None;
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
                 let v = it.next().ok_or("--mode needs a value")?;
-                mode = RunMode::parse(&v).ok_or(format!("unknown mode {v}"))?;
+                mode = RunMode::parse(v).ok_or(format!("unknown mode {v}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -112,20 +145,9 @@ fn parse_args() -> Result<Args, String> {
                 shards = Some(n);
             }
             "--fel" => {
-                let v = it.next().ok_or("--fel needs a value")?;
-                fel = Some(match v.as_str() {
-                    "calendar" => FelBackend::Calendar,
-                    "binary_heap" | "heap" => FelBackend::BinaryHeap,
-                    other => return Err(format!("unknown FEL backend {other}")),
-                });
+                fel = Some(parse_fel(it.next().ok_or("--fel needs a value")?)?);
             }
-            "--help" | "-h" => {
-                return Err("usage: repro [table2|fig3|fig4|fig5|fig6|ablations|all]… \
-                            [--mode smoke|quick|paper|full] [--seed N] [--out DIR] \
-                            [--trace DIR] [--cache DIR] [--no-cache] [--jobs N] \
-                            [--shards N] [--fel calendar|binary_heap]"
-                    .into())
-            }
+            "--help" | "-h" => return Err(USAGE.into()),
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
                 targets.push(t.to_string())
             }
@@ -150,7 +172,7 @@ fn parse_args() -> Result<Args, String> {
     if no_cache && cache.is_some() {
         return Err("--cache and --no-cache are mutually exclusive".into());
     }
-    Ok(Args {
+    Ok(FigureArgs {
         targets,
         mode,
         seed,
@@ -164,33 +186,35 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
+/// Opens the run cache under `--cache DIR` / `<out>/.runcache`, unless
+/// caching is disabled. Unopenable caches degrade to running uncached.
+fn open_cache(out: &Path, cache: &Option<PathBuf>, no_cache: bool) -> Option<RunCache> {
+    if no_cache {
+        return None;
+    }
+    let dir = cache.clone().unwrap_or_else(|| out.join(".runcache"));
+    match RunCache::open(&dir) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open run cache {}: {e} (running uncached)",
+                dir.display()
+            );
+            None
+        }
+    }
+}
+
 /// Pre-runs the figure experiments of this invocation as one campaign:
 /// one pooled job queue across figures, cache-first. Returns the
 /// results for `emit_experiment` to consume in the target loop.
-fn run_figure_campaign(args: &Args) -> (Option<Vec<Replicated>>, Option<Vec<Replicated>>) {
+fn run_figure_campaign(args: &FigureArgs) -> (Option<Vec<Replicated>>, Option<Vec<Replicated>>) {
     let want5 = args.targets.iter().any(|t| t == "fig5");
     let want6 = args.targets.iter().any(|t| t == "fig6");
     if !want5 && !want6 {
         return (None, None);
     }
-    let cache = if args.no_cache {
-        None
-    } else {
-        let dir = args
-            .cache
-            .clone()
-            .unwrap_or_else(|| args.out.join(".runcache"));
-        match RunCache::open(&dir) {
-            Ok(c) => Some(c),
-            Err(e) => {
-                eprintln!(
-                    "warning: cannot open run cache {}: {e} (running uncached)",
-                    dir.display()
-                );
-                None
-            }
-        }
-    };
+    let cache = open_cache(&args.out, &args.cache, args.no_cache);
     if let Some(c) = &cache {
         println!("run cache: {}", c.dir().display());
     }
@@ -280,8 +304,8 @@ fn emit_trace(name: &str, scenario: &Scenario, dir: &Path) {
     write(&dir.join(format!("{name}_curves.txt")), &curves);
 }
 
-fn main() {
-    let args = match parse_args() {
+fn figures_main(argv: &[String]) {
+    let args = match parse_figure_args(argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
@@ -374,7 +398,6 @@ fn main() {
                 }
             }
             "ablations" => {
-                use vmprov_des::SimTime;
                 let horizon = match args.mode {
                     RunMode::Smoke => SimTime::from_mins(10.0),
                     RunMode::Quick => SimTime::from_mins(30.0),
@@ -409,5 +432,282 @@ fn main() {
             "  [{target} done in {:.1}s]\n",
             started.elapsed().as_secs_f64()
         );
+    }
+}
+
+struct ReplayArgs {
+    trace: PathBuf,
+    analyzer: AnalyzerSpec,
+    chunk: usize,
+    shards: Option<u32>,
+    fel: Option<FelBackend>,
+    seed: u64,
+    out: PathBuf,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+}
+
+fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
+    let mut trace = None;
+    let mut analyzer = AnalyzerSpec::Oracle;
+    let mut chunk = DEFAULT_CHUNK;
+    let mut shards = None;
+    let mut fel = None;
+    let mut seed = 20110926;
+    let mut out = PathBuf::from("results");
+    let mut cache = None;
+    let mut no_cache = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" | "--trace-file" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a value")?));
+            }
+            "--analyzer" => {
+                let v = it.next().ok_or("--analyzer needs a value")?;
+                analyzer = AnalyzerSpec::parse(v)
+                    .ok_or(format!("unknown analyzer {v} (oracle|mle|ewma)"))?;
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                chunk = v.parse().map_err(|_| format!("bad chunk size {v}"))?;
+                if chunk < 1 {
+                    return Err("--chunk must be at least 1".into());
+                }
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad shard count {v}"))?;
+                if n < 1 {
+                    return Err("--shards must be at least 1".into());
+                }
+                shards = Some(n);
+            }
+            "--fel" => {
+                fel = Some(parse_fel(it.next().ok_or("--fel needs a value")?)?);
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--cache" => {
+                cache = Some(PathBuf::from(it.next().ok_or("--cache needs a value")?));
+            }
+            "--no-cache" => no_cache = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other} (try --help)")),
+        }
+    }
+    if no_cache && cache.is_some() {
+        return Err("--cache and --no-cache are mutually exclusive".into());
+    }
+    Ok(ReplayArgs {
+        trace: trace.ok_or("replay needs --trace FILE")?,
+        analyzer,
+        chunk,
+        shards,
+        fel,
+        seed,
+        out,
+        cache,
+        no_cache,
+    })
+}
+
+fn replay_main(argv: &[String]) {
+    let args = match parse_replay_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let started = Instant::now();
+    let spec = match TraceSpec::scan(&args.trace, args.chunk) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro replay: {}: {e}", args.trace.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replay: {} — {} requests in {} batches over {:.0} s (mean rate {:.2}/s, \
+         content hash {:016x}, chunk {})",
+        spec.path.display(),
+        spec.total_requests,
+        spec.batches,
+        spec.end_time.as_secs(),
+        spec.mean_rate,
+        spec.content_hash,
+        spec.chunk,
+    );
+    println!(
+        "analyzer: {} | shards: {} | scan {:.1}s",
+        args.analyzer.label(),
+        args.shards.map_or("serial".to_string(), |n| n.to_string()),
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut scenario = Scenario::trace_replay(spec.clone(), PolicySpec::Adaptive, args.seed)
+        .with_analyzer(args.analyzer)
+        .with_shards(args.shards);
+    if let Some(fel) = args.fel {
+        scenario = scenario.with_fel_backend(fel);
+    }
+    let cache = open_cache(&args.out, &args.cache, args.no_cache);
+    let run_started = Instant::now();
+    let (summary, source) = replay_once(&scenario, 0, cache.as_ref());
+    let wall = run_started.elapsed().as_secs_f64();
+    let verdict = qos_verdict(&summary);
+    let rss = peak_rss_kb();
+
+    let label = format!("Adaptive({})", args.analyzer.label());
+    let reps = [Replicated {
+        policy: label.clone(),
+        runs: vec![summary],
+    }];
+    let name = format!("replay_{}", args.analyzer.label());
+    let title = format!(
+        "Trace replay — {} requests, adaptive provisioning ({} analyzer)",
+        spec.total_requests,
+        args.analyzer.label()
+    );
+    emit_experiment(&name, &title, &reps, &args.out);
+
+    let qos_json = Json::obj([
+        ("analyzer", Json::from(args.analyzer.label())),
+        ("policy", Json::from(label)),
+        ("trace_content_hash", Json::from(spec.content_hash)),
+        ("total_requests", Json::from(spec.total_requests)),
+        ("end_time_secs", Json::from(spec.end_time.as_secs())),
+        ("mean_rate", Json::from(spec.mean_rate)),
+        ("verdict", verdict.to_json()),
+        ("all_met", Json::from(verdict.all_met())),
+        (
+            "peak_rss_kb",
+            match rss {
+                Some(kb) => Json::from(kb),
+                None => Json::Null,
+            },
+        ),
+        ("source", Json::from(source.label())),
+    ]);
+    write(
+        &args.out.join(format!("{name}_qos.json")),
+        &qos_json.to_string_pretty(),
+    );
+    println!(
+        "verdicts: rejections {} | response {} | nothing lost {} ({})",
+        verdict.rejections_met,
+        verdict.response_met,
+        verdict.nothing_lost,
+        if verdict.all_met() {
+            "all met"
+        } else {
+            "VIOLATED"
+        },
+    );
+    match rss {
+        Some(kb) => println!("peak RSS: {kb} kB"),
+        None => println!("peak RSS: unavailable (no procfs)"),
+    }
+    println!("  [replay done in {wall:.1}s, {}]", source.label());
+}
+
+fn gen_trace_main(argv: &[String]) {
+    let mut out = None;
+    let mut rate = 2000.0f64;
+    let mut horizon = 5000.0f64;
+    let mut seed = 42u64;
+    let mut step_at = None;
+    let mut step_rate = None;
+    let mut it = argv.iter();
+    let parse_f64 = |flag: &str, v: Option<&String>| -> Result<f64, String> {
+        let v = v.ok_or(format!("{flag} needs a value"))?;
+        let x: f64 = v.parse().map_err(|_| format!("bad {flag} value {v}"))?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(format!("{flag} must be positive"));
+        }
+        Ok(x)
+    };
+    let result = (|| -> Result<(), String> {
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+                "--rate" => rate = parse_f64("--rate", it.next())?,
+                "--horizon" => horizon = parse_f64("--horizon", it.next())?,
+                "--step-at" => step_at = Some(parse_f64("--step-at", it.next())?),
+                "--step-rate" => step_rate = Some(parse_f64("--step-rate", it.next())?),
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    seed = v.parse().map_err(|_| format!("bad seed {v}"))?;
+                }
+                "--help" | "-h" => return Err(USAGE.into()),
+                other => return Err(format!("unknown argument {other} (try --help)")),
+            }
+        }
+        if step_at.is_some() != step_rate.is_some() {
+            return Err("--step-at and --step-rate go together".into());
+        }
+        Ok(())
+    })();
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+    let Some(out) = out else {
+        eprintln!("gen-trace needs --out FILE");
+        std::process::exit(2);
+    };
+    let pieces = match (step_at, step_rate) {
+        (Some(at), Some(r2)) => vec![(0.0, rate), (at, r2)],
+        _ => vec![(0.0, rate)],
+    };
+    if let Some(dir) = out.parent() {
+        fs::create_dir_all(dir).expect("create output dir");
+    }
+    let started = Instant::now();
+    let file = fs::File::create(&out).expect("create trace file");
+    let gen = generate_piecewise_csv(file, &pieces, SimTime::from_secs(horizon), seed)
+        .expect("write trace");
+    let bytes = fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "gen-trace: wrote {} — {} rows over {:.0} s ({:.1} MB) in {:.1}s (seed {seed})",
+        out.display(),
+        gen.rows,
+        gen.end_time,
+        bytes as f64 / 1e6,
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("figures") => figures_main(&argv[1..]),
+        Some("replay") => replay_main(&argv[1..]),
+        Some("smoke") => {
+            let mut forwarded = vec!["all".to_string(), "--mode".to_string(), "smoke".to_string()];
+            forwarded.extend_from_slice(&argv[1..]);
+            figures_main(&forwarded);
+        }
+        Some("gen-trace") => gen_trace_main(&argv[1..]),
+        None | Some("--help") | Some("-h") => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        // Pre-subcommand spelling: bare targets/flags route to
+        // `figures`, for one release.
+        Some(_) => {
+            eprintln!(
+                "note: flag-style invocation is deprecated; use `repro figures {}` \
+                 (the old spelling remains an alias for one release)",
+                argv.join(" ")
+            );
+            figures_main(&argv);
+        }
     }
 }

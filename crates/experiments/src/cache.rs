@@ -47,7 +47,13 @@ use vmprov_json::{FromJson, Json, ToJson};
 /// carries a `shards` member, so every key moves; sharded cells hash
 /// distinctly from serial ones because the sharded stream is its own
 /// deterministic semantics.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `Scenario` gained the `analyzer` (rate-estimator spec) and
+/// `trace` (streamed trace replay) fields. Replay entries key on the
+/// trace's *content hash* — never its path or chunk size — so two
+/// copies of one trace share entries while an edited trace can never
+/// alias the old one.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// Computes the content-addressed cache key of `(scenario, rep)`.
 pub fn run_key(scenario: &Scenario, rep: u32) -> u64 {

@@ -22,6 +22,7 @@ pub mod cache;
 pub mod campaign;
 pub mod figures;
 pub mod pool;
+pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -33,11 +34,12 @@ pub use ablations::{
 pub use cache::{run_key, Lookup, RunCache, CACHE_SCHEMA_VERSION};
 pub use campaign::{Campaign, CampaignResult, CampaignStats, FigureHandle};
 pub use figures::{fig3_series, fig4_series, fig5, fig5_spec, fig6, fig6_spec, table2, RunMode};
+pub use replay::{peak_rss_kb, qos_verdict, replay_once, QosVerdict, ReplaySource};
 pub use runner::{
     builder_for, run_once, run_once_warm, run_policy_set, run_replicated, trace_dt, traced_run,
     Replicated, TracedRun,
 };
 pub use scenario::{
-    fig5_scenarios, fig6_scenarios, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
-    SCI_STATIC_SIZES, WEB_STATIC_SIZES,
+    fig5_scenarios, fig6_scenarios, AnalyzerSpec, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
+    DEFAULT_EWMA_ALPHA, DEFAULT_MLE_WINDOW, ESTIMATOR_HEADROOM, SCI_STATIC_SIZES, WEB_STATIC_SIZES,
 };

@@ -4,6 +4,7 @@
 use std::sync::Arc;
 use vmprov_cloudsim::SimConfig;
 use vmprov_core::analyzer::ScheduleAnalyzer;
+use vmprov_core::estimator::{EstimatorAnalyzer, EwmaRate, SlidingWindowMle};
 use vmprov_core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
 use vmprov_core::policy::{AdaptivePolicy, ProvisioningPolicy, StaticPolicy};
 use vmprov_core::qos::QosTargets;
@@ -14,16 +15,71 @@ use vmprov_workloads::scientific::{
 };
 use vmprov_workloads::{
     scientific_service_model, web_service_model, AnyWorkload, ScientificConfig, ScientificWorkload,
-    ServiceModel, WebConfig, WebWorkload,
+    ServiceModel, TraceSpec, WebConfig, WebWorkload,
 };
 
-/// Which of the two evaluation workloads drives the run.
+/// Which of the evaluation workloads drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkloadKind {
     /// The Wikipedia-derived web workload (§V-B1).
     Web,
     /// The Bag-of-Tasks scientific workload (§V-B2).
     Scientific,
+    /// Streamed replay of an on-disk trace (the scenario's
+    /// [`trace`](Scenario::trace) spec names it). Replayed requests use
+    /// the web application profile: the paper's trace source is web
+    /// traffic (the Wikipedia trace of §V-B1), so the web data center,
+    /// service model, and QoS targets apply.
+    Trace,
+}
+
+/// Which arrival-rate source the adaptive analyzer consults.
+///
+/// The paper's analyzer knows the generative workload model (an oracle
+/// λ); the estimator variants drive Algorithm 1 from *observed*
+/// arrivals instead — the CILP-style extension ISSUE 7 / the ROADMAP
+/// call for. Ignored by static policies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AnalyzerSpec {
+    /// The paper's time-based prediction model over the known rate
+    /// schedule (default; all pre-existing scenarios use this).
+    #[default]
+    Oracle,
+    /// Sliding-window Poisson MLE over the trailing window.
+    SlidingMle {
+        /// Trailing window length (seconds of monitoring coverage).
+        window_secs: f64,
+    },
+    /// Exponentially weighted moving average of per-window rates.
+    Ewma {
+        /// Smoothing factor in (0, 1].
+        alpha: f64,
+    },
+}
+
+impl AnalyzerSpec {
+    /// Parses the `repro replay --analyzer` spelling.
+    pub fn parse(s: &str) -> Option<AnalyzerSpec> {
+        match s {
+            "oracle" => Some(AnalyzerSpec::Oracle),
+            "mle" => Some(AnalyzerSpec::SlidingMle {
+                window_secs: DEFAULT_MLE_WINDOW,
+            }),
+            "ewma" => Some(AnalyzerSpec::Ewma {
+                alpha: DEFAULT_EWMA_ALPHA,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports and file names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AnalyzerSpec::Oracle => "oracle",
+            AnalyzerSpec::SlidingMle { .. } => "mle",
+            AnalyzerSpec::Ewma { .. } => "ewma",
+        }
+    }
 }
 
 /// Which provisioning policy manages the pool.
@@ -77,6 +133,12 @@ pub struct Scenario {
     /// own deterministic semantics, so `Some(1)` is *not* the same
     /// stream as `None` — see `DESIGN.md` §10.
     pub shards: Option<u32>,
+    /// Arrival-rate source for the adaptive analyzer (oracle schedule
+    /// by default; estimator variants for trace replay).
+    pub analyzer: AnalyzerSpec,
+    /// The scanned on-disk trace replayed when `workload` is
+    /// [`WorkloadKind::Trace`] (`None` for the generative workloads).
+    pub trace: Option<TraceSpec>,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -90,6 +152,19 @@ pub const ANALYZER_INTERVAL: f64 = 1800.0;
 /// Look-ahead horizon for predictions: one analyzer interval plus one
 /// minute of lead so capacity is up before the rate arrives.
 pub const PLANNING_HORIZON: f64 = ANALYZER_INTERVAL + 60.0;
+
+/// Default trailing window of the sliding-window MLE estimator: one
+/// analyzer interval of monitoring coverage, so each control tick
+/// predicts from fresh, fully-turned-over data.
+pub const DEFAULT_MLE_WINDOW: f64 = ANALYZER_INTERVAL;
+
+/// Default EWMA smoothing factor for the estimator analyzer.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
+/// Relative headroom the estimator analyzers add on top of λ̂: slack
+/// against the estimator's own sampling error, biasing errors toward
+/// slight over-provisioning (QoS-safe) rather than under-provisioning.
+pub const ESTIMATOR_HEADROOM: f64 = 0.05;
 
 impl Scenario {
     /// The paper's web scenario with the given policy.
@@ -105,6 +180,8 @@ impl Scenario {
             fel_backend: FelBackend::default(),
             sampler: SamplerBackend::default(),
             shards: None,
+            analyzer: AnalyzerSpec::Oracle,
+            trace: None,
         }
     }
 
@@ -121,7 +198,35 @@ impl Scenario {
             fel_backend: FelBackend::default(),
             sampler: SamplerBackend::default(),
             shards: None,
+            analyzer: AnalyzerSpec::Oracle,
+            trace: None,
         }
+    }
+
+    /// A streamed replay of the scanned trace `spec` under `policy`.
+    /// The horizon is the trace's end time; the data-center profile is
+    /// the web one (see [`WorkloadKind::Trace`]).
+    pub fn trace_replay(spec: TraceSpec, policy: PolicySpec, seed: u64) -> Self {
+        Scenario {
+            workload: WorkloadKind::Trace,
+            policy,
+            dispatch: DispatchSpec::RoundRobin,
+            horizon: spec.end_time,
+            backend: AnalyticBackend::TwoMoment,
+            seed,
+            boot_delay: 0.0,
+            fel_backend: FelBackend::default(),
+            sampler: SamplerBackend::default(),
+            shards: None,
+            analyzer: AnalyzerSpec::Oracle,
+            trace: Some(spec),
+        }
+    }
+
+    /// Same scenario with a different adaptive-analyzer rate source.
+    pub fn with_analyzer(mut self, analyzer: AnalyzerSpec) -> Self {
+        self.analyzer = analyzer;
+        self
     }
 
     /// Same scenario with a shorter horizon (quick modes).
@@ -157,7 +262,7 @@ impl Scenario {
     /// QoS targets of the scenario.
     pub fn qos(&self) -> QosTargets {
         match self.workload {
-            WorkloadKind::Web => QosTargets::web_paper(),
+            WorkloadKind::Web | WorkloadKind::Trace => QosTargets::web_paper(),
             WorkloadKind::Scientific => QosTargets::scientific_paper(),
         }
     }
@@ -165,7 +270,7 @@ impl Scenario {
     /// Data-center configuration.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = match self.workload {
-            WorkloadKind::Web => SimConfig::paper_web(),
+            WorkloadKind::Web | WorkloadKind::Trace => SimConfig::paper_web(),
             WorkloadKind::Scientific => SimConfig::paper_scientific(),
         };
         cfg.boot_delay = self.boot_delay;
@@ -176,9 +281,21 @@ impl Scenario {
     /// Per-request service model.
     pub fn service_model(&self) -> ServiceModel {
         match self.workload {
-            WorkloadKind::Web => web_service_model(),
+            WorkloadKind::Web | WorkloadKind::Trace => web_service_model(),
             WorkloadKind::Scientific => scientific_service_model(),
         }
+    }
+
+    /// The scanned trace spec, for [`WorkloadKind::Trace`] scenarios.
+    ///
+    /// # Panics
+    /// Panics when the scenario has no trace — constructing a `Trace`
+    /// scenario goes through [`Scenario::trace_replay`], which always
+    /// attaches one.
+    fn trace_spec(&self) -> &TraceSpec {
+        self.trace
+            .as_ref()
+            .expect("a Trace scenario must carry a TraceSpec")
     }
 
     /// Builds the arrival process for this scenario's horizon, as the
@@ -198,6 +315,7 @@ impl Scenario {
                 sampler: self.sampler,
             })
             .into(),
+            WorkloadKind::Trace => self.trace_spec().replay().into(),
         }
     }
 
@@ -224,6 +342,13 @@ impl Scenario {
                         off
                     }
                 })
+            }
+            WorkloadKind::Trace => {
+                // The whole-trace mean — the oracle for a stationary
+                // trace, and the capacity-planning rate non-oracle
+                // analyzers fall back to before monitoring data exists.
+                let rate = self.trace_spec().mean_rate;
+                Arc::new(move |_| rate)
             }
         }
     }
@@ -258,9 +383,41 @@ impl Scenario {
                 } else {
                     1
                 };
-                let analyzer = ScheduleAnalyzer::new(rate_fn, ANALYZER_INTERVAL, 0.0);
+                // The analyzer spec picks the rate source for steady
+                // state; the *initial* fleet is always sized from the
+                // declared rate above — an estimator has seen nothing
+                // at t = 0, and a real operator provisions the first
+                // pool from capacity planning either way.
+                // Replayed traces plan with the same relative headroom
+                // whatever the rate source, so switching the analyzer
+                // isolates *estimation* error: an oracle fleet and an
+                // estimator fleet differ only by λ̂ − λ. The paper
+                // scenarios keep their margin-free oracle.
+                let oracle_margin = match self.workload {
+                    WorkloadKind::Trace => ESTIMATOR_HEADROOM,
+                    WorkloadKind::Web | WorkloadKind::Scientific => 0.0,
+                };
+                let analyzer: Box<dyn vmprov_core::WorkloadAnalyzer> = match self.analyzer {
+                    AnalyzerSpec::Oracle => Box::new(ScheduleAnalyzer::new(
+                        rate_fn,
+                        ANALYZER_INTERVAL,
+                        oracle_margin,
+                    )),
+                    AnalyzerSpec::SlidingMle { window_secs } => Box::new(EstimatorAnalyzer::new(
+                        Box::new(SlidingWindowMle::new(window_secs)),
+                        rate0,
+                        ESTIMATOR_HEADROOM,
+                        ANALYZER_INTERVAL,
+                    )),
+                    AnalyzerSpec::Ewma { alpha } => Box::new(EstimatorAnalyzer::new(
+                        Box::new(EwmaRate::new(alpha)),
+                        rate0,
+                        ESTIMATOR_HEADROOM,
+                        ANALYZER_INTERVAL,
+                    )),
+                };
                 Box::new(AdaptivePolicy::new(
-                    Box::new(analyzer),
+                    analyzer,
                     modeler,
                     PLANNING_HORIZON,
                     initial,
@@ -299,6 +456,7 @@ impl vmprov_json::ToJson for Scenario {
         let workload = match self.workload {
             WorkloadKind::Web => "web",
             WorkloadKind::Scientific => "scientific",
+            WorkloadKind::Trace => "trace",
         };
         let policy = match self.policy {
             PolicySpec::Adaptive => Json::from("adaptive"),
@@ -331,6 +489,36 @@ impl vmprov_json::ToJson for Scenario {
                 "shards",
                 match self.shards {
                     Some(n) => Json::from(n),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "analyzer",
+                match self.analyzer {
+                    AnalyzerSpec::Oracle => Json::from("oracle"),
+                    AnalyzerSpec::SlidingMle { window_secs } => Json::obj([(
+                        "sliding_mle",
+                        Json::obj([("window_secs", Json::from(window_secs))]),
+                    )]),
+                    AnalyzerSpec::Ewma { alpha } => {
+                        Json::obj([("ewma", Json::obj([("alpha", Json::from(alpha))]))])
+                    }
+                },
+            ),
+            (
+                "trace",
+                // A trace is identified by *content*, so the key
+                // carries the hash and the scan totals — never the
+                // path (two copies of one trace must share entries)
+                // and never the chunk size (pure buffering mechanics;
+                // results are bit-identical for every value, pinned by
+                // the chunk-boundary property test).
+                match &self.trace {
+                    Some(spec) => Json::obj([
+                        ("content_hash", Json::from(spec.content_hash)),
+                        ("total_requests", Json::from(spec.total_requests)),
+                        ("end_time_secs", Json::from(spec.end_time.as_secs())),
+                    ]),
                     None => Json::Null,
                 },
             ),
@@ -425,14 +613,31 @@ mod tests {
             fel_backend: _,
             sampler: _,
             shards: _,
+            analyzer: _,
+            trace: _,
         } = s.clone();
         let j = s.to_json();
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("workload").unwrap().as_str(), Some("web"));
         assert_eq!(j.get("sampler").unwrap().as_str(), Some("inverse_cdf"));
         assert_eq!(j.get("shards"), Some(&vmprov_json::Json::Null));
-        let sharded = s.with_shards(Some(4)).to_json();
+        assert_eq!(j.get("analyzer").unwrap().as_str(), Some("oracle"));
+        assert_eq!(j.get("trace"), Some(&vmprov_json::Json::Null));
+        let sharded = s.clone().with_shards(Some(4)).to_json();
         assert_eq!(sharded.get("shards").unwrap().as_u64(), Some(4));
+        let mle = s
+            .with_analyzer(AnalyzerSpec::SlidingMle { window_secs: 900.0 })
+            .to_json();
+        assert_eq!(
+            mle.get("analyzer")
+                .unwrap()
+                .get("sliding_mle")
+                .unwrap()
+                .get("window_secs")
+                .unwrap()
+                .as_f64(),
+            Some(900.0)
+        );
         assert_eq!(
             j.get("policy").unwrap().get("static").unwrap().as_u64(),
             Some(3)
@@ -441,6 +646,79 @@ mod tests {
             j.get("horizon_secs").unwrap().as_f64(),
             Some(vmprov_des::WEEK)
         );
+    }
+
+    fn toy_spec() -> TraceSpec {
+        TraceSpec {
+            path: std::path::PathBuf::from("/nonexistent/toy.csv"),
+            content_hash: 0xDEAD_BEEF,
+            total_requests: 120_000,
+            batches: 120_000,
+            end_time: SimTime::from_secs(600.0),
+            mean_rate: 200.0,
+            chunk: 8192,
+        }
+    }
+
+    #[test]
+    fn trace_scenario_uses_web_profile_and_trace_horizon() {
+        let s = Scenario::trace_replay(toy_spec(), PolicySpec::Adaptive, 3);
+        assert_eq!(s.horizon.as_secs(), 600.0);
+        assert_eq!(s.qos().max_response_time, 0.250);
+        assert_eq!(s.sim_config().hosts, 1000);
+        let f = s.analyzer_rate_fn();
+        assert_eq!(f(SimTime::from_secs(0.0)), 200.0);
+        assert_eq!(f(SimTime::from_secs(599.0)), 200.0);
+        // The initial fleet is sized from the declared rate whatever
+        // the analyzer spec: estimators have seen nothing at t = 0.
+        let oracle_init = s.build_policy().initial_instances();
+        let est_init = s
+            .clone()
+            .with_analyzer(AnalyzerSpec::SlidingMle { window_secs: 900.0 })
+            .build_policy()
+            .initial_instances();
+        assert_eq!(oracle_init, est_init);
+        assert!(oracle_init > 1, "200 req/s needs a real fleet");
+    }
+
+    #[test]
+    fn trace_json_is_keyed_by_content_not_location() {
+        use vmprov_json::ToJson;
+        let a = Scenario::trace_replay(toy_spec(), PolicySpec::Adaptive, 3);
+        let mut moved = a.clone();
+        let spec = moved.trace.as_mut().unwrap();
+        spec.path = std::path::PathBuf::from("/elsewhere/copy.csv");
+        spec.chunk = 1;
+        assert_eq!(
+            a.to_json().to_string_canonical(),
+            moved.to_json().to_string_canonical(),
+            "path and chunk must not enter the cache identity"
+        );
+        let mut edited = a.clone();
+        edited.trace.as_mut().unwrap().content_hash ^= 1;
+        assert_ne!(
+            a.to_json().to_string_canonical(),
+            edited.to_json().to_string_canonical()
+        );
+    }
+
+    #[test]
+    fn analyzer_spec_parses_repro_spellings() {
+        assert_eq!(AnalyzerSpec::parse("oracle"), Some(AnalyzerSpec::Oracle));
+        assert_eq!(
+            AnalyzerSpec::parse("mle"),
+            Some(AnalyzerSpec::SlidingMle {
+                window_secs: DEFAULT_MLE_WINDOW
+            })
+        );
+        assert_eq!(
+            AnalyzerSpec::parse("ewma"),
+            Some(AnalyzerSpec::Ewma {
+                alpha: DEFAULT_EWMA_ALPHA
+            })
+        );
+        assert_eq!(AnalyzerSpec::parse("psychic"), None);
+        assert_eq!(AnalyzerSpec::default().label(), "oracle");
     }
 
     #[test]

@@ -8,7 +8,9 @@ use vmprov_check::{cases, Gen};
 use vmprov_core::AnalyticBackend;
 use vmprov_des::{FelBackend, SamplerBackend, SimTime};
 use vmprov_experiments::runner::run_once;
-use vmprov_experiments::scenario::{DispatchSpec, PolicySpec, Scenario, WorkloadKind};
+use vmprov_experiments::scenario::{
+    AnalyzerSpec, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
+};
 use vmprov_experiments::{run_key, Campaign, Lookup, RunCache};
 
 fn tmp_cache(tag: &str) -> RunCache {
@@ -85,6 +87,15 @@ fn random_scenario(g: &mut Gen) -> Scenario {
     } else {
         SamplerBackend::Ziggurat
     };
+    s.analyzer = match g.u32_in(0..3) {
+        0 => AnalyzerSpec::Oracle,
+        1 => AnalyzerSpec::SlidingMle {
+            window_secs: g.f64_in(60.0..7200.0),
+        },
+        _ => AnalyzerSpec::Ewma {
+            alpha: g.f64_in(0.01..1.0),
+        },
+    };
     s
 }
 
@@ -98,7 +109,7 @@ fn any_field_perturbation_changes_the_key() {
         assert_ne!(key, run_key(&s, rep + 1), "rep must perturb the key");
 
         let mut p = s.clone();
-        let field = match g.u32_in(0..9) {
+        let field = match g.u32_in(0..10) {
             0 => {
                 p.seed = p.seed.wrapping_add(1 + g.u64() % 1_000);
                 "seed"
@@ -122,6 +133,10 @@ fn any_field_perturbation_changes_the_key() {
                 p.workload = match p.workload {
                     WorkloadKind::Web => WorkloadKind::Scientific,
                     WorkloadKind::Scientific => WorkloadKind::Web,
+                    // random_scenario never builds a Trace scenario (it
+                    // would need a real file on disk); trace-content
+                    // keying is pinned in tests/trace_replay.rs.
+                    WorkloadKind::Trace => unreachable!("not generated here"),
                 };
                 "workload"
             }
@@ -147,12 +162,24 @@ fn any_field_perturbation_changes_the_key() {
                 };
                 "fel_backend"
             }
-            _ => {
+            8 => {
                 p.sampler = match p.sampler {
                     SamplerBackend::InverseCdf => SamplerBackend::Ziggurat,
                     SamplerBackend::Ziggurat => SamplerBackend::InverseCdf,
                 };
                 "sampler"
+            }
+            _ => {
+                p.analyzer = match p.analyzer {
+                    AnalyzerSpec::Oracle => AnalyzerSpec::Ewma { alpha: 0.3 },
+                    AnalyzerSpec::SlidingMle { window_secs } => AnalyzerSpec::SlidingMle {
+                        window_secs: window_secs + 1.0,
+                    },
+                    AnalyzerSpec::Ewma { alpha } => AnalyzerSpec::Ewma {
+                        alpha: (alpha / 2.0).max(0.005),
+                    },
+                };
+                "analyzer"
             }
         };
         assert_ne!(

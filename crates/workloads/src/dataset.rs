@@ -1,0 +1,795 @@
+//! Streaming trace ingestion: the **`DatasetReader` seam**.
+//!
+//! Every recorded or external trace enters the simulator through one
+//! trait, [`DatasetReader`]: a chunked pull interface that yields
+//! time-ordered [`ArrivalBatch`] runs without ever materializing the
+//! full trace. [`CsvReader`] implements it for `time,count,spread` CSV
+//! files (the only on-disk format today); [`MemoryReader`] adapts an
+//! in-memory [`Trace`] so recorded traces replay through the same seam;
+//! future dataset formats (Wikipedia request logs, cluster traces) slot
+//! in as further implementations without touching the simulator.
+//!
+//! [`StreamReplay`] turns any reader into an [`ArrivalProcess`]: it
+//! buffers `chunk` batches at a time, so peak ingestion memory is
+//! `chunk × size_of::<ArrivalBatch>()` regardless of trace length, and
+//! a 10M-request file replays in a few megabytes. Arrivals are
+//! byte-identical for every chunk size (pinned by a property test): the
+//! buffer is pure plumbing, invisible to the simulation.
+//!
+//! External files are validated **up front** by [`TraceSpec::scan`],
+//! which streams the file once to check it parses end to end and to
+//! compute the content hash (the run-cache key component), request
+//! totals, and the mean arrival rate. Scan-time errors are line-numbered
+//! [`DatasetError`]s, never panics. A reader error *during* the
+//! simulation — after a successful scan — means the file changed
+//! underneath the run, and `StreamReplay` treats that as fatal.
+
+use crate::trace::Trace;
+use crate::traits::{ArrivalBatch, ArrivalProcess};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use vmprov_des::{SimRng, SimTime, StableHasher};
+
+/// A trace-ingestion failure, with the 1-based source line when the
+/// failure is attributable to one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetError {
+    /// 1-based line number of the offending row (`None` for I/O-level
+    /// failures that have no line, e.g. the file not existing).
+    pub line: Option<u64>,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl DatasetError {
+    /// A line-attributed parse error.
+    pub fn at(line: u64, msg: impl Into<String>) -> Self {
+        DatasetError {
+            line: Some(line),
+            msg: msg.into(),
+        }
+    }
+
+    /// A file-level error with no line.
+    pub fn io(msg: impl Into<String>) -> Self {
+        DatasetError {
+            line: None,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A chunked source of time-ordered arrival batches.
+///
+/// The one seam through which every trace format reaches the simulator.
+/// Implementations stream: a call fills `out` with at most `max`
+/// batches and must not buffer the whole dataset internally.
+pub trait DatasetReader: Send {
+    /// Appends up to `max` batches to `out`, returning how many were
+    /// appended; `0` means the dataset is exhausted. Batches must be
+    /// non-decreasing in time, both within one chunk and across chunks.
+    fn read_chunk(
+        &mut self,
+        out: &mut Vec<ArrivalBatch>,
+        max: usize,
+    ) -> Result<usize, DatasetError>;
+}
+
+/// Streaming `time,count,spread` CSV reader (header and comment lines
+/// skipped; the spread column optional, defaulting to 0).
+///
+/// Unlike the retired `Trace::read_csv`, which slurped the file and
+/// sorted it, this reader holds one line at a time — so out-of-order
+/// timestamps are a *parse error* (streaming cannot sort), as are
+/// truncated rows, non-finite or negative values, all reported with
+/// their line number.
+pub struct CsvReader<R> {
+    input: R,
+    line: u64,
+    last_time: f64,
+    buf: String,
+}
+
+impl CsvReader<BufReader<File>> {
+    /// Opens a CSV trace file.
+    pub fn open(path: &Path) -> Result<Self, DatasetError> {
+        let file = File::open(path)
+            .map_err(|e| DatasetError::io(format!("cannot open {}: {e}", path.display())))?;
+        Ok(CsvReader::new(BufReader::new(file)))
+    }
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps any buffered reader producing CSV text.
+    pub fn new(input: R) -> Self {
+        CsvReader {
+            input,
+            line: 0,
+            last_time: 0.0,
+            buf: String::new(),
+        }
+    }
+
+    /// Parses the current `self.buf` into a batch, or `None` for
+    /// skippable lines (blank, header, comment).
+    fn parse_line(&mut self) -> Result<Option<ArrivalBatch>, DatasetError> {
+        let line = self.buf.trim();
+        if line.is_empty() || line.starts_with("time") || line.starts_with('#') {
+            return Ok(None);
+        }
+        let n = self.line;
+        let mut parts = line.split(',');
+        let time_field = parts.next().unwrap_or(""); // split yields ≥1 part
+        let time: f64 = time_field
+            .trim()
+            .parse()
+            .map_err(|_| DatasetError::at(n, format!("bad time {time_field:?}")))?;
+        let count_field = parts
+            .next()
+            .ok_or_else(|| DatasetError::at(n, "truncated row: missing count column"))?;
+        let count: u64 = count_field
+            .trim()
+            .parse()
+            .map_err(|_| DatasetError::at(n, format!("bad count {count_field:?}")))?;
+        let spread: f64 = match parts.next() {
+            Some(s) => s
+                .trim()
+                .parse()
+                .map_err(|_| DatasetError::at(n, format!("bad spread {s:?}")))?,
+            None => 0.0,
+        };
+        if !time.is_finite() || time < 0.0 {
+            return Err(DatasetError::at(n, format!("time {time} out of range")));
+        }
+        if !spread.is_finite() || spread < 0.0 {
+            return Err(DatasetError::at(
+                n,
+                format!("non-finite or negative spread {spread}"),
+            ));
+        }
+        if time < self.last_time {
+            return Err(DatasetError::at(
+                n,
+                format!(
+                    "out-of-order timestamp {time} (previous row at {})",
+                    self.last_time
+                ),
+            ));
+        }
+        self.last_time = time;
+        Ok(Some(ArrivalBatch {
+            time: SimTime::from_secs(time),
+            count,
+            spread,
+        }))
+    }
+}
+
+impl<R: BufRead + Send> DatasetReader for CsvReader<R> {
+    fn read_chunk(
+        &mut self,
+        out: &mut Vec<ArrivalBatch>,
+        max: usize,
+    ) -> Result<usize, DatasetError> {
+        let mut appended = 0;
+        while appended < max {
+            self.buf.clear();
+            let n = self
+                .input
+                .read_line(&mut self.buf)
+                .map_err(|e| DatasetError::at(self.line + 1, format!("read failed: {e}")))?;
+            if n == 0 {
+                break; // EOF
+            }
+            self.line += 1;
+            if let Some(batch) = self.parse_line()? {
+                out.push(batch);
+                appended += 1;
+            }
+        }
+        Ok(appended)
+    }
+}
+
+/// Adapts a recorded in-memory [`Trace`] to the reader seam, so
+/// recorded and on-disk traces replay through identical plumbing. The
+/// `Arc` keeps cloning a replay cheap: the batches are shared, only the
+/// cursor is per-reader.
+pub struct MemoryReader {
+    trace: Arc<Trace>,
+    pos: usize,
+}
+
+impl MemoryReader {
+    /// Creates a reader over a shared trace.
+    pub fn new(trace: Arc<Trace>) -> Self {
+        MemoryReader { trace, pos: 0 }
+    }
+}
+
+impl DatasetReader for MemoryReader {
+    fn read_chunk(
+        &mut self,
+        out: &mut Vec<ArrivalBatch>,
+        max: usize,
+    ) -> Result<usize, DatasetError> {
+        let rest = &self.trace.batches()[self.pos..];
+        let take = rest.len().min(max);
+        out.extend_from_slice(&rest[..take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+/// Default batches held in memory at once by [`StreamReplay`] — 8192
+/// batches ≈ 192 KiB, the whole ingestion footprint of a replay.
+pub const DEFAULT_CHUNK: usize = 8192;
+
+/// Everything a run needs to know about an on-disk trace, computed by
+/// one up-front streaming [`scan`](TraceSpec::scan): the content hash
+/// (what the run cache keys on — two copies of one trace share cache
+/// entries, and an edited trace never aliases the old one), request and
+/// batch totals, the end time (= replay horizon), and the whole-trace
+/// mean arrival rate (the oracle λ for a stationary trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpec {
+    /// Where the trace lives. Not part of the cache identity.
+    pub path: PathBuf,
+    /// Stable 64-bit hash of the raw file bytes.
+    pub content_hash: u64,
+    /// Total requests (sum of the count column).
+    pub total_requests: u64,
+    /// Number of batch rows.
+    pub batches: u64,
+    /// Timestamp of the last batch.
+    pub end_time: SimTime,
+    /// `total_requests / end_time` (0 for an empty or instant trace).
+    pub mean_rate: f64,
+    /// Batches buffered per [`read_chunk`](DatasetReader::read_chunk)
+    /// call during replay. Pure execution mechanics: results are
+    /// bit-identical for every value (property-tested), so it is *not*
+    /// part of the cache identity.
+    pub chunk: usize,
+}
+
+impl TraceSpec {
+    /// Streams the file at `path` once, validating every row and
+    /// computing the spec. This is where all external-file errors
+    /// surface, as line-numbered [`DatasetError`]s.
+    pub fn scan(path: &Path, chunk: usize) -> Result<TraceSpec, DatasetError> {
+        assert!(chunk >= 1, "chunk must hold at least one batch");
+        // Pass 1: hash the raw bytes (format-agnostic identity).
+        let mut file = File::open(path)
+            .map_err(|e| DatasetError::io(format!("cannot open {}: {e}", path.display())))?;
+        let mut hasher = StableHasher::new();
+        let mut block = [0u8; 64 * 1024];
+        loop {
+            let n = file
+                .read(&mut block)
+                .map_err(|e| DatasetError::io(format!("read {}: {e}", path.display())))?;
+            if n == 0 {
+                break;
+            }
+            hasher.write(&block[..n]);
+        }
+        // Pass 2: parse every row through the same reader the replay
+        // will use, accumulating totals chunk by chunk.
+        let mut reader = CsvReader::open(path)?;
+        let mut buf = Vec::with_capacity(chunk);
+        let (mut total, mut batches) = (0u64, 0u64);
+        let mut end = SimTime::ZERO;
+        loop {
+            buf.clear();
+            if reader.read_chunk(&mut buf, chunk)? == 0 {
+                break;
+            }
+            for b in &buf {
+                total += b.count;
+                end = b.time;
+            }
+            batches += buf.len() as u64;
+        }
+        let mean_rate = if end > SimTime::ZERO {
+            total as f64 / end.as_secs()
+        } else {
+            0.0
+        };
+        Ok(TraceSpec {
+            path: path.to_path_buf(),
+            content_hash: hasher.finish(),
+            total_requests: total,
+            batches,
+            end_time: end,
+            mean_rate,
+            chunk,
+        })
+    }
+
+    /// Builds the streaming replay process for this trace.
+    pub fn replay(&self) -> StreamReplay {
+        StreamReplay {
+            source: ReplaySource::File(self.path.clone()),
+            chunk: self.chunk,
+            mean_rate: self.mean_rate,
+            horizon: self.end_time,
+            reader: None,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+/// Where a [`StreamReplay`] gets its reader from. Kept re-openable so
+/// the replay can be `Clone` (each clone starts a fresh pass) even
+/// though a live reader is not.
+#[derive(Clone)]
+enum ReplaySource {
+    File(PathBuf),
+    Memory(Arc<Trace>),
+}
+
+/// An [`ArrivalProcess`] that streams batches off a [`DatasetReader`]
+/// `chunk` at a time. Consumes no randomness; peak memory is one chunk
+/// of batches regardless of trace length.
+///
+/// Cloning resets the stream: the clone replays from the start with its
+/// own reader (the source — a path or a shared in-memory trace — is
+/// what's cloned, never reader state). That keeps `AnyWorkload: Clone`
+/// intact without pretending a half-consumed file handle can fork.
+pub struct StreamReplay {
+    source: ReplaySource,
+    chunk: usize,
+    mean_rate: f64,
+    horizon: SimTime,
+    reader: Option<Box<dyn DatasetReader>>,
+    buf: Vec<ArrivalBatch>,
+    pos: usize,
+}
+
+impl StreamReplay {
+    /// Replays a recorded in-memory trace (see also [`Trace::replay`]).
+    pub fn from_trace(trace: Trace) -> StreamReplay {
+        let horizon = trace.end_time();
+        let mean_rate = if horizon > SimTime::ZERO {
+            trace.total_requests() as f64 / horizon.as_secs()
+        } else {
+            0.0
+        };
+        StreamReplay {
+            source: ReplaySource::Memory(Arc::new(trace)),
+            chunk: DEFAULT_CHUNK,
+            mean_rate,
+            horizon,
+            reader: None,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn refill(&mut self) -> Option<()> {
+        let chunk = self.chunk;
+        let reader = match &mut self.reader {
+            Some(r) => r,
+            None => {
+                let fresh: Box<dyn DatasetReader> = match &self.source {
+                    // The file was validated by `TraceSpec::scan`; an
+                    // open failure now means it vanished mid-campaign.
+                    ReplaySource::File(path) => Box::new(
+                        CsvReader::open(path)
+                            .unwrap_or_else(|e| panic!("trace changed after scan: {e}")),
+                    ),
+                    ReplaySource::Memory(t) => Box::new(MemoryReader::new(Arc::clone(t))),
+                };
+                self.reader.insert(fresh)
+            }
+        };
+        self.buf.clear();
+        self.pos = 0;
+        let got = reader
+            .read_chunk(&mut self.buf, chunk)
+            .unwrap_or_else(|e| panic!("trace changed after scan: {e}"));
+        if got == 0 {
+            None
+        } else {
+            Some(())
+        }
+    }
+}
+
+impl Clone for StreamReplay {
+    fn clone(&self) -> Self {
+        StreamReplay {
+            source: self.source.clone(),
+            chunk: self.chunk,
+            mean_rate: self.mean_rate,
+            horizon: self.horizon,
+            reader: None,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl fmt::Debug for StreamReplay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let source = match &self.source {
+            ReplaySource::File(path) => format!("file {}", path.display()),
+            ReplaySource::Memory(t) => format!("memory ({} batches)", t.len()),
+        };
+        f.debug_struct("StreamReplay")
+            .field("source", &source)
+            .field("chunk", &self.chunk)
+            .field("mean_rate", &self.mean_rate)
+            .field("horizon", &self.horizon)
+            .finish()
+    }
+}
+
+impl ArrivalProcess for StreamReplay {
+    #[inline]
+    fn next_batch(&mut self, _rng: &mut SimRng) -> Option<ArrivalBatch> {
+        if self.pos == self.buf.len() {
+            self.refill()?;
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn model_rate(&self, _t: SimTime) -> f64 {
+        // The whole-trace mean: exact for a stationary trace, which is
+        // what oracle-vs-estimator comparisons replay. Non-stationary
+        // traces should be driven by an estimator analyzer instead.
+        self.mean_rate
+    }
+
+    fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+}
+
+/// Statistics of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedTrace {
+    /// Rows (= batches = requests; the generator emits count 1) written.
+    pub rows: u64,
+    /// Timestamp of the last row.
+    pub end_time: f64,
+}
+
+/// Streams a synthetic piecewise-constant-rate Poisson trace to `w` as
+/// `time,count,spread` CSV, never materializing it: the offline stand-in
+/// for a real datacenter trace that CI replays. `pieces` are
+/// `(start_time, rate)` breakpoints starting at 0; deterministic in
+/// `seed` (inverse-CDF exponential gaps off one RNG stream).
+pub fn generate_piecewise_csv<W: Write>(
+    w: W,
+    pieces: &[(f64, f64)],
+    horizon: SimTime,
+    seed: u64,
+) -> io::Result<GeneratedTrace> {
+    assert!(
+        !pieces.is_empty() && pieces[0].0 == 0.0,
+        "pieces must start at t=0"
+    );
+    assert!(pieces.windows(2).all(|p| p[0].0 < p[1].0));
+    assert!(pieces.iter().all(|&(_, r)| r >= 0.0 && r.is_finite()));
+    let mut w = io::BufWriter::new(w);
+    writeln!(w, "time,count,spread")?;
+    let mut rng = vmprov_des::RngFactory::new(seed).stream("trace-gen");
+    let end = horizon.as_secs();
+    let mut t = 0.0f64;
+    let mut rows = 0u64;
+    let mut last = 0.0f64;
+    let mut piece = 0usize;
+    loop {
+        let piece_end = pieces.get(piece + 1).map_or(end, |&(s, _)| s);
+        let rate = pieces[piece].1;
+        if rate <= 0.0 {
+            t = piece_end;
+        } else {
+            t += -rng.uniform01_open_left().ln() / rate;
+        }
+        // Crossing a breakpoint restarts the exponential clock there
+        // (memorylessness makes that exact, same as PiecewiseRateProcess).
+        if t >= piece_end {
+            if piece + 1 >= pieces.len() || t >= end {
+                break;
+            }
+            t = piece_end;
+            piece += 1;
+            continue;
+        }
+        if t >= end {
+            break;
+        }
+        writeln!(w, "{t},1,0")?;
+        rows += 1;
+        last = t;
+    }
+    w.flush()?;
+    Ok(GeneratedTrace {
+        rows,
+        end_time: last,
+    })
+}
+
+/// [`generate_piecewise_csv`] for a single constant rate.
+pub fn generate_poisson_csv<W: Write>(
+    w: W,
+    rate: f64,
+    horizon: SimTime,
+    seed: u64,
+) -> io::Result<GeneratedTrace> {
+    generate_piecewise_csv(w, &[(0.0, rate)], horizon, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmprov_des::RngFactory;
+
+    fn drain_via(reader: &mut dyn DatasetReader, chunk: usize) -> Vec<ArrivalBatch> {
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            buf.clear();
+            let n = reader.read_chunk(&mut buf, chunk).expect("read_chunk");
+            if n == 0 {
+                return all;
+            }
+            assert!(n <= chunk, "reader overfilled the chunk");
+            all.extend_from_slice(&buf);
+        }
+    }
+
+    #[test]
+    fn csv_reader_round_trips_a_written_trace() {
+        let trace = Trace::new(vec![
+            ArrivalBatch {
+                time: SimTime::from_secs(0.0),
+                count: 3,
+                spread: 60.0,
+            },
+            ArrivalBatch {
+                time: SimTime::from_secs(12.5),
+                count: 1,
+                spread: 0.0,
+            },
+        ])
+        .unwrap();
+        let mut csv = Vec::new();
+        trace.write_csv(&mut csv).unwrap();
+        let mut reader = CsvReader::new(io::BufReader::new(&csv[..]));
+        assert_eq!(drain_via(&mut reader, 16), trace.batches());
+    }
+
+    #[test]
+    fn csv_reader_accepts_headerless_two_column_and_comments() {
+        let input = "0.0,5\n10.0,2,30.0\n# comment\n\n";
+        let mut reader = CsvReader::new(io::BufReader::new(input.as_bytes()));
+        let got = drain_via(&mut reader, 4);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].count, 5);
+        assert_eq!(got[0].spread, 0.0);
+        assert_eq!(got[1].spread, 30.0);
+    }
+
+    #[test]
+    fn csv_reader_errors_carry_line_numbers() {
+        // (input, offending line, message fragment)
+        let cases = [
+            ("0,1,0\nabc,1,0\n", 2, "bad time"),
+            ("0,1,0\n1.0\n", 2, "truncated row"),
+            ("1.0,notanumber\n", 1, "bad count"),
+            ("time,count,spread\n-5.0,1,0\n", 2, "out of range"),
+            ("0,1,0\n1.0,1,-2\n", 2, "negative spread"),
+            ("0,1,0\n1.0,1,nan\n", 2, "spread"),
+            ("0,1,inf\n", 1, "spread"),
+            ("time,count,spread\n20.0,1,0\n5.0,2,0\n", 3, "out-of-order"),
+        ];
+        for (input, line, what) in cases {
+            let mut reader = CsvReader::new(io::BufReader::new(input.as_bytes()));
+            let mut buf = Vec::new();
+            let err = loop {
+                buf.clear();
+                match reader.read_chunk(&mut buf, 64) {
+                    Err(e) => break e,
+                    Ok(0) => panic!("{input:?} should fail"),
+                    Ok(_) => continue,
+                }
+            };
+            assert_eq!(err.line, Some(line), "{input:?}: {err}");
+            assert!(err.msg.contains(what), "{input:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_file_recovery_reports_the_cut_row() {
+        // A trace cut mid-row (torn download): every complete row before
+        // the cut parses; the cut row fails with its line number, and a
+        // repaired file scans clean.
+        let mut csv = Vec::new();
+        Trace::new(
+            (0..50)
+                .map(|i| ArrivalBatch {
+                    time: SimTime::from_secs(i as f64),
+                    count: 2,
+                    spread: 0.0,
+                })
+                .collect(),
+        )
+        .unwrap()
+        .write_csv(&mut csv)
+        .unwrap();
+        let cut = &csv[..csv.len() - 4]; // leaves "49," — no count digits
+        let mut reader = CsvReader::new(io::BufReader::new(cut));
+        let mut buf = Vec::new();
+        let err = loop {
+            buf.clear();
+            match reader.read_chunk(&mut buf, 7) {
+                Err(e) => break e,
+                Ok(0) => panic!("cut file must error"),
+                Ok(_) => continue,
+            }
+        };
+        assert_eq!(err.line, Some(51), "{err}"); // header + 50 rows
+        assert!(err.msg.contains("bad count"), "{err}");
+
+        let dir = std::env::temp_dir().join(format!("vmprov_dataset_cut_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repaired.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let spec = TraceSpec::scan(&path, 64).expect("repaired file scans");
+        assert_eq!(spec.batches, 50);
+        assert_eq!(spec.total_requests, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn arrivals_bit_identical_across_chunk_sizes() {
+        // The chunk buffer must be invisible: whatever the buffer size,
+        // the replayed arrival stream is bit-identical. Random traces ×
+        // buffer sizes {1, 7, 4096}, through both the in-memory and the
+        // on-disk source.
+        let dir = std::env::temp_dir().join(format!("vmprov_dataset_chunk_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        vmprov_check::cases(24, |g| {
+            let mut t = 0.0f64;
+            let batches: Vec<ArrivalBatch> = (0..g.usize_in(0..200))
+                .map(|_| {
+                    t += g.f64_in(0.0..3.0);
+                    ArrivalBatch {
+                        time: SimTime::from_secs(t),
+                        count: g.usize_in(1..5) as u64,
+                        spread: g.f64_in(0.0..10.0),
+                    }
+                })
+                .collect();
+            let trace = Trace::new(batches.clone()).unwrap();
+            let path = dir.join("case.csv");
+            let mut csv = Vec::new();
+            trace.write_csv(&mut csv).unwrap();
+            std::fs::write(&path, &csv).unwrap();
+
+            let mut rng = RngFactory::new(1).stream("unused");
+            // CSV text → f64 loses nothing (Display is shortest
+            // round-trip), so even file replay is bit-exact.
+            let reference: Vec<ArrivalBatch> = {
+                let mut r = TraceSpec::scan(&path, 4096).unwrap().replay();
+                std::iter::from_fn(|| r.next_batch(&mut rng)).collect()
+            };
+            assert_eq!(reference, batches, "CSV round trip must be exact");
+            for chunk in [1usize, 7, 4096] {
+                let spec = TraceSpec::scan(&path, chunk).unwrap();
+                let mut file_replay = spec.replay();
+                let file_stream: Vec<ArrivalBatch> =
+                    std::iter::from_fn(|| file_replay.next_batch(&mut rng)).collect();
+                assert_eq!(file_stream, reference, "chunk {chunk} (file)");
+                let mut mem_replay = StreamReplay::from_trace(trace.clone());
+                mem_replay.chunk = chunk;
+                let mem_stream: Vec<ArrivalBatch> =
+                    std::iter::from_fn(|| mem_replay.next_batch(&mut rng)).collect();
+                assert_eq!(mem_stream, reference, "chunk {chunk} (memory)");
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_computes_hash_totals_and_rate() {
+        let dir = std::env::temp_dir().join(format!("vmprov_dataset_scan_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        std::fs::write(&path, "time,count,spread\n0,5,0\n100,15,0\n").unwrap();
+        let spec = TraceSpec::scan(&path, 8).unwrap();
+        assert_eq!(spec.total_requests, 20);
+        assert_eq!(spec.batches, 2);
+        assert_eq!(spec.end_time.as_secs(), 100.0);
+        assert!((spec.mean_rate - 0.2).abs() < 1e-12);
+        // Identity is content, not location: a copy hashes identically,
+        // an edit does not.
+        let copy = dir.join("copy.csv");
+        std::fs::copy(&path, &copy).unwrap();
+        assert_eq!(
+            TraceSpec::scan(&copy, 8).unwrap().content_hash,
+            spec.content_hash
+        );
+        std::fs::write(&path, "time,count,spread\n0,5,0\n100,16,0\n").unwrap();
+        assert_ne!(
+            TraceSpec::scan(&path, 8).unwrap().content_hash,
+            spec.content_hash
+        );
+        let missing = TraceSpec::scan(&dir.join("nope.csv"), 8).unwrap_err();
+        assert_eq!(missing.line, None);
+        assert!(missing.msg.contains("cannot open"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clone_restarts_the_stream() {
+        let trace = Trace::new(vec![ArrivalBatch {
+            time: SimTime::from_secs(1.0),
+            count: 1,
+            spread: 0.0,
+        }])
+        .unwrap();
+        let mut rng = RngFactory::new(1).stream("unused");
+        let mut a = StreamReplay::from_trace(trace);
+        assert!(a.next_batch(&mut rng).is_some());
+        assert!(a.next_batch(&mut rng).is_none());
+        let mut b = a.clone();
+        assert!(b.next_batch(&mut rng).is_some(), "clone starts fresh");
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_matches_rate() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let horizon = SimTime::from_secs(2000.0);
+        let ga = generate_poisson_csv(&mut a, 5.0, horizon, 42).unwrap();
+        let gb = generate_poisson_csv(&mut b, 5.0, horizon, 42).unwrap();
+        assert_eq!(a, b, "same seed, same bytes");
+        assert_eq!(ga, gb);
+        let n = ga.rows as f64;
+        assert!((n - 10_000.0).abs() < 3.0 * 10_000f64.sqrt(), "rows {n}");
+        let mut c = Vec::new();
+        generate_poisson_csv(&mut c, 5.0, horizon, 43).unwrap();
+        assert_ne!(a, c, "different seed, different trace");
+        // The generated bytes parse clean through the reader.
+        let mut reader = CsvReader::new(io::BufReader::new(&a[..]));
+        let batches = drain_via(&mut reader, 4096);
+        assert_eq!(batches.len() as u64, ga.rows);
+        assert!(batches.iter().all(|b| b.count == 1 && b.spread == 0.0));
+    }
+
+    #[test]
+    fn step_generator_shifts_density_at_the_breakpoint() {
+        let mut csv = Vec::new();
+        let horizon = SimTime::from_secs(1000.0);
+        generate_piecewise_csv(&mut csv, &[(0.0, 1.0), (500.0, 10.0)], horizon, 7).unwrap();
+        let mut reader = CsvReader::new(io::BufReader::new(&csv[..]));
+        let times: Vec<f64> = drain_via(&mut reader, 4096)
+            .iter()
+            .map(|b| b.time.as_secs())
+            .collect();
+        let before = times.iter().filter(|&&t| t < 500.0).count() as f64;
+        let after = times.len() as f64 - before;
+        assert!((before - 500.0).abs() < 100.0, "before {before}");
+        assert!((after - 5000.0).abs() < 300.0, "after {after}");
+    }
+}

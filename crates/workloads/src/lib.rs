@@ -11,18 +11,25 @@
 //!   window off-peak, Weibull task batch sizes, 300 s tasks.
 //!
 //! Plus [`synthetic`] generators (Poisson, step, ramp, flash crowd,
-//! MMPP) used by tests and the robustness ablations.
+//! MMPP) used by tests and the robustness ablations, and the [`dataset`]
+//! seam for streaming trace replay ([`DatasetReader`], [`StreamReplay`],
+//! the synthetic trace generator).
 
 #![warn(missing_docs)]
 
+pub mod dataset;
 pub mod scientific;
 pub mod synthetic;
 pub mod trace;
 pub mod traits;
 pub mod web;
 
+pub use dataset::{
+    generate_piecewise_csv, generate_poisson_csv, CsvReader, DatasetError, DatasetReader,
+    GeneratedTrace, MemoryReader, StreamReplay, TraceSpec, DEFAULT_CHUNK,
+};
 pub use scientific::{scientific_service_model, ScientificConfig, ScientificWorkload};
-pub use trace::{Trace, TraceReplay};
+pub use trace::Trace;
 pub use traits::{ArrivalBatch, ArrivalProcess, ServiceModel};
 pub use web::{eq2_rate, web_service_model, WebConfig, WebWorkload, WEEKDAY_NAMES, WEEKDAY_RATES};
 
@@ -40,6 +47,8 @@ pub enum AnyWorkload {
     Web(WebWorkload),
     /// The scientific Bag-of-Tasks workload (§V-B2).
     Scientific(ScientificWorkload),
+    /// Streamed replay of a recorded or on-disk trace ([`dataset`]).
+    Replay(StreamReplay),
 }
 
 impl From<WebWorkload> for AnyWorkload {
@@ -54,12 +63,19 @@ impl From<ScientificWorkload> for AnyWorkload {
     }
 }
 
+impl From<StreamReplay> for AnyWorkload {
+    fn from(w: StreamReplay) -> Self {
+        AnyWorkload::Replay(w)
+    }
+}
+
 impl ArrivalProcess for AnyWorkload {
     #[inline]
     fn next_batch(&mut self, rng: &mut SimRng) -> Option<ArrivalBatch> {
         match self {
             AnyWorkload::Web(w) => w.next_batch(rng),
             AnyWorkload::Scientific(w) => w.next_batch(rng),
+            AnyWorkload::Replay(w) => w.next_batch(rng),
         }
     }
 
@@ -67,6 +83,7 @@ impl ArrivalProcess for AnyWorkload {
         match self {
             AnyWorkload::Web(w) => w.model_rate(t),
             AnyWorkload::Scientific(w) => w.model_rate(t),
+            AnyWorkload::Replay(w) => w.model_rate(t),
         }
     }
 
@@ -74,6 +91,7 @@ impl ArrivalProcess for AnyWorkload {
         match self {
             AnyWorkload::Web(w) => w.horizon(),
             AnyWorkload::Scientific(w) => w.horizon(),
+            AnyWorkload::Replay(w) => w.horizon(),
         }
     }
 }

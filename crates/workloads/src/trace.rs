@@ -1,14 +1,19 @@
-//! Arrival traces: record any [`ArrivalProcess`] into a concrete list of
-//! batches, persist it as CSV, and replay it later.
+//! Recorded arrival traces: capture any [`ArrivalProcess`] into a
+//! concrete list of batches and persist it as CSV.
 //!
-//! Replay enables (a) exact workload sharing between runs that must see
+//! Recording enables exact workload sharing between runs that must see
 //! identical traffic regardless of how many random draws each policy
-//! consumes, and (b) plugging in *real* production traces (the paper
-//! points at the Wikipedia trace of Urdaneta et al.) once available —
-//! any `time,count,spread` CSV replays through the same pipeline.
+//! consumes. Everything *read back* — this crate's own CSV, real
+//! production traces, future dataset formats — enters through the
+//! [`crate::dataset`] seam instead ([`CsvReader`](crate::dataset::CsvReader)
+//! and friends); `Trace` is the in-memory recording side only, and
+//! [`Trace::replay`] routes through the same
+//! [`StreamReplay`](crate::dataset::StreamReplay) plumbing the on-disk
+//! readers use.
 
+use crate::dataset::{DatasetError, StreamReplay};
 use crate::traits::{ArrivalBatch, ArrivalProcess};
-use std::io::{self, BufRead, Write};
+use std::io::{self, Write};
 use vmprov_des::{SimRng, SimTime};
 
 /// A recorded arrival trace.
@@ -18,21 +23,37 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Creates a trace from explicit batches (must be time-ordered).
-    ///
-    /// # Panics
-    /// Panics if batches are out of order or have non-finite fields.
-    pub fn new(batches: Vec<ArrivalBatch>) -> Self {
-        for w in batches.windows(2) {
-            assert!(w[0].time <= w[1].time, "trace batches must be time-ordered");
+    /// Creates a trace from explicit batches, validating that they are
+    /// time-ordered with finite, non-negative spreads. The error's
+    /// `line` is the 1-based index of the offending batch — the same
+    /// contract as the file readers, so callers ingesting external data
+    /// report consistent positions.
+    pub fn new(batches: Vec<ArrivalBatch>) -> Result<Self, DatasetError> {
+        for (i, w) in batches.windows(2).enumerate() {
+            if w[1].time < w[0].time {
+                return Err(DatasetError::at(
+                    i as u64 + 2,
+                    format!(
+                        "out-of-order timestamp {} (previous batch at {})",
+                        w[1].time.as_secs(),
+                        w[0].time.as_secs()
+                    ),
+                ));
+            }
         }
-        for b in &batches {
-            assert!(b.spread >= 0.0 && b.spread.is_finite());
+        for (i, b) in batches.iter().enumerate() {
+            if !(b.spread >= 0.0 && b.spread.is_finite()) {
+                return Err(DatasetError::at(
+                    i as u64 + 1,
+                    format!("non-finite or negative spread {}", b.spread),
+                ));
+            }
         }
-        Trace { batches }
+        Ok(Trace { batches })
     }
 
-    /// Records `process` to exhaustion using `rng`.
+    /// Records `process` to exhaustion using `rng`. Infallible: a
+    /// well-behaved process emits ordered batches by contract.
     pub fn record(process: &mut dyn ArrivalProcess, rng: &mut SimRng) -> Self {
         let mut batches = Vec::new();
         while let Some(b) = process.next_batch(rng) {
@@ -66,7 +87,8 @@ impl Trace {
         &self.batches
     }
 
-    /// Writes the trace as `time,count,spread` CSV.
+    /// Writes the trace as `time,count,spread` CSV — the format
+    /// [`CsvReader`](crate::dataset::CsvReader) reads back.
     pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(w, "time,count,spread")?;
         for b in &self.batches {
@@ -75,93 +97,10 @@ impl Trace {
         Ok(())
     }
 
-    /// Parses a `time,count,spread` CSV (header optional).
-    pub fn read_csv<R: BufRead>(r: R) -> io::Result<Self> {
-        let mut batches = Vec::new();
-        for (lineno, line) in r.lines().enumerate() {
-            let line = line?;
-            let line = line.trim();
-            if line.is_empty() || line.starts_with("time") || line.starts_with('#') {
-                continue;
-            }
-            let mut parts = line.split(',');
-            let parse_err = |what: &str| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: bad {what}", lineno + 1),
-                )
-            };
-            let time: f64 = parts
-                .next()
-                .ok_or_else(|| parse_err("time"))?
-                .trim()
-                .parse()
-                .map_err(|_| parse_err("time"))?;
-            let count: u64 = parts
-                .next()
-                .ok_or_else(|| parse_err("count"))?
-                .trim()
-                .parse()
-                .map_err(|_| parse_err("count"))?;
-            let spread: f64 = match parts.next() {
-                Some(s) => s.trim().parse().map_err(|_| parse_err("spread"))?,
-                None => 0.0,
-            };
-            if !time.is_finite() || time < 0.0 || !spread.is_finite() || spread < 0.0 {
-                return Err(parse_err("value range"));
-            }
-            batches.push(ArrivalBatch {
-                time: SimTime::from_secs(time),
-                count,
-                spread,
-            });
-        }
-        batches.sort_by_key(|b| b.time);
-        Ok(Trace { batches })
-    }
-
-    /// Turns the trace into a replayable arrival process.
-    pub fn replay(self) -> TraceReplay {
-        TraceReplay {
-            horizon: self.end_time(),
-            trace: self,
-            cursor: 0,
-        }
-    }
-}
-
-/// An [`ArrivalProcess`] that replays a recorded [`Trace`] verbatim
-/// (consumes no randomness).
-#[derive(Debug, Clone)]
-pub struct TraceReplay {
-    trace: Trace,
-    cursor: usize,
-    horizon: SimTime,
-}
-
-impl ArrivalProcess for TraceReplay {
-    fn next_batch(&mut self, _rng: &mut SimRng) -> Option<ArrivalBatch> {
-        let b = self.trace.batches.get(self.cursor).copied()?;
-        self.cursor += 1;
-        Some(b)
-    }
-
-    fn model_rate(&self, t: SimTime) -> f64 {
-        // Empirical rate: requests in the window around t (±30 s).
-        let half = 30.0;
-        let (lo, hi) = (t.as_secs() - half, t.as_secs() + half);
-        let reqs: u64 = self
-            .trace
-            .batches
-            .iter()
-            .filter(|b| b.time.as_secs() >= lo && b.time.as_secs() < hi)
-            .map(|b| b.count)
-            .sum();
-        reqs as f64 / (2.0 * half)
-    }
-
-    fn horizon(&self) -> SimTime {
-        self.horizon
+    /// Turns the trace into a replayable arrival process, streaming
+    /// through the [`crate::dataset`] seam (consumes no randomness).
+    pub fn replay(self) -> StreamReplay {
+        StreamReplay::from_trace(self)
     }
 }
 
@@ -188,76 +127,24 @@ mod tests {
     }
 
     #[test]
-    fn csv_round_trip() {
-        let trace = Trace::new(vec![
-            ArrivalBatch {
-                time: SimTime::from_secs(0.0),
-                count: 3,
-                spread: 60.0,
-            },
-            ArrivalBatch {
-                time: SimTime::from_secs(12.5),
-                count: 1,
-                spread: 0.0,
-            },
-        ]);
-        let mut buf = Vec::new();
-        trace.write_csv(&mut buf).unwrap();
-        let text = String::from_utf8(buf.clone()).unwrap();
-        assert!(text.starts_with("time,count,spread\n"));
-        let back = Trace::read_csv(io::BufReader::new(&buf[..])).unwrap();
-        assert_eq!(back, trace);
-    }
-
-    #[test]
-    fn csv_accepts_headerless_and_two_column() {
-        let input = "0.0,5\n10.0,2,30.0\n# comment\n\n";
-        let t = Trace::read_csv(io::BufReader::new(input.as_bytes())).unwrap();
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.batches()[0].count, 5);
-        assert_eq!(t.batches()[0].spread, 0.0);
-        assert_eq!(t.batches()[1].spread, 30.0);
-    }
-
-    #[test]
-    fn csv_sorts_out_of_order_rows() {
-        let input = "time,count,spread\n20.0,1,0\n5.0,2,0\n";
-        let t = Trace::read_csv(io::BufReader::new(input.as_bytes())).unwrap();
-        assert_eq!(t.batches()[0].time.as_secs(), 5.0);
-    }
-
-    #[test]
-    fn csv_rejects_garbage() {
-        for bad in ["abc,1,0\n", "1.0,notanumber\n", "-5.0,1,0\n", "1.0,1,-2\n"] {
-            assert!(
-                Trace::read_csv(io::BufReader::new(bad.as_bytes())).is_err(),
-                "{bad:?} should fail"
-            );
-        }
-    }
-
-    #[test]
-    fn replay_model_rate_reflects_density() {
-        let batches: Vec<ArrivalBatch> = (0..60)
+    fn replay_reports_the_mean_rate_and_horizon() {
+        let batches: Vec<ArrivalBatch> = (0..=60)
             .map(|i| ArrivalBatch {
                 time: SimTime::from_secs(i as f64),
                 count: 2,
                 spread: 0.0,
             })
             .collect();
-        let replay = Trace::new(batches).replay();
-        // 2 req/s over the first minute.
+        let replay = Trace::new(batches).unwrap().replay();
+        assert_eq!(replay.horizon().as_secs(), 60.0);
+        // 122 requests over 60 s.
         let r = replay.model_rate(SimTime::from_secs(30.0));
-        assert!((r - 2.0).abs() < 0.2, "rate {r}");
-        // Quiet afterwards.
-        let r = replay.model_rate(SimTime::from_secs(500.0));
-        assert_eq!(r, 0.0);
+        assert!((r - 122.0 / 60.0).abs() < 1e-12, "rate {r}");
     }
 
     #[test]
-    #[should_panic(expected = "time-ordered")]
-    fn constructor_rejects_unordered() {
-        Trace::new(vec![
+    fn constructor_rejects_unordered_with_batch_number() {
+        let err = Trace::new(vec![
             ArrivalBatch {
                 time: SimTime::from_secs(10.0),
                 count: 1,
@@ -268,6 +155,21 @@ mod tests {
                 count: 1,
                 spread: 0.0,
             },
-        ]);
+        ])
+        .unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert!(err.msg.contains("out-of-order"), "{err}");
+    }
+
+    #[test]
+    fn constructor_rejects_bad_spread() {
+        let err = Trace::new(vec![ArrivalBatch {
+            time: SimTime::from_secs(0.0),
+            count: 1,
+            spread: f64::NAN,
+        }])
+        .unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.msg.contains("spread"), "{err}");
     }
 }

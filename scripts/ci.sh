@@ -52,5 +52,10 @@ run bash scripts/cache_smoke.sh
 # across shard counts {1,2,4} and both FEL backends. CI runs one cell
 # per matrix job; locally we sweep the full matrix.
 run bash scripts/shard_smoke.sh
+# Streaming trace replay at scale: a 10M-request synthetic trace must
+# replay with chunk-bounded ingestion memory (peak-RSS check),
+# byte-identical summaries across chunk sizes and shard×FEL cells, and
+# estimator QoS verdicts matching the oracle-λ run.
+run bash scripts/trace_smoke.sh
 
 echo "ci.sh: all checks passed" >&2

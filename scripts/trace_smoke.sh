@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Streaming trace-replay smoke: generates a 10M+-request synthetic
+# Poisson trace (~220 MB of CSV) and replays it through the
+# DatasetReader seam, asserting the tentpole invariants at scale:
+#
+#   1. Peak ingestion memory is bounded by the chunk buffer: the
+#      process's peak RSS must stay far below the materialized trace
+#      (10M ArrivalBatches ≈ 240 MB; the bound is 128 MB, actual is
+#      single-digit MB). Sharded cells run one pre-sharded stream per
+#      worker and get a proportionally higher bound.
+#   2. Replay summaries are byte-identical across ingestion chunk sizes
+#      (serial reference vs --chunk 1024).
+#   3. Sharded replays are byte-identical across {1,4} shards × both
+#      FEL backends (sharded cells agree with each other; the serial
+#      engine is its own deterministic semantics, as in shard_smoke.sh).
+#   4. The estimator-driven runs (sliding-window MLE, EWMA) produce the
+#      same Fig 5-style QoS verdicts as the oracle-λ run on this
+#      stationary trace.
+#
+# usage: trace_smoke.sh [RATE HORIZON_SECS]
+#   trace_smoke.sh              # 2000 req/s × 5000 s ≈ 10M requests
+#   trace_smoke.sh 200 500      # scaled-down local iteration
+#
+# Leaves every cell's replay output under target/trace-smoke/ for the
+# CI artifact upload. Runs uncached: the point is recomputation
+# agreeing, not the cache answering twice.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    echo "trace_smoke.sh: registry unreachable, continuing with --offline" >&2
+    OFFLINE=(--offline)
+fi
+
+RATE="${1:-2000}"
+HORIZON="${2:-5000}"
+OUT=target/trace-smoke
+TRACE="$OUT/trace.csv"
+RSS_BOUND_KB=131072          # 128 MB: well under the ~240 MB a materialized trace costs
+SHARDED_RSS_BOUND_KB=262144  # sharded cells buffer one chunk per worker stream
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+cargo build "${OFFLINE[@]}" --release -p vmprov-experiments --bin repro >&2
+REPRO=target/release/repro
+
+echo "trace_smoke.sh: generating ${RATE} req/s × ${HORIZON} s trace" >&2
+"$REPRO" gen-trace --out "$TRACE" --rate "$RATE" --horizon "$HORIZON" --seed 20110926 >&2
+
+run_cell() { # DIR EXTRA_ARGS...
+    local dir="$1"; shift
+    "$REPRO" replay --trace "$TRACE" --no-cache --out "$dir" "$@" >&2
+}
+
+rss_of() { # QOS_JSON BOUND_KB LABEL — peak_rss_kb must exist and respect the bound
+    local qos="$1" bound="$2" label="$3"
+    local kb
+    kb=$(sed -n 's/.*"peak_rss_kb": *\([0-9][0-9]*\).*/\1/p' "$qos")
+    if [ -z "$kb" ]; then
+        echo "trace_smoke.sh: FAIL — no peak_rss_kb in $qos (procfs?)" >&2
+        exit 1
+    fi
+    if [ "$kb" -ge "$bound" ]; then
+        echo "trace_smoke.sh: FAIL — $label peak RSS ${kb} kB ≥ bound ${bound} kB:" \
+             "ingestion is not streaming" >&2
+        exit 1
+    fi
+    echo "trace_smoke.sh: $label peak RSS ${kb} kB (bound ${bound} kB)" >&2
+}
+
+# --- serial reference + chunk invariance (invariants 1 and 2) ---------
+echo "trace_smoke.sh: serial reference cell (oracle, default chunk)" >&2
+run_cell "$OUT/serial" --analyzer oracle
+rss_of "$OUT/serial/replay_oracle_qos.json" "$RSS_BOUND_KB" "serial"
+
+echo "trace_smoke.sh: serial cell with --chunk 1024" >&2
+run_cell "$OUT/serial_c1024" --analyzer oracle --chunk 1024
+rss_of "$OUT/serial_c1024/replay_oracle_qos.json" "$RSS_BOUND_KB" "chunk-1024"
+if ! diff -q "$OUT/serial/replay_oracle.json" "$OUT/serial_c1024/replay_oracle.json" >&2; then
+    echo "trace_smoke.sh: FAIL — summaries differ across ingestion chunk sizes" >&2
+    exit 1
+fi
+echo "trace_smoke.sh: chunk sizes agree byte for byte" >&2
+
+# --- shard × FEL matrix (invariant 3) ---------------------------------
+for cell in 1:calendar 4:calendar 1:binary_heap 4:binary_heap; do
+    shards="${cell%%:*}"
+    fel="${cell##*:}"
+    dir="$OUT/s${shards}_${fel}"
+    echo "trace_smoke.sh: sharded cell ${cell}" >&2
+    run_cell "$dir" --analyzer oracle --shards "$shards" --fel "$fel"
+    rss_of "$dir/replay_oracle_qos.json" "$SHARDED_RSS_BOUND_KB" "cell ${cell}"
+    if ! diff -q "$OUT/s1_calendar/replay_oracle.json" "$dir/replay_oracle.json" >&2; then
+        echo "trace_smoke.sh: FAIL — sharded summary at ${cell} differs from" \
+             "the 1:calendar sharded reference" >&2
+        exit 1
+    fi
+    echo "trace_smoke.sh: cell ${cell} matches the sharded reference byte for byte" >&2
+done
+
+# --- estimator vs oracle verdicts (invariant 4) -----------------------
+verdict_of() { # QOS_JSON — the three pass/fail verdicts, normalized to one line
+    sed -n 's/.*"\(rejections_met\|response_met\|nothing_lost\)": *\(true\|false\).*/\1=\2/p' \
+        "$1" | sort | tr '\n' ' '
+}
+oracle_verdict=$(verdict_of "$OUT/serial/replay_oracle_qos.json")
+for analyzer in mle ewma; do
+    echo "trace_smoke.sh: estimator cell ${analyzer}" >&2
+    run_cell "$OUT/est_${analyzer}" --analyzer "$analyzer"
+    got=$(verdict_of "$OUT/est_${analyzer}/replay_${analyzer}_qos.json")
+    if [ "$got" != "$oracle_verdict" ]; then
+        echo "trace_smoke.sh: FAIL — ${analyzer} verdicts (${got}) differ from" \
+             "oracle (${oracle_verdict}) on a stationary trace" >&2
+        exit 1
+    fi
+    echo "trace_smoke.sh: ${analyzer} verdicts match the oracle (${got})" >&2
+done
+
+# The generated trace is ~220 MB; don't leave it for the artifact upload.
+rm -f "$TRACE"
+echo "trace_smoke.sh: ok" >&2
