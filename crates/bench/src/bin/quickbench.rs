@@ -8,7 +8,10 @@
 //! ```
 //!
 //! Covers the future-event-list backends (calendar queue vs binary
-//! heap) at small and large pending sizes, cancellation churn, and
+//! heap) at small and large pending sizes, cancellation churn,
+//! monotone bulk insert (`fel_bulk_insert_*` — the staged-run append
+//! one expanded arrival burst pays, vs per-entry `fel_fill_drain_*`),
+//! the branchless admission probe (`admission_bitset_hot`), and
 //! three end-to-end measurements: a small web simulation — run twice,
 //! once through the default (probe-less) path and once with an
 //! explicitly attached `NullProbe`, to measure that the observability
@@ -39,7 +42,8 @@
 //!
 //! `--diff OLD.json NEW.json` measures nothing: it renders a markdown
 //! before/after table from two existing reports (ci.sh publishes it as
-//! a build artifact) and exits 0.
+//! a build artifact), closes with a bolded `web_small_run` ns/request
+//! trend line (the headline number perf PRs move), and exits 0.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
 use vmprov_cloudsim::{NullProbe, SimBuilder, SimConfig};
@@ -170,6 +174,107 @@ fn bench_fill_drain(backend: FelBackend, n: usize, runs: u32) -> Timing {
         }
         while let Some(ev) = q.pop() {
             black_box(ev);
+        }
+    })
+}
+
+/// Bulk insert of monotone runs at the simulator's cadence: sorted
+/// 64-entry runs land through `schedule_run` a few runs ahead of the
+/// drain (a steady window, like arrival prefetch staying just ahead of
+/// the clock), `n` events in total. One staged append per run on the
+/// calendar backend, a per-entry fallback on the heap; compare with
+/// `fel_fill_drain_*`, which pays per-entry insertion for the same
+/// event count.
+fn bench_bulk_insert(backend: FelBackend, n: usize, runs: u32) -> Timing {
+    const RUN: usize = 64;
+    const WINDOW: usize = 4; // runs in flight, well under MAX_STAGED_RUNS
+    let mut rng = RngFactory::new(0xB0B5).stream("bulk");
+    let name = format!("fel_bulk_insert_{}_{}", n, backend_tag(backend));
+    bench(&name, 2 * n as u64, 1, runs, || {
+        let mut q = EventQueue::with_capacity_and_backend(RUN * (WINDOW + 1), backend);
+        let mut times = Vec::with_capacity(RUN);
+        let mut base = 0.0;
+        let mut scheduled = 0usize;
+        let mut push_run = |q: &mut EventQueue<usize>, scheduled: &mut usize| {
+            base += rng.uniform(0.5, 1.5);
+            times.clear();
+            for _ in 0..RUN {
+                times.push(SimTime::from_secs(base + rng.uniform(0.0, 1.0)));
+            }
+            times.sort_unstable();
+            q.schedule_run(&times, *scheduled);
+            *scheduled += RUN;
+        };
+        for _ in 0..WINDOW {
+            push_run(&mut q, &mut scheduled);
+        }
+        while scheduled < n {
+            push_run(&mut q, &mut scheduled);
+            for _ in 0..RUN {
+                black_box(q.pop());
+            }
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
+    })
+}
+
+/// The branchless admission probe in a tight loop: round-robin picks
+/// over a 250-instance pool that exposes the k-full bitmap, with the
+/// chosen instance's bit cleared and a pseudo-random bit restored each
+/// iteration (the admit/complete cadence of a loaded fleet). Measures
+/// the word-scan + trailing-zeros selection the request hot path pays
+/// per admitted arrival.
+fn bench_admission_bitset(picks: usize, runs: u32) -> Timing {
+    use vmprov_core::{Dispatcher, InstancePool, InstanceView, RoundRobin};
+    struct BitPool {
+        views: Vec<InstanceView>,
+        bits: Vec<u64>,
+    }
+    impl InstancePool for BitPool {
+        fn len(&self) -> usize {
+            self.views.len()
+        }
+        fn view(&self, i: usize) -> InstanceView {
+            self.views[i]
+        }
+        fn has_free(&self) -> bool {
+            self.bits.iter().any(|&w| w != 0)
+        }
+        fn room_bits(&self) -> Option<&[u64]> {
+            Some(&self.bits)
+        }
+    }
+    const N: usize = 250;
+    let mut pool = BitPool {
+        views: vec![
+            InstanceView {
+                in_system: 0,
+                capacity: 1,
+                accepting: true,
+            };
+            N
+        ],
+        bits: vec![!0u64; N.div_ceil(64)],
+    };
+    let tail = N % 64;
+    if tail != 0 {
+        *pool.bits.last_mut().expect("word count > 0") = (1u64 << tail) - 1;
+    }
+    let mut rr = RoundRobin::new();
+    let mut rng = RngFactory::new(0xAD17).stream("bitset-hot");
+    bench("admission_bitset_hot", picks as u64, 1, runs, || {
+        for _ in 0..picks {
+            let i = rr
+                .pick(&pool, 0.0)
+                .expect("pool never empties of free instances");
+            pool.bits[i >> 6] &= !(1u64 << (i & 63));
+            // Free a different pseudo-random instance so occupancy sits
+            // near capacity without ever reaching all-full.
+            let j = (rng.uniform01() * N as f64) as usize % N;
+            pool.bits[j >> 6] |= 1u64 << (j & 63);
+            black_box(i);
         }
     })
 }
@@ -590,6 +695,21 @@ fn run_diff(old_path: &std::path::Path, new_path: &std::path::Path) -> ! {
             println!("| {name} | — | {} | new |", fmt(*new_ns));
         }
     }
+    // Headline: the end-to-end per-request cost of the hot path, the
+    // number perf PRs move. Rendered under the table so the trend reads
+    // without scanning rows.
+    let headline = "web_small_run";
+    if let (Some((_, old_ns)), Some((_, new_ns))) = (
+        old.iter().find(|(n, _)| n == headline),
+        new.iter().find(|(n, _)| n == headline),
+    ) {
+        println!(
+            "\n**{headline}: {} → {} ns/request ({:+.1}%)**",
+            fmt(*old_ns),
+            fmt(*new_ns),
+            100.0 * (new_ns / old_ns - 1.0)
+        );
+    }
     std::process::exit(0);
 }
 
@@ -763,7 +883,13 @@ fn main() {
         groups.push(run_group(Box::new(move || {
             vec![bench_cancel(backend, sizes.fill, sizes.runs)]
         })));
+        groups.push(run_group(Box::new(move || {
+            vec![bench_bulk_insert(backend, sizes.fill, sizes.runs)]
+        })));
     }
+    groups.push(run_group(Box::new(move || {
+        vec![bench_admission_bitset(sizes.churn, sizes.runs)]
+    })));
     // The observability gate: an attached NullProbe must cost nothing.
     let (web_base, web_probed, mut probe_overhead_pct) =
         bench_web_pair(sizes.web_horizon, sizes.runs);

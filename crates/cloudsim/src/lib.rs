@@ -29,7 +29,7 @@ mod shard;
 pub mod sim;
 
 pub use builder::SimBuilder;
-pub use config::SimConfig;
+pub use config::{AdmissionMode, SimConfig};
 pub use host::{HostPool, PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
 pub use metrics::{MetricsOptions, RunMetrics, RunSummary};
 pub use probe::{

@@ -426,7 +426,16 @@ struct Coordinator<P: Probe, W: ArrivalProcess> {
     // Workload expansion (the serial engine's Batch/Arrival machinery).
     workload: W,
     rng_arrivals: SimRng,
-    pending_batch: Option<ArrivalBatch>,
+    /// Batches pulled through the burst seam but not yet expanded into
+    /// the pen; `pending[pending_pos..]` is the unexpanded remainder.
+    pending: Vec<ArrivalBatch>,
+    pending_pos: usize,
+    /// Batches pulled per `next_batch_run` call (`cfg.arrival_run`).
+    /// The seam's stop-after-spread rule keeps the arrivals stream
+    /// identical for every value, so the merged summary is invariant
+    /// to it here — unlike the serial engine, where run > 1 reassigns
+    /// event ids.
+    arrival_run: usize,
     last_batch_time: SimTime,
     gen_seq: u64,
     pen: Vec<PenArrival>,
@@ -475,14 +484,31 @@ impl<P: Probe, W: ArrivalProcess> Coordinator<P, W> {
 
     // --- workload expansion -------------------------------------------
 
-    /// Releases every batch due by `window_end` into the pen, drawing
-    /// spread offsets in exactly the serial engine's order (one
-    /// sequential `rng_arrivals` stream, batches in time order).
+    /// Releases every batch due by `window_end` into the pen, pulling
+    /// whole bursts through the seam and drawing spread offsets in
+    /// exactly the serial engine's order: the seam stops a run after
+    /// its first `spread > 0` batch, so generation and spread draws
+    /// interleave on the sequential `rng_arrivals` stream precisely as
+    /// one-at-a-time pulls would.
     fn fill_pen(&mut self, window_end: SimTime) {
-        while let Some(b) = self.pending_batch {
-            if b.time > window_end {
-                break;
+        loop {
+            if self.pending_pos == self.pending.len() {
+                self.pending.clear();
+                self.pending_pos = 0;
+                let n = self.workload.next_batch_run(
+                    &mut self.rng_arrivals,
+                    self.arrival_run,
+                    &mut self.pending,
+                );
+                if n == 0 {
+                    return; // workload exhausted
+                }
             }
+            let b = self.pending[self.pending_pos];
+            if b.time > window_end {
+                return;
+            }
+            self.pending_pos += 1;
             // The serial engine re-anchors a late batch at the clock:
             // the Batch event fires at max(b.time, previous fire time).
             let t0 = if b.time >= self.last_batch_time {
@@ -503,7 +529,6 @@ impl<P: Probe, W: ArrivalProcess> Coordinator<P, W> {
                 });
                 self.gen_seq += 1;
             }
-            self.pending_batch = self.workload.next_batch(&mut self.rng_arrivals);
         }
     }
 
@@ -1046,7 +1071,9 @@ pub(crate) fn run_sharded<P: Probe, W: ArrivalProcess, D: Dispatcher>(
         horizon,
         rng_arrivals: rngs.stream("arrivals"),
         workload,
-        pending_batch: None,
+        pending: Vec::new(),
+        pending_pos: 0,
+        arrival_run: cfg.arrival_run.max(1) as usize,
         last_batch_time: SimTime::ZERO,
         gen_seq: 0,
         pen: Vec::new(),
@@ -1080,7 +1107,8 @@ pub(crate) fn run_sharded<P: Probe, W: ArrivalProcess, D: Dispatcher>(
         coord.create_instance(SimTime::ZERO, true);
     }
     coord.metrics.instances = TimeWeighted::new(SimTime::ZERO, coord.active.len() as f64);
-    coord.pending_batch = coord.workload.next_batch(&mut coord.rng_arrivals);
+    // The first burst is pulled lazily by `fill_pen`; the arrivals
+    // stream is read nowhere else, so the draw sequence is unchanged.
 
     let (summary, probe, shards) = coord.run();
     if let Some(s) = scratch {

@@ -16,7 +16,7 @@
 //! path (arrival → dispatch → enqueue, completion → dequeue) is
 //! allocation-free and O(1) except for rare pool-management events.
 
-use crate::config::SimConfig;
+use crate::config::{AdmissionMode, SimConfig};
 use crate::host::HostPool;
 use crate::metrics::{RunMetrics, RunSummary};
 use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
@@ -276,12 +276,16 @@ impl InstanceSlots {
 /// class-specific queue bound (k for high priority, k − reserved for
 /// low). When `exact_free` is `Some`, admission is O(1) via the
 /// maintained counter; otherwise the default scan runs (used for the
-/// low-priority class, whose experiments are small-scale).
+/// low-priority class, whose experiments are small-scale). `bits` is
+/// the maintained has-room bitset — exposed only when it encodes this
+/// probe's capacity exactly, i.e. for the `capacity == k` class under
+/// [`AdmissionMode::Bitset`].
 struct PoolViewRef<'a> {
     qlen: &'a [u32],
     active: &'a [u32],
     capacity: u32,
     exact_free: Option<usize>,
+    bits: Option<&'a [u64]>,
 }
 
 impl InstancePool for PoolViewRef<'_> {
@@ -300,6 +304,9 @@ impl InstancePool for PoolViewRef<'_> {
             Some(free) => free > 0,
             None => (0..self.len()).any(|i| self.view(i).has_room()),
         }
+    }
+    fn room_bits(&self) -> Option<&[u64]> {
+        self.bits
     }
 }
 
@@ -333,13 +340,28 @@ where
     booting_slots: Vec<u32>,
     /// Active instances with room (the O(1) admission counter).
     free_count: usize,
+    /// Has-room flags over the active list, one bit per active index
+    /// (`room_bits[i/64] >> (i%64) & 1` ⟺ `active[i]` holds fewer than
+    /// `k` requests; bits at index ≥ `active.len()` are zero). The
+    /// branch-free round-robin admission path word-scans this instead
+    /// of probing instances.
+    room_bits: Vec<u64>,
+    /// Position of each slot in the active list (`active[active_pos[s]]
+    /// == s`), valid only while the slot is `Active`. Makes
+    /// completion-side bit maintenance and failure removal O(1).
+    active_pos: Vec<u32>,
     /// Active instances currently serving a request.
     busy_count: usize,
     /// Current per-instance queue capacity (Eq. 1, re-derived from the
     /// monitored Tm at each evaluation).
     k: u32,
     workload: W,
-    pending_batch: Option<ArrivalBatch>,
+    /// The pulled run of arrival batches awaiting expansion at the next
+    /// `Batch` event (up to `cfg.arrival_run` of them per pull).
+    pending: Vec<ArrivalBatch>,
+    /// Scratch buffer of expanded arrival times, recycled across
+    /// `Batch` events so steady-state expansion allocates nothing.
+    arrival_times: Vec<SimTime>,
     service: ServiceModel,
     policy: Box<dyn ProvisioningPolicy>,
     dispatcher: D,
@@ -486,10 +508,13 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
             draining: Vec::new(),
             booting_slots: Vec::new(),
             free_count: 0,
+            room_bits: Vec::new(),
+            active_pos: Vec::new(),
             busy_count: 0,
             k,
             workload,
-            pending_batch: None,
+            pending: Vec::new(),
+            arrival_times: Vec::new(),
             service,
             policy,
             dispatcher,
@@ -525,11 +550,15 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 }
             }
         }
-        // Prime the workload.
+        // Prime the workload: pull the first burst. With the default
+        // `arrival_run = 1` this is exactly one `next_batch` draw.
         let w = engine.world_mut();
-        w.pending_batch = w.workload.next_batch(&mut w.rng_arrivals);
-        if let Some(b) = w.pending_batch {
-            engine.schedule(b.time, Event::Batch);
+        let run = w.cfg.arrival_run.max(1) as usize;
+        w.workload
+            .next_batch_run(&mut w.rng_arrivals, run, &mut w.pending);
+        let first = w.pending.first().map(|b| b.time);
+        if let Some(t) = first {
+            engine.schedule(t, Event::Batch);
         }
         engine.schedule(SimTime::ZERO, Event::Evaluate);
         let tick = engine.world().cfg.monitor_interval;
@@ -602,12 +631,53 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         self.instances.queue_len(slot) < self.k
     }
 
+    /// Appends `slot` to the active list, maintaining the slot→index
+    /// map and the has-room bitset (bits past the old length are zero
+    /// by invariant, so only a set is ever needed).
+    fn push_active(&mut self, slot: u32) {
+        let idx = self.active.len();
+        let i = slot as usize;
+        if i >= self.active_pos.len() {
+            self.active_pos.resize(i + 1, 0);
+        }
+        self.active_pos[i] = idx as u32;
+        self.active.push(slot);
+        if idx >> 6 >= self.room_bits.len() {
+            self.room_bits.push(0);
+        }
+        debug_assert_eq!(self.room_bits[idx >> 6] >> (idx & 63) & 1, 0);
+        if self.instance_has_room(slot) {
+            self.room_bits[idx >> 6] |= 1 << (idx & 63);
+        }
+    }
+
+    /// Swap-removes the active-list entry at `idx`, relocating the
+    /// moved tail entry's position and has-room bit, and re-zeroing the
+    /// vacated tail bit. Returns the removed slot.
+    fn remove_active(&mut self, idx: usize) -> u32 {
+        let slot = self.active.swap_remove(idx);
+        let last = self.active.len(); // position vacated by the swap
+        if idx < last {
+            let moved = self.active[idx];
+            self.active_pos[moved as usize] = idx as u32;
+            let bit = self.room_bits[last >> 6] >> (last & 63) & 1;
+            let mask = 1u64 << (idx & 63);
+            if bit != 0 {
+                self.room_bits[idx >> 6] |= mask;
+            } else {
+                self.room_bits[idx >> 6] &= !mask;
+            }
+        }
+        self.room_bits[last >> 6] &= !(1u64 << (last & 63));
+        slot
+    }
+
     /// Creates an instance that is active immediately (initial fleet, or
     /// boot delay zero). Returns the slot if placement succeeded.
     fn create_instance_immediately(&mut self, now: SimTime) -> Option<u32> {
         let slot = self.allocate_instance(now)?;
         self.instances.state[slot as usize] = InstState::Active;
-        self.active.push(slot);
+        self.push_active(slot);
         self.free_count += 1; // fresh instance is empty
         self.probe.on_vm_active(now, slot);
         Some(slot)
@@ -659,13 +729,19 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         self.instances.release(slot);
     }
 
-    /// Recomputes `free_count` after `k` changes.
+    /// Recomputes `free_count` and rebuilds the has-room bitset after
+    /// `k` changes.
     fn recount_free(&mut self) {
-        self.free_count = self
-            .active
-            .iter()
-            .filter(|&&s| self.instance_has_room(s))
-            .count();
+        self.room_bits.clear();
+        self.room_bits.resize(self.active.len().div_ceil(64), 0);
+        let mut free = 0;
+        for (idx, &s) in self.active.iter().enumerate() {
+            if self.instances.queue_len(s) < self.k {
+                free += 1;
+                self.room_bits[idx >> 6] |= 1 << (idx & 63);
+            }
+        }
+        self.free_count = free;
     }
 
     /// Applies a policy target: grow (revive draining, boot new) or
@@ -682,7 +758,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 };
                 debug_assert_eq!(self.instances.state[slot as usize], InstState::Draining);
                 self.instances.state[slot as usize] = InstState::Active;
-                self.active.push(slot);
+                self.push_active(slot);
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
                 }
@@ -716,7 +792,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
             while excess > 0 && i < self.active.len() {
                 let slot = self.active[i];
                 if self.instances.queue_len(slot) == 0 {
-                    self.active.swap_remove(i);
+                    self.remove_active(i);
                     self.free_count -= 1; // idle ⇒ had room
                     self.destroy_instance(slot, now, sched);
                     excess -= 1;
@@ -743,7 +819,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                     .enumerate()
                     .min_by_key(|(_, &s)| self.instances.queue_len(s))
                     .expect("non-empty");
-                let slot = self.active.swap_remove(idx);
+                let slot = self.remove_active(idx);
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
                 }
@@ -795,11 +871,19 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         let pick = if capacity == 0 {
             None
         } else {
+            // The bitset encodes "qlen < k", so it is only valid for
+            // the class probing with capacity == k (exactly when the
+            // exact-free counter applies).
+            let bits = match (exact_free, self.cfg.admission) {
+                (Some(_), AdmissionMode::Bitset) => Some(self.room_bits.as_slice()),
+                _ => None,
+            };
             let view = PoolViewRef {
                 qlen: &self.instances.qlen,
                 active: &self.active,
                 capacity,
                 exact_free,
+                bits,
             };
             self.dispatcher.pick(&view, self.rng_dispatch.uniform01())
         };
@@ -829,6 +913,8 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         }
         if len == self.k {
             self.free_count -= 1;
+            // `idx` is the pick's active-list position of `slot`.
+            self.room_bits[idx >> 6] &= !(1u64 << (idx & 63));
         }
     }
 
@@ -860,6 +946,9 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 // Freed one unit of room if it was exactly full.
                 if remaining + 1 == self.k {
                     self.free_count += 1;
+                    let idx = self.active_pos[slot as usize] as usize;
+                    debug_assert_eq!(self.active[idx], slot, "active_pos out of sync");
+                    self.room_bits[idx >> 6] |= 1u64 << (idx & 63);
                 }
             }
             InstState::Draining => {
@@ -885,12 +974,9 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         self.instances.failure_timer[slot as usize] = None;
         match state {
             InstState::Active => {
-                let idx = self
-                    .active
-                    .iter()
-                    .position(|&s| s == slot)
-                    .expect("active instance not in active list");
-                self.active.swap_remove(idx);
+                let idx = self.active_pos[slot as usize] as usize;
+                debug_assert_eq!(self.active[idx], slot, "active_pos out of sync");
+                self.remove_active(idx);
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
                 }
@@ -977,22 +1063,43 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> World for CloudSim<P, W,
             Event::Arrival => self.handle_arrival(now, sched),
             Event::Completion { slot } => self.handle_completion(slot, now, sched),
             Event::Batch => {
-                let batch = self
-                    .pending_batch
-                    .take()
-                    .expect("batch event without batch");
-                debug_assert!(batch.time <= now);
-                for _ in 0..batch.count {
-                    let offset = if batch.spread > 0.0 {
-                        self.rng_arrivals.uniform(0.0, batch.spread)
+                // Expand the whole pulled run in one pass: spread
+                // offsets drawn in the scalar per-batch order, then the
+                // burst lands as a single bulk FEL insert instead of
+                // `count` independent schedules. Within a batch the
+                // `Arrival` payloads are indistinguishable, so sorting
+                // the offsets to form a monotone run leaves the pop
+                // sequence — and every golden — bit-identical. The
+                // burst seam stops a run after its first `spread > 0`
+                // batch, so only the final segment ever needs sorting
+                // and the concatenation stays monotone.
+                debug_assert!(!self.pending.is_empty(), "batch event without batches");
+                debug_assert!(self.pending[0].time <= now);
+                let mut times = std::mem::take(&mut self.arrival_times);
+                times.clear();
+                for b in &self.pending {
+                    let base = b.time.max(now);
+                    if b.spread > 0.0 {
+                        let from = times.len();
+                        for _ in 0..b.count {
+                            times.push(base + self.rng_arrivals.uniform(0.0, b.spread));
+                        }
+                        times[from..].sort_unstable();
                     } else {
-                        0.0
-                    };
-                    sched.after(offset, Event::Arrival);
+                        for _ in 0..b.count {
+                            times.push(base);
+                        }
+                    }
                 }
-                self.pending_batch = self.workload.next_batch(&mut self.rng_arrivals);
-                if let Some(b) = self.pending_batch {
-                    sched.at(b.time.max(now), Event::Batch);
+                sched.at_run(&times, Event::Arrival);
+                self.arrival_times = times;
+                self.pending.clear();
+                let run = self.cfg.arrival_run.max(1) as usize;
+                let n =
+                    self.workload
+                        .next_batch_run(&mut self.rng_arrivals, run, &mut self.pending);
+                if n > 0 {
+                    sched.at(self.pending[0].time.max(now), Event::Batch);
                 }
             }
             Event::Booted { slot } => {
@@ -1011,7 +1118,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> World for CloudSim<P, W,
                     .position(|&s| s == slot)
                     .expect("booted instance not in booting list");
                 self.booting_slots.remove(idx);
-                self.active.push(slot);
+                self.push_active(slot);
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
                 }

@@ -1,0 +1,208 @@
+//! Equivalence pins for the batched request hot path (arrival-burst
+//! prefetch + calendar bulk insert + bitset admission):
+//!
+//! * On continuous-time workloads (Poisson, web) the batched arrival
+//!   path is **bit-identical** to the scalar cadence for every prefetch
+//!   depth, on both FEL backends — arrival times are a deterministic
+//!   multiset and `Arrival` events carry no payload, so reassigning
+//!   insertion ids within a sorted run is unobservable.
+//! * The sharded engine is arrival-run-invariant outright: the
+//!   coordinator expands bursts into the pen in generation order, so
+//!   the prefetch depth can never reorder anything.
+//! * Bitset admission (trailing-zeros scan over the k-full bitmap)
+//!   picks the identical instance as the branchy ring probe at every
+//!   arrival, over randomized k / fleet-size grids, with and without
+//!   priority reservations.
+
+use vmprov_cloudsim::config::PriorityConfig;
+use vmprov_cloudsim::{AdmissionMode, RunSummary, SimBuilder, SimConfig};
+use vmprov_core::policy::{PoolStatus, ProvisioningPolicy};
+use vmprov_core::qos::QosTargets;
+use vmprov_core::{RoundRobin, StaticPolicy};
+use vmprov_des::{FelBackend, RngFactory, SimTime};
+use vmprov_workloads::synthetic::PoissonProcess;
+use vmprov_workloads::{ServiceModel, WebConfig, WebWorkload};
+
+const BACKENDS: [FelBackend; 2] = [FelBackend::Calendar, FelBackend::BinaryHeap];
+const RUNS: [u32; 3] = [1, 7, 64];
+
+/// A static fleet with an explicitly pinned per-instance queue
+/// capacity, so the admission grid can sweep k directly.
+struct FixedPool {
+    m: u32,
+    k: u32,
+}
+
+impl ProvisioningPolicy for FixedPool {
+    fn name(&self) -> String {
+        format!("FixedPool-{}x{}", self.m, self.k)
+    }
+
+    fn initial_instances(&self) -> u32 {
+        self.m
+    }
+
+    fn evaluate(&mut self, _status: &PoolStatus) -> u32 {
+        self.m
+    }
+
+    fn next_evaluation(&self, now: SimTime) -> SimTime {
+        now + 60.0
+    }
+
+    fn queue_capacity(&self, _tm: f64) -> u32 {
+        self.k
+    }
+}
+
+fn run_poisson(backend: FelBackend, arrival_run: u32) -> RunSummary {
+    SimBuilder::new(SimConfig::paper(0.100, 0.250))
+        .workload(PoissonProcess::new(150.0, SimTime::from_secs(600.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(20, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .fel_backend(backend)
+        .arrival_run(arrival_run)
+        .run(&RngFactory::new(0xBA7C))
+}
+
+fn run_web(backend: FelBackend, arrival_run: u32, seed: u64) -> RunSummary {
+    let cfg = SimConfig {
+        fel_backend: backend,
+        ..SimConfig::paper_web()
+    };
+    SimBuilder::new(cfg)
+        .workload(WebWorkload::new(WebConfig {
+            horizon: SimTime::from_secs(1800.0),
+            ..WebConfig::default()
+        }))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(60, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .arrival_run(arrival_run)
+        .run(&RngFactory::new(seed))
+}
+
+/// Poisson arrivals: every prefetch depth × both FEL backends must
+/// reproduce the scalar run bit for bit.
+#[test]
+fn batched_arrivals_match_scalar_poisson() {
+    for backend in BACKENDS {
+        let scalar = run_poisson(backend, 1);
+        assert!(scalar.offered_requests > 10_000, "run too small to pin");
+        for run in RUNS {
+            assert_eq!(
+                scalar,
+                run_poisson(backend, run),
+                "{backend:?}: arrival_run={run} diverged from scalar"
+            );
+        }
+    }
+}
+
+/// The web workload's spread batches (count > 1 with intra-batch
+/// uniform spread) exercise the sorted bulk-expansion path; batched
+/// prefetch must still be bit-identical.
+#[test]
+fn batched_arrivals_match_scalar_web() {
+    for backend in BACKENDS {
+        let scalar = run_web(backend, 1, 1109);
+        assert!(scalar.offered_requests > 10_000, "run too small to pin");
+        for run in RUNS {
+            assert_eq!(
+                scalar,
+                run_web(backend, run, 1109),
+                "{backend:?}: web arrival_run={run} diverged from scalar"
+            );
+        }
+    }
+}
+
+/// The sharded engine expands bursts into the arrival pen in generation
+/// order, so its merged summary is invariant to the prefetch depth —
+/// for every shard count.
+#[test]
+fn sharded_runs_are_arrival_run_invariant() {
+    let run_sharded = |shards: u32, arrival_run: u32| {
+        let cfg = SimConfig {
+            hosts: 50,
+            ..SimConfig::paper(0.100, 0.250)
+        };
+        SimBuilder::new(cfg)
+            .workload(PoissonProcess::new(200.0, SimTime::from_secs(300.0)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(StaticPolicy::new(25, QosTargets::web_paper())))
+            .dispatcher(RoundRobin::new())
+            .shards(Some(shards))
+            .arrival_run(arrival_run)
+            .run(&RngFactory::new(0x5AD))
+    };
+    for shards in [1, 4] {
+        let reference = run_sharded(shards, 1);
+        assert!(reference.offered_requests > 10_000);
+        for run in [7, 64] {
+            assert_eq!(
+                reference,
+                run_sharded(shards, run),
+                "shards={shards}: arrival_run={run} changed the merged summary"
+            );
+        }
+    }
+}
+
+/// Bitset admission must make the same pick as the branchy ring probe
+/// at every arrival, across a randomized grid of queue capacities,
+/// fleet sizes (straddling the 64-bit word boundary), and loads.
+#[test]
+fn bitset_admission_matches_branchy_grid() {
+    let mut grid_rng = RngFactory::new(0xB175E7).stream("grid");
+    for (k, m) in [(1u32, 3u32), (2, 17), (5, 63), (5, 64), (10, 70), (3, 128)] {
+        // A load high enough that queues fill (so the k-full bit
+        // actually clears and sets) but finite, drawn per cell.
+        let rho = 0.7 + 0.25 * grid_rng.uniform01();
+        let rate = rho * m as f64 / 0.100;
+        let cfg = SimConfig {
+            hosts: 200,
+            ..SimConfig::paper(0.100, 0.250)
+        };
+        let run = |admission| {
+            SimBuilder::new(cfg)
+                .workload(PoissonProcess::new(rate, SimTime::from_secs(120.0)))
+                .service(ServiceModel::new(0.100, 0.10))
+                .policy(Box::new(FixedPool { m, k }))
+                .dispatcher(RoundRobin::new())
+                .admission(admission)
+                .run(&RngFactory::new(0x9A7E ^ u64::from(k * 1000 + m)))
+        };
+        let bitset = run(AdmissionMode::Bitset);
+        let branchy = run(AdmissionMode::Branchy);
+        assert!(bitset.offered_requests > 1_000, "k={k} m={m}: tiny run");
+        assert_eq!(bitset, branchy, "k={k} m={m}: admission modes diverged");
+    }
+}
+
+/// With a priority reservation the low class scans a shrunk capacity
+/// (the branchy path) while the high class still sees the exact bitmap;
+/// both admission modes must agree on every metric, including the
+/// per-class rejection split.
+#[test]
+fn bitset_admission_matches_branchy_with_priority() {
+    let cfg = SimConfig {
+        hosts: 100,
+        priority: Some(PriorityConfig::new(0.3, 2)),
+        ..SimConfig::paper(0.100, 0.250)
+    };
+    let run = |admission| {
+        SimBuilder::new(cfg)
+            .workload(PoissonProcess::new(280.0, SimTime::from_secs(300.0)))
+            .service(ServiceModel::new(0.100, 0.10))
+            .policy(Box::new(FixedPool { m: 30, k: 5 }))
+            .dispatcher(RoundRobin::new())
+            .admission(admission)
+            .run(&RngFactory::new(0xC1A55))
+    };
+    let bitset = run(AdmissionMode::Bitset);
+    let branchy = run(AdmissionMode::Branchy);
+    assert!(bitset.offered_high > 1_000, "no high-priority traffic");
+    assert_eq!(bitset, branchy, "priority split diverged across modes");
+}

@@ -50,6 +50,16 @@ pub trait InstancePool {
     fn has_free(&self) -> bool {
         (0..self.len()).any(|i| self.view(i).has_room())
     }
+
+    /// Has-room flags packed as a bitset, when the pool maintains one:
+    /// bit `i` of word `i / 64` is set iff `view(i).has_room()`, and
+    /// every bit at index `≥ len()` is zero. Strategies that can use it
+    /// (round-robin) then select by word scans + trailing zeros instead
+    /// of probing instances one by one. The default (`None`) keeps the
+    /// per-instance probe loop.
+    fn room_bits(&self) -> Option<&[u64]> {
+        None
+    }
 }
 
 impl InstancePool for Vec<InstanceView> {
@@ -179,6 +189,38 @@ impl RoundRobin {
     }
 }
 
+/// First set bit at ring position ≥ `start`, wrapping once past `n`.
+/// Relies on the [`InstancePool::room_bits`] contract that bits at
+/// index ≥ `n` are zero, so a word scan never reports a phantom
+/// instance.
+#[inline]
+fn first_set_ring(bits: &[u64], start: usize, n: usize) -> Option<usize> {
+    let words = n.div_ceil(64);
+    debug_assert!(bits.len() >= words && start < n);
+    let sw = start >> 6;
+    let head_mask = !0u64 << (start & 63);
+    let mut w = bits[sw] & head_mask;
+    let mut wi = sw;
+    loop {
+        if w != 0 {
+            return Some((wi << 6) | w.trailing_zeros() as usize);
+        }
+        wi += 1;
+        if wi >= words {
+            break;
+        }
+        w = bits[wi];
+    }
+    // Wrap around: positions [0, start).
+    for (wi, &word) in bits.iter().enumerate().take(sw + 1) {
+        let w = if wi == sw { word & !head_mask } else { word };
+        if w != 0 {
+            return Some((wi << 6) | w.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
 impl Dispatcher for RoundRobin {
     #[inline]
     fn pick<P: InstancePool + ?Sized>(&mut self, pool: &P, _random01: f64) -> Option<usize> {
@@ -190,7 +232,20 @@ impl Dispatcher for RoundRobin {
         // shrunk since the last pick), then conditional wrapping: the
         // probe order is identical to the old `(start + off) % n` loop
         // without a division per probe.
-        let mut i = self.next % n;
+        let start = self.next % n;
+        if let Some(bits) = pool.room_bits() {
+            // Branch-free selection: word scans + trailing zeros land on
+            // the same instance the probe loop below would (the first
+            // ring position ≥ start with room), without touching the
+            // per-instance views.
+            let i = first_set_ring(bits, start, n)?;
+            self.next = i + 1;
+            if self.next == n {
+                self.next = 0;
+            }
+            return Some(i);
+        }
+        let mut i = start;
         for _ in 0..n {
             if pool.view(i).has_room() {
                 self.next = i + 1;
@@ -391,6 +446,91 @@ mod tests {
             AnyDispatcher::default(),
             AnyDispatcher::RoundRobin(_)
         ));
+    }
+
+    /// A pool that also publishes its has-room flags as a bitset.
+    struct BitPool {
+        views: Vec<InstanceView>,
+        bits: Vec<u64>,
+    }
+
+    impl BitPool {
+        fn new(views: Vec<InstanceView>) -> Self {
+            let mut bits = vec![0u64; views.len().div_ceil(64).max(1)];
+            for (i, v) in views.iter().enumerate() {
+                if v.has_room() {
+                    bits[i >> 6] |= 1 << (i & 63);
+                }
+            }
+            BitPool { views, bits }
+        }
+    }
+
+    impl InstancePool for BitPool {
+        fn len(&self) -> usize {
+            self.views.len()
+        }
+        fn view(&self, i: usize) -> InstanceView {
+            self.views[i]
+        }
+        fn room_bits(&self) -> Option<&[u64]> {
+            Some(&self.bits)
+        }
+    }
+
+    #[test]
+    fn bitset_round_robin_picks_identically_to_branchy() {
+        // Deterministic pseudo-random pool shapes spanning word
+        // boundaries (n < 64, = 64, > 64), both strategies stepped in
+        // lockstep: every pick and every internal-pointer evolution
+        // must agree.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next_u = |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        for n in [1usize, 3, 17, 63, 64, 65, 128, 200] {
+            for _ in 0..8 {
+                let views: Vec<InstanceView> =
+                    (0..n).map(|_| view(next_u(3) as u32, 2, true)).collect();
+                let pool = BitPool::new(views.clone());
+                let mut fast = RoundRobin::new();
+                let mut slow = RoundRobin::new();
+                for _ in 0..2 * n {
+                    assert_eq!(
+                        fast.pick(&pool, 0.0),
+                        slow.pick(&views, 0.0),
+                        "n={n}: bitset and branchy round-robin diverged"
+                    );
+                    assert_eq!(fast.next, slow.next, "n={n}: ring pointer diverged");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_round_robin_rejects_full_pool() {
+        let pool = BitPool::new(vec![view(2, 2, true); 70]);
+        assert!(pool.bits.iter().all(|&w| w == 0));
+        assert_eq!(RoundRobin::new().pick(&pool, 0.0), None);
+    }
+
+    #[test]
+    fn first_set_ring_wraps_and_masks() {
+        // Only position 3 set: found from any start, including starts
+        // past it (wrap) and starts in later words.
+        let mut bits = vec![0u64; 3];
+        bits[0] = 1 << 3;
+        for start in [0usize, 3, 4, 63, 64, 130] {
+            assert_eq!(first_set_ring(&bits, start, 140), Some(3), "start={start}");
+        }
+        // A second set bit in word 2 wins for starts beyond 3.
+        bits[2] = 1 << 5;
+        assert_eq!(first_set_ring(&bits, 4, 140), Some(133));
+        assert_eq!(first_set_ring(&bits, 134, 140), Some(3));
+        assert_eq!(first_set_ring(&[0u64; 2], 10, 100), None);
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub use analyzer::{
 pub use backend::AnalyticBackend;
 pub use composite::{CompositePlan, CompositePlanner, TierSpec};
 pub use dispatch::{
-    AnyDispatcher, Dispatcher, InstanceView, LeastOutstanding, RandomDispatch, RoundRobin,
+    AnyDispatcher, Dispatcher, InstancePool, InstanceView, LeastOutstanding, RandomDispatch,
+    RoundRobin,
 };
 pub use estimator::{EstimatorAnalyzer, EwmaRate, RateEstimator, SlidingWindowMle};
 pub use hetero::{Fleet, HeteroInputs, HeteroPlanner, VmClass};

@@ -75,6 +75,33 @@ impl<'a, E> Scheduler<'a, E> {
         self.queue.schedule(self.now + delay, event)
     }
 
+    /// Bulk-schedules one clone of `event` at every time in `times`.
+    ///
+    /// `times` should be non-decreasing: monotone runs take the
+    /// calendar backend's staged bulk path, non-monotone slices fall
+    /// back to per-entry scheduling (see [`EventQueue::schedule_run`]
+    /// for the contract). Entries get consecutive insertion ids in
+    /// slice order — identical to a loop over [`at`](Self::at) — and
+    /// cannot be cancelled (no handles are returned).
+    ///
+    /// # Panics
+    /// Panics if the first time is earlier than the current clock.
+    #[inline]
+    pub fn at_run(&mut self, times: &[SimTime], event: E)
+    where
+        E: Clone,
+    {
+        if let Some(&first) = times.first() {
+            assert!(
+                first >= self.now,
+                "cannot schedule into the past: now={}, requested={}",
+                self.now,
+                first
+            );
+        }
+        self.queue.schedule_run(times, event);
+    }
+
     /// Schedules `event` at the current instant (it will fire after all
     /// other events already scheduled for this instant).
     #[inline]
@@ -406,6 +433,47 @@ mod tests {
             assert_eq!(recycled_engine.steps(), 0);
             let (recycled, _) = drive(recycled_engine);
             assert_eq!(fresh, recycled, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn handlers_can_bulk_schedule_runs() {
+        /// Expands one trigger into a run of marks, interleaved with a
+        /// chain scheduled the ordinary way.
+        struct Expander {
+            fired: Vec<(f64, u32)>,
+        }
+        #[derive(Clone)]
+        enum REv {
+            Trigger,
+            Mark(u32),
+        }
+        impl World for Expander {
+            type Event = REv;
+            fn handle(&mut self, now: SimTime, ev: REv, sched: &mut Scheduler<'_, REv>) {
+                match ev {
+                    REv::Trigger => {
+                        let times: Vec<SimTime> = (0..20).map(|i| now + (i as f64) * 0.5).collect();
+                        sched.at_run(&times, REv::Mark(1));
+                    }
+                    REv::Mark(id) => self.fired.push((now.as_secs(), id)),
+                }
+            }
+        }
+        for backend in [FelBackend::Calendar, FelBackend::BinaryHeap] {
+            let mut eng = Engine::with_backend(Expander { fired: vec![] }, backend);
+            eng.schedule(SimTime::from_secs(1.0), REv::Trigger);
+            for i in 0..5 {
+                eng.schedule(SimTime::from_secs(2.0 + i as f64), REv::Mark(2));
+            }
+            eng.run();
+            let world = eng.world();
+            assert_eq!(world.fired.len(), 25, "{backend:?}");
+            assert!(
+                world.fired.windows(2).all(|w| w[0].0 <= w[1].0),
+                "{backend:?}: out of time order: {:?}",
+                world.fired
+            );
         }
     }
 

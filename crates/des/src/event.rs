@@ -20,6 +20,14 @@
 //! passed to [`EventQueue::cancel`], so models can withdraw timers
 //! (boot deadlines, failure clocks) outright instead of filtering
 //! tombstones at dispatch time.
+//!
+//! [`EventQueue::schedule_run`] bulk-inserts a *monotone run* — many
+//! clones of one event at non-decreasing times. On the calendar
+//! backend the run is staged as a sorted array and merged into the pop
+//! order by `(time, id)` instead of being distributed into buckets, so
+//! an arrival burst costs one append and O(1) per pop; the heap
+//! backend schedules runs entry by entry, keeping it the reference the
+//! A/B tests compare against.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -224,6 +232,55 @@ const WIDTH_GAP_FACTOR: f64 = 3.0;
 /// few mean-increments without the length ever changing.
 const CROWDED_BUCKET: usize = 32;
 
+/// Below this length a bulk run is scheduled entry by entry: the staging
+/// overhead (buffer swap, merge checks on every subsequent pop) only
+/// pays off once a run amortizes it across many entries.
+const MIN_RUN: usize = 8;
+
+/// Pop scans every staged run for the earliest head, so the stage is
+/// kept shallow: once `schedule_run` would exceed this depth, the
+/// staged run with the latest head is spilled into the calendar entry
+/// by entry (insertion ids preserved, so pop order is unaffected).
+/// Bounds the per-pop scan no matter how many runs a caller stages
+/// before draining; the simulator's cadence never exceeds one or two.
+const MAX_STAGED_RUNS: usize = 8;
+
+/// A bulk-scheduled monotone run: `times[cursor..]` are the pending
+/// firing times (non-decreasing), and entry `i` carries insertion id
+/// `first_id + i` — the same consecutive ids a loop over
+/// [`EventQueue::schedule`] would have assigned, so merging runs into
+/// the pop order by `(time, id)` reproduces the per-entry schedule
+/// exactly (FIFO ties included).
+///
+/// Every entry of a run carries a clone of the same payload, so
+/// `events` is drained back to front without tracking which clone maps
+/// to which time.
+struct RunStage<E> {
+    times: Vec<f64>,
+    events: Vec<E>,
+    first_id: u64,
+    cursor: usize,
+}
+
+impl<E> RunStage<E> {
+    fn empty() -> Self {
+        RunStage {
+            times: Vec::new(),
+            events: Vec::new(),
+            first_id: 0,
+            cursor: 0,
+        }
+    }
+
+    /// `(time, id)` key of the next pending entry, if any.
+    #[inline]
+    fn head(&self) -> Option<(f64, u64)> {
+        self.times
+            .get(self.cursor)
+            .map(|&t| (t, self.first_id + self.cursor as u64))
+    }
+}
+
 impl<E> Calendar<E> {
     fn with_capacity(cap: usize) -> Self {
         let n = (cap / 2).next_power_of_two().max(MIN_BUCKETS);
@@ -323,6 +380,14 @@ impl<E> Calendar<E> {
         self.famine_streak += 1;
         self.peek = Some(found);
         Some(found)
+    }
+
+    /// `(time, id)` key of the earliest entry, for merging against
+    /// staged bulk runs without popping.
+    #[inline]
+    fn peek_key(&mut self) -> Option<(f64, u64)> {
+        self.locate_min()
+            .map(|p| (p.time, self.buckets[p.bucket][p.index].id))
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -485,6 +550,14 @@ pub struct EventQueue<E> {
     fel: Fel<E>,
     next_id: u64,
     live: usize,
+    /// Staged bulk runs ([`Self::schedule_run`]), calendar backend only
+    /// — the heap backend schedules runs entry by entry so the A/B
+    /// determinism tests exercise the merge against a run-free
+    /// reference. Almost always zero or one run deep.
+    runs: Vec<RunStage<E>>,
+    /// Retired run buffers kept for reuse, so steady-state bulk
+    /// scheduling allocates nothing once warm.
+    spare_runs: Vec<RunStage<E>>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -521,6 +594,8 @@ impl<E> EventQueue<E> {
             fel,
             next_id: 0,
             live: 0,
+            runs: Vec::new(),
+            spare_runs: Vec::new(),
         }
     }
 
@@ -546,6 +621,123 @@ impl<E> EventQueue<E> {
         EventHandle { id, time }
     }
 
+    /// Bulk-schedules one clone of `event` at every time in `times`.
+    ///
+    /// Entries receive consecutive insertion ids in slice order —
+    /// exactly what a loop over [`schedule`](Self::schedule) would
+    /// assign — so pop order, including FIFO tie-breaking against
+    /// individually scheduled events, is identical whether or not the
+    /// bulk path engages. Returns `times.len()`.
+    ///
+    /// **Monotonicity precondition:** the fast path stages the run as a
+    /// sorted array and merges it into the pop order by `(time, id)`,
+    /// which requires `times` to be non-decreasing. A non-monotone
+    /// slice is detected in one pass and falls back to per-entry
+    /// scheduling — still correct, just not O(1) per entry. Runs
+    /// shorter than `MIN_RUN` and the heap backend (the reference
+    /// implementation) also take the per-entry path.
+    ///
+    /// The stage is at most [`MAX_STAGED_RUNS`] deep: staging beyond
+    /// that spills the latest-firing staged run into the calendar
+    /// (ids preserved), so pathological stage-everything-then-drain
+    /// callers degrade to per-entry cost instead of an O(depth) scan
+    /// on every pop.
+    ///
+    /// Run entries cannot be cancelled: no handles are returned.
+    pub fn schedule_run(&mut self, times: &[SimTime], event: E) -> usize
+    where
+        E: Clone,
+    {
+        let monotone = times.windows(2).all(|w| w[0] <= w[1]);
+        if times.len() < MIN_RUN || !monotone || matches!(self.fel, Fel::Heap(_)) {
+            for &t in times {
+                self.schedule(t, event.clone());
+            }
+            return times.len();
+        }
+        if self.runs.len() >= MAX_STAGED_RUNS {
+            self.spill_latest_run();
+        }
+        let mut run = self.spare_runs.pop().unwrap_or_else(RunStage::empty);
+        run.times.clear();
+        run.times.extend(times.iter().map(|t| t.as_secs()));
+        run.events.clear();
+        run.events.resize(times.len(), event);
+        run.first_id = self.next_id;
+        run.cursor = 0;
+        self.next_id += times.len() as u64;
+        self.live += times.len();
+        self.runs.push(run);
+        times.len()
+    }
+
+    /// Spills the staged run with the *latest* head into the calendar
+    /// entry by entry, preserving every entry's insertion id — so pop
+    /// order is untouched, the run merely loses its O(1) staging.
+    ///
+    /// The latest-head run is the one whose entries will stay pending
+    /// longest, making it the cheapest to demote: the soonest-firing
+    /// runs keep the fast merge path.
+    fn spill_latest_run(&mut self)
+    where
+        E: Clone,
+    {
+        let mut latest = (0usize, (f64::NEG_INFINITY, 0u64));
+        for (i, r) in self.runs.iter().enumerate() {
+            let key = r.head().expect("staged runs always have pending entries");
+            if key > latest.1 {
+                latest = (i, key);
+            }
+        }
+        let mut spill = self.runs.swap_remove(latest.0);
+        let Fel::Calendar(c) = &mut self.fel else {
+            unreachable!("runs stage only on the calendar backend")
+        };
+        for i in spill.cursor..spill.times.len() {
+            let ev = spill.events.pop().expect("events track pending entries");
+            c.schedule(
+                SimTime::from_secs(spill.times[i]),
+                spill.first_id + i as u64,
+                ev,
+            );
+        }
+        if self.spare_runs.len() < 4 {
+            spill.times.clear();
+            self.spare_runs.push(spill);
+        }
+    }
+
+    /// `((time, id), index)` of the earliest pending run entry.
+    #[inline]
+    fn earliest_run(&self) -> Option<((f64, u64), usize)> {
+        let mut best: Option<((f64, u64), usize)> = None;
+        for (i, r) in self.runs.iter().enumerate() {
+            if let Some(key) = r.head() {
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes the head entry of run `ri`, retiring the run's buffers
+    /// into the spare pool when it drains.
+    fn pop_run(&mut self, ri: usize) -> (SimTime, E) {
+        let run = &mut self.runs[ri];
+        let t = run.times[run.cursor];
+        run.cursor += 1;
+        let ev = run.events.pop().expect("run events track pending entries");
+        if run.cursor == run.times.len() {
+            let mut done = self.runs.swap_remove(ri);
+            if self.spare_runs.len() < 4 {
+                done.times.clear();
+                self.spare_runs.push(done);
+            }
+        }
+        (SimTime::from_secs(t), ev)
+    }
+
     /// Cancels a pending event. Returns whether the backend withdrew an
     /// entry.
     ///
@@ -557,6 +749,16 @@ impl<E> EventQueue<E> {
     /// does by storing handles in `Option`s).
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         debug_assert!(handle.id < self.next_id, "foreign handle");
+        // Bulk-run entries return no handles, so a cancel can only name
+        // one through a forged or stale handle.
+        debug_assert!(
+            self.runs.iter().all(|r| {
+                let lo = r.first_id + r.cursor as u64;
+                let hi = r.first_id + r.times.len() as u64;
+                !(lo..hi).contains(&handle.id)
+            }),
+            "cancel of a bulk-run entry (runs return no handles)"
+        );
         let removed = match &mut self.fel {
             Fel::Heap(h) => h.cancel(handle),
             Fel::Calendar(c) => c.cancel(handle),
@@ -570,9 +772,24 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let popped = match &mut self.fel {
-            Fel::Heap(h) => h.pop(),
-            Fel::Calendar(c) => c.pop(),
+        let run_head = if self.runs.is_empty() {
+            None
+        } else {
+            self.earliest_run()
+        };
+        let take_run = match (&mut self.fel, run_head) {
+            (Fel::Calendar(c), Some((rk, _))) => !c.peek_key().is_some_and(|ck| ck < rk),
+            (_, Some(_)) => true, // heap never stages runs
+            (_, None) => false,
+        };
+        let popped = if take_run {
+            let (_, ri) = run_head.expect("take_run implies a run head");
+            Some(self.pop_run(ri))
+        } else {
+            match &mut self.fel {
+                Fel::Heap(h) => h.pop(),
+                Fel::Calendar(c) => c.pop(),
+            }
         };
         if popped.is_some() {
             self.live -= 1;
@@ -587,9 +804,17 @@ impl<E> EventQueue<E> {
     /// advances its cursor and caches the found entry for the next pop).
     #[inline]
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        match &mut self.fel {
+        let fel_t = match &mut self.fel {
             Fel::Heap(h) => h.peek_time(),
             Fel::Calendar(c) => c.peek_time(),
+        };
+        if self.runs.is_empty() {
+            return fel_t;
+        }
+        let run_t = self.earliest_run().map(|((t, _), _)| SimTime::from_secs(t));
+        match (fel_t, run_t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
@@ -610,6 +835,13 @@ impl<E> EventQueue<E> {
         match &mut self.fel {
             Fel::Heap(h) => h.clear(),
             Fel::Calendar(c) => c.clear(),
+        }
+        while let Some(mut run) = self.runs.pop() {
+            run.times.clear();
+            run.events.clear();
+            if self.spare_runs.len() < 4 {
+                self.spare_runs.push(run);
+            }
         }
         self.live = 0;
     }
@@ -766,6 +998,157 @@ mod tests {
             last = time;
         }
         assert_eq!(last, t(1.0e6 + 9.0e4));
+    }
+
+    #[test]
+    fn schedule_run_matches_per_entry_scheduling() {
+        // The calendar stages runs; the heap schedules them entry by
+        // entry. Identical pop sequences prove the merge assigns the
+        // same (time, id) order as the per-entry reference.
+        let mut heap = EventQueue::with_backend(FelBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(FelBackend::Calendar);
+        let run: Vec<SimTime> = (0..64).map(|i| t(1.0 + i as f64 * 0.25)).collect();
+        for q in [&mut heap, &mut cal] {
+            q.schedule(t(0.5), "pre");
+            q.schedule_run(&run, "run");
+            q.schedule(t(3.0), "mid");
+            q.schedule(t(100.0), "post");
+        }
+        assert_eq!(heap.len(), cal.len());
+        loop {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn run_ties_are_fifo_against_singles() {
+        // A run entry and a single event at the same instant must keep
+        // insertion order on both backends.
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let times: Vec<SimTime> = vec![t(5.0); 16];
+            q.schedule(t(5.0), "before");
+            q.schedule_run(&times, "run");
+            q.schedule(t(5.0), "after");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order.first(), Some(&"before"), "{backend:?}");
+            assert_eq!(order.last(), Some(&"after"), "{backend:?}");
+            assert_eq!(order.len(), 18, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_run_falls_back_correctly() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let times: Vec<SimTime> = (0..32).map(|i| t(((i * 13) % 32) as f64)).collect();
+            assert_eq!(q.schedule_run(&times, 7u32), 32);
+            assert_eq!(q.len(), 32);
+            let mut last = t(-1.0);
+            let mut n = 0;
+            while let Some((time, ev)) = q.pop() {
+                assert!(time >= last, "{backend:?}");
+                assert_eq!(ev, 7);
+                last = time;
+                n += 1;
+            }
+            assert_eq!(n, 32, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_runs_singles_and_cancels_agree_across_backends() {
+        let mut heap = EventQueue::with_backend(FelBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(FelBackend::Calendar);
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let mut clock = 0.0;
+        for i in 0..2_000_u64 {
+            match next() % 5 {
+                0 | 1 => {
+                    let dt = (next() % 1000) as f64 / 100.0;
+                    heap.schedule(t(clock + dt), i);
+                    cal.schedule(t(clock + dt), i);
+                }
+                2 => {
+                    let start = clock + (next() % 100) as f64 / 10.0;
+                    let n = 8 + (next() % 40) as usize;
+                    let times: Vec<SimTime> = (0..n)
+                        .map(|j| t(start + j as f64 * ((next() % 50) as f64 / 500.0)))
+                        .collect();
+                    // Cumulative gaps would be monotone; these aren't
+                    // necessarily (each term re-rolls), so sort.
+                    let mut times = times;
+                    times.sort_unstable();
+                    heap.schedule_run(&times, 1_000_000 + i);
+                    cal.schedule_run(&times, 1_000_000 + i);
+                }
+                3 => {
+                    let a = heap.pop();
+                    assert_eq!(a, cal.pop());
+                    if let Some((time, _)) = a {
+                        clock = time.as_secs();
+                    }
+                }
+                _ => {
+                    assert_eq!(heap.peek_time(), cal.peek_time());
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn clear_drops_pending_runs() {
+        let mut q = EventQueue::with_backend(FelBackend::Calendar);
+        let times: Vec<SimTime> = (0..32).map(|i| t(i as f64)).collect();
+        q.schedule_run(&times, ());
+        q.schedule(t(50.0), ());
+        assert_eq!(q.len(), 33);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        // The queue stays usable (and the run buffers recycled).
+        q.schedule_run(&times, ());
+        assert_eq!(q.len(), 32);
+        assert_eq!(q.pop(), Some((t(0.0), ())));
+    }
+
+    #[test]
+    fn deep_run_backlog_spills_without_reordering() {
+        // Stage far more runs than MAX_STAGED_RUNS before the first
+        // pop: the overflow spills into the calendar entry by entry,
+        // and the pop order must still match the heap reference (which
+        // never stages) exactly — spilling preserves insertion ids.
+        let mut heap = EventQueue::with_backend(FelBackend::BinaryHeap);
+        let mut cal = EventQueue::with_backend(FelBackend::Calendar);
+        for i in 0..(6 * MAX_STAGED_RUNS as u64) {
+            let base = ((i * 37) % 100) as f64;
+            let times: Vec<SimTime> = (0..16).map(|j| t(base + j as f64 * 0.25)).collect();
+            heap.schedule_run(&times, i);
+            cal.schedule_run(&times, i);
+        }
+        loop {
+            let a = heap.pop();
+            assert_eq!(a, cal.pop());
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! repro figures [table2|fig3|fig4|fig5|fig6|ablations|all]…
 //!       [--mode smoke|quick|paper|full] [--seed N] [--out DIR]
 //!       [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]
-//!       [--shards N] [--fel calendar|binary_heap]
+//!       [--shards N] [--fel calendar|binary_heap] [--arrival-run N]
 //! repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N]
 //!       [--shards N] [--fel calendar|binary_heap] [--seed N]
 //!       [--out DIR] [--cache DIR] [--no-cache]
@@ -34,15 +34,16 @@
 //! process's peak RSS. `--analyzer` picks the rate source driving
 //! Algorithm 1: the oracle (whole-trace mean), the sliding-window MLE,
 //! or the EWMA estimator. Replays share the figures' run cache, keyed
-//! by trace *content hash* (schema v4).
+//! by trace *content hash* (schema v5).
 //!
 //! `smoke` is shorthand for `figures all --mode smoke`. `gen-trace`
 //! writes a deterministic synthetic Poisson trace (optionally with one
 //! rate step) for offline CI and benchmarking.
 //!
-//! The pre-subcommand spelling (`repro fig5 --mode quick`) still works
-//! as a hidden alias for `figures` for one release and prints a
-//! deprecation note.
+//! `--arrival-run N` (figures) sets the arrival-burst prefetch depth:
+//! 1 (the default) is the scalar one-batch-ahead cadence, larger
+//! depths drive whole bursts through the batch seam (sharded runs are
+//! bit-identical for every depth — the CI shard matrix pins this).
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -64,7 +65,8 @@ use vmprov_workloads::{generate_piecewise_csv, TraceSpec, DEFAULT_CHUNK};
 const USAGE: &str = "usage: repro <figures|replay|smoke|gen-trace> …
   repro figures [table2|fig3|fig4|fig5|fig6|ablations|all]… \
 [--mode smoke|quick|paper|full] [--seed N] [--out DIR] [--trace DIR] \
-[--cache DIR] [--no-cache] [--jobs N] [--shards N] [--fel calendar|binary_heap]
+[--cache DIR] [--no-cache] [--jobs N] [--shards N] [--fel calendar|binary_heap] \
+[--arrival-run N]
   repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N] \
 [--shards N] [--fel calendar|binary_heap] [--seed N] [--out DIR] \
 [--cache DIR] [--no-cache]
@@ -94,6 +96,8 @@ struct FigureArgs {
     shards: Option<u32>,
     /// FEL backend override for figure runs; `None` = scenario default.
     fel: Option<FelBackend>,
+    /// Arrival-burst prefetch depth for figure runs (default 1).
+    arrival_run: u32,
 }
 
 fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
@@ -107,6 +111,7 @@ fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
     let mut jobs = None;
     let mut shards = None;
     let mut fel = None;
+    let mut arrival_run = 1u32;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -147,6 +152,13 @@ fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
             "--fel" => {
                 fel = Some(parse_fel(it.next().ok_or("--fel needs a value")?)?);
             }
+            "--arrival-run" => {
+                let v = it.next().ok_or("--arrival-run needs a value")?;
+                arrival_run = v.parse().map_err(|_| format!("bad arrival run {v}"))?;
+                if arrival_run < 1 {
+                    return Err("--arrival-run must be at least 1".into());
+                }
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             t @ ("table2" | "fig3" | "fig4" | "fig5" | "fig6" | "ablations" | "all") => {
                 targets.push(t.to_string())
@@ -183,6 +195,7 @@ fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
         jobs,
         shards,
         fel,
+        arrival_run,
     })
 }
 
@@ -224,7 +237,9 @@ fn run_figure_campaign(args: &FigureArgs) -> (Option<Vec<Replicated>>, Option<Ve
         scenarios
             .into_iter()
             .map(|s| {
-                let s = s.with_shards(args.shards);
+                let s = s
+                    .with_shards(args.shards)
+                    .with_arrival_run(args.arrival_run);
                 match args.fel {
                     Some(fel) => s.with_fel_backend(fel),
                     None => s,
@@ -699,15 +714,9 @@ fn main() {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
-        // Pre-subcommand spelling: bare targets/flags route to
-        // `figures`, for one release.
-        Some(_) => {
-            eprintln!(
-                "note: flag-style invocation is deprecated; use `repro figures {}` \
-                 (the old spelling remains an alias for one release)",
-                argv.join(" ")
-            );
-            figures_main(&argv);
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            std::process::exit(2);
         }
     }
 }

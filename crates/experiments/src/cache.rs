@@ -53,7 +53,13 @@ use vmprov_json::{FromJson, Json, ToJson};
 /// trace's *content hash* — never its path or chunk size — so two
 /// copies of one trace share entries while an edited trace can never
 /// alias the old one.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: `Scenario` gained the `arrival_run` field (arrival-burst
+/// prefetch depth). The default of 1 leaves run semantics untouched
+/// (the scalar path stays golden-identical), but depths above 1 are a
+/// different event-id interleaving on workloads whose arrivals tie
+/// control ticks exactly, so batched cells must hash apart.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// Computes the content-addressed cache key of `(scenario, rep)`.
 pub fn run_key(scenario: &Scenario, rep: u32) -> u64 {

@@ -82,7 +82,7 @@ impl ReplaySource {
 }
 
 /// Runs one replication of `scenario`, cache-first when a cache is
-/// given — the same schema-v4 content-hash keying the figure campaign
+/// given — the same schema-v5 content-hash keying the figure campaign
 /// uses, so re-replaying an unchanged trace costs one file read.
 pub fn replay_once(
     scenario: &Scenario,

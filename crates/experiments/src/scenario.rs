@@ -139,6 +139,15 @@ pub struct Scenario {
     /// The scanned on-disk trace replayed when `workload` is
     /// [`WorkloadKind::Trace`] (`None` for the generative workloads).
     pub trace: Option<TraceSpec>,
+    /// Arrival-burst prefetch depth (1 = the scalar one-batch-ahead
+    /// cadence, the default for every pre-existing scenario). Values
+    /// above 1 pull whole inter-arrival bursts through the batch seam:
+    /// equivalent in distribution, bit-identical on continuous-time
+    /// workloads and on every sharded run, but a *different* event-id
+    /// interleaving where arrivals tie control ticks exactly (the
+    /// scientific workload's off-peak window boundaries) — so batched
+    /// cells hash apart from scalar ones in the run cache.
+    pub arrival_run: u32,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -182,6 +191,7 @@ impl Scenario {
             shards: None,
             analyzer: AnalyzerSpec::Oracle,
             trace: None,
+            arrival_run: 1,
         }
     }
 
@@ -200,6 +210,7 @@ impl Scenario {
             shards: None,
             analyzer: AnalyzerSpec::Oracle,
             trace: None,
+            arrival_run: 1,
         }
     }
 
@@ -220,6 +231,7 @@ impl Scenario {
             shards: None,
             analyzer: AnalyzerSpec::Oracle,
             trace: Some(spec),
+            arrival_run: 1,
         }
     }
 
@@ -259,6 +271,14 @@ impl Scenario {
         self
     }
 
+    /// Same scenario with a different arrival-burst prefetch depth
+    /// (see [`Scenario::arrival_run`]; must be at least 1).
+    pub fn with_arrival_run(mut self, run: u32) -> Self {
+        assert!(run >= 1, "arrival_run must be at least 1");
+        self.arrival_run = run;
+        self
+    }
+
     /// QoS targets of the scenario.
     pub fn qos(&self) -> QosTargets {
         match self.workload {
@@ -275,6 +295,7 @@ impl Scenario {
         };
         cfg.boot_delay = self.boot_delay;
         cfg.fel_backend = self.fel_backend;
+        cfg.arrival_run = self.arrival_run;
         cfg
     }
 
@@ -522,6 +543,7 @@ impl vmprov_json::ToJson for Scenario {
                     None => Json::Null,
                 },
             ),
+            ("arrival_run", Json::from(self.arrival_run)),
         ])
     }
 }
@@ -615,12 +637,21 @@ mod tests {
             shards: _,
             analyzer: _,
             trace: _,
+            arrival_run: _,
         } = s.clone();
         let j = s.to_json();
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
         assert_eq!(j.get("workload").unwrap().as_str(), Some("web"));
         assert_eq!(j.get("sampler").unwrap().as_str(), Some("inverse_cdf"));
         assert_eq!(j.get("shards"), Some(&vmprov_json::Json::Null));
+        assert_eq!(j.get("arrival_run").unwrap().as_u64(), Some(1));
+        let batched = s.clone().with_arrival_run(64).to_json();
+        assert_eq!(batched.get("arrival_run").unwrap().as_u64(), Some(64));
+        assert_ne!(
+            j.to_string_canonical(),
+            batched.to_string_canonical(),
+            "batched cells must hash apart from scalar ones"
+        );
         assert_eq!(j.get("analyzer").unwrap().as_str(), Some("oracle"));
         assert_eq!(j.get("trace"), Some(&vmprov_json::Json::Null));
         let sharded = s.clone().with_shards(Some(4)).to_json();

@@ -11,7 +11,7 @@ fn repro_smoke_emits_well_formed_results() {
     let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke");
     let trace = Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro-smoke-trace");
     let status = Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(["fig6", "--mode", "smoke", "--seed", "7"])
+        .args(["figures", "fig6", "--mode", "smoke", "--seed", "7"])
         .arg("--out")
         .arg(&out)
         .arg("--trace")

@@ -450,6 +450,40 @@ impl ArrivalProcess for StreamReplay {
         Some(b)
     }
 
+    /// Burst override: a replay consumes no randomness at generation
+    /// time, so the default's stop-after-spread rule (which exists only
+    /// to keep generation draws in scalar order) is vacuous here — the
+    /// run is a straight bulk copy out of the chunk buffer, still
+    /// honoring the rule so run-pulling and one-at-a-time consumers see
+    /// the same cadence.
+    fn next_batch_run(
+        &mut self,
+        _rng: &mut SimRng,
+        max: usize,
+        out: &mut Vec<ArrivalBatch>,
+    ) -> usize {
+        let mut n = 0;
+        while n < max {
+            if self.pos == self.buf.len() && self.refill().is_none() {
+                break;
+            }
+            let window = &self.buf[self.pos..self.buf.len().min(self.pos + (max - n))];
+            // Honor the stop-after-spread rule: copy up to and
+            // including the first spread > 0 batch of the window.
+            let take = match window.iter().position(|b| b.spread > 0.0) {
+                Some(i) => i + 1,
+                None => window.len(),
+            };
+            out.extend_from_slice(&window[..take]);
+            self.pos += take;
+            n += take;
+            if window[..take].last().is_some_and(|b| b.spread > 0.0) {
+                break;
+            }
+        }
+        n
+    }
+
     fn model_rate(&self, _t: SimTime) -> f64 {
         // The whole-trace mean: exact for a stationary trace, which is
         // what oracle-vs-estimator comparisons replay. Non-stationary

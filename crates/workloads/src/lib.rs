@@ -79,6 +79,20 @@ impl ArrivalProcess for AnyWorkload {
         }
     }
 
+    #[inline]
+    fn next_batch_run(
+        &mut self,
+        rng: &mut SimRng,
+        max: usize,
+        out: &mut Vec<ArrivalBatch>,
+    ) -> usize {
+        match self {
+            AnyWorkload::Web(w) => w.next_batch_run(rng, max, out),
+            AnyWorkload::Scientific(w) => w.next_batch_run(rng, max, out),
+            AnyWorkload::Replay(w) => w.next_batch_run(rng, max, out),
+        }
+    }
+
     fn model_rate(&self, t: SimTime) -> f64 {
         match self {
             AnyWorkload::Web(w) => w.model_rate(t),

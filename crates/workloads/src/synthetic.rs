@@ -47,6 +47,35 @@ impl ArrivalProcess for PoissonProcess {
         })
     }
 
+    /// Burst override: every batch has `spread = 0`, so the default's
+    /// stop-after-spread rule never triggers and a run is simply `max`
+    /// consecutive gap draws — generated here in one tight loop (the
+    /// exponential is hoisted out) with the exact per-gap draw order of
+    /// [`next_batch`](Self::next_batch).
+    fn next_batch_run(
+        &mut self,
+        rng: &mut SimRng,
+        max: usize,
+        out: &mut Vec<ArrivalBatch>,
+    ) -> usize {
+        let dist = Exponential::new(self.rate);
+        let horizon = self.horizon.as_secs();
+        let mut n = 0;
+        while n < max {
+            self.cursor += dist.scale_std(self.exp.next(rng));
+            if self.cursor >= horizon {
+                break;
+            }
+            out.push(ArrivalBatch {
+                time: SimTime::from_secs(self.cursor),
+                count: 1,
+                spread: 0.0,
+            });
+            n += 1;
+        }
+        n
+    }
+
     fn model_rate(&self, _t: SimTime) -> f64 {
         self.rate
     }

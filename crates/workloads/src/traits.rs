@@ -34,6 +34,43 @@ pub trait ArrivalProcess {
     /// Batches are produced in non-decreasing time order.
     fn next_batch(&mut self, rng: &mut SimRng) -> Option<ArrivalBatch>;
 
+    /// Pulls up to `max` batches into `out` in one call — the burst
+    /// seam the batched simulator hot path drinks from. Returns the
+    /// number of batches appended; 0 means the horizon is exhausted.
+    ///
+    /// The default forwards to [`next_batch`](Self::next_batch) and
+    /// stops early after appending the first batch with `spread > 0`.
+    /// That stopping rule is what keeps a run-pulling consumer on the
+    /// *same RNG stream* as a one-at-a-time consumer: `spread = 0`
+    /// batches draw nothing at expansion time, so their generation
+    /// draws sit back to back in the scalar stream exactly as a
+    /// contiguous pull consumes them, while a `spread > 0` batch
+    /// interposes its per-request spread draws before the next batch
+    /// is generated — so the pull must stop there. Implementations
+    /// overriding this for speed must preserve both the rule and the
+    /// per-batch draw order.
+    fn next_batch_run(
+        &mut self,
+        rng: &mut SimRng,
+        max: usize,
+        out: &mut Vec<ArrivalBatch>,
+    ) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.next_batch(rng) {
+                Some(b) => {
+                    out.push(b);
+                    n += 1;
+                    if b.spread > 0.0 {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// Ground-truth mean arrival rate (requests/second) of the
     /// underlying model at time `t` — what an oracle predictor would
     /// report.
@@ -47,6 +84,16 @@ impl<T: ArrivalProcess + ?Sized> ArrivalProcess for Box<T> {
     #[inline]
     fn next_batch(&mut self, rng: &mut SimRng) -> Option<ArrivalBatch> {
         (**self).next_batch(rng)
+    }
+
+    #[inline]
+    fn next_batch_run(
+        &mut self,
+        rng: &mut SimRng,
+        max: usize,
+        out: &mut Vec<ArrivalBatch>,
+    ) -> usize {
+        (**self).next_batch_run(rng, max, out)
     }
 
     fn model_rate(&self, t: SimTime) -> f64 {

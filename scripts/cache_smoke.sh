@@ -26,7 +26,7 @@ rm -rf "$OUT" "$CACHE"
 
 run_pass() { # extra repro args...
     cargo run "${OFFLINE[@]}" --release -p vmprov-experiments --bin repro -- \
-        fig5 fig6 --mode smoke --out "$OUT" --cache "$CACHE" "$@"
+        figures fig5 fig6 --mode smoke --out "$OUT" --cache "$CACHE" "$@"
 }
 
 echo "cache_smoke.sh: cold pass" >&2

@@ -49,8 +49,9 @@ echo "ci.sh: wrote target/bench_diff.md" >&2
 # v3 cache key).
 run bash scripts/cache_smoke.sh
 # Shard determinism matrix: figure summaries must be byte-identical
-# across shard counts {1,2,4} and both FEL backends. CI runs one cell
-# per matrix job; locally we sweep the full matrix.
+# across shard counts {1,2,4}, both FEL backends, and the batched
+# arrival path (4:calendar:64 — sharded runs are arrival-run-invariant).
+# CI runs one cell per matrix job; locally we sweep the full matrix.
 run bash scripts/shard_smoke.sh
 # Streaming trace replay at scale: a 10M-request synthetic trace must
 # replay with chunk-bounded ingestion memory (peak-RSS check),

@@ -6,9 +6,14 @@
 # reference cell. Since each cell equals the reference, all cells are
 # pairwise identical.
 #
-# usage: shard_smoke.sh [SHARDS:FEL]...
+# usage: shard_smoke.sh [SHARDS:FEL[:ARRIVAL_RUN]]...
 #   shard_smoke.sh                 # full local matrix {1,2,4}×{calendar,binary_heap}
+#                                  # plus the batched-arrival cell 4:calendar:64
 #   shard_smoke.sh 4:binary_heap   # one cell (the CI matrix invocation)
+#   shard_smoke.sh 4:calendar:64   # batched arrivals (prefetch depth 64)
+#
+# Sharded runs are bit-identical for every arrival-run depth, so batched
+# cells diff against the same 1:calendar reference as everything else.
 #
 # Leaves each cell's figure JSON under target/shard-smoke/ for the CI
 # artifact upload. Runs uncached: the point is recomputation agreeing,
@@ -25,30 +30,32 @@ fi
 OUT=target/shard-smoke
 CELLS=("$@")
 if [ ${#CELLS[@]} -eq 0 ]; then
-    CELLS=(1:calendar 2:calendar 4:calendar 1:binary_heap 2:binary_heap 4:binary_heap)
+    CELLS=(1:calendar 2:calendar 4:calendar 1:binary_heap 2:binary_heap 4:binary_heap
+           4:calendar:64)
 fi
 
-run_cell() { # SHARDS FEL DIR
+run_cell() { # SHARDS FEL ARRIVAL_RUN DIR
     cargo run "${OFFLINE[@]}" --release -p vmprov-experiments --bin repro -- \
-        fig5 fig6 --mode smoke --no-cache --shards "$1" --fel "$2" --out "$3"
+        figures fig5 fig6 --mode smoke --no-cache --shards "$1" --fel "$2" \
+        --arrival-run "$3" --out "$4"
 }
 
 rm -rf "$OUT"
 echo "shard_smoke.sh: reference cell 1:calendar" >&2
-run_cell 1 calendar "$OUT/s1_calendar"
+run_cell 1 calendar 1 "$OUT/s1_calendar_r1"
 
 for cell in "${CELLS[@]}"; do
-    shards="${cell%%:*}"
-    fel="${cell##*:}"
-    dir="$OUT/s${shards}_${fel}"
-    if [ "$dir" != "$OUT/s1_calendar" ]; then
+    IFS=: read -r shards fel arun <<< "$cell"
+    arun="${arun:-1}"
+    dir="$OUT/s${shards}_${fel}_r${arun}"
+    if [ "$dir" != "$OUT/s1_calendar_r1" ]; then
         echo "shard_smoke.sh: cell ${cell}" >&2
-        run_cell "$shards" "$fel" "$dir"
+        run_cell "$shards" "$fel" "$arun" "$dir"
     fi
     for fig in fig5 fig6; do
-        if ! diff -q "$OUT/s1_calendar/$fig.json" "$dir/$fig.json" >&2; then
+        if ! diff -q "$OUT/s1_calendar_r1/$fig.json" "$dir/$fig.json" >&2; then
             echo "shard_smoke.sh: FAIL — $fig summaries at shards=$shards fel=$fel" \
-                 "differ from the 1:calendar reference" >&2
+                 "arrival-run=$arun differ from the 1:calendar reference" >&2
             exit 1
         fi
     done
