@@ -27,7 +27,13 @@
 //! shards, printing the scaling-efficiency headline T₁/(Tₙ·n).
 //! `trace_replay_hot` streams a generated on-disk Poisson trace
 //! through the `DatasetReader` seam and the full simulation, bounding
-//! per-request ingestion cost. The results are written as JSON
+//! per-request ingestion cost. `stats_record_hot[_hist]` isolates the
+//! per-request bookkeeping (`RunMetrics::record_completion`, with and
+//! without the histogram) — the baseline for the sub-100 ns/request
+//! push. `replay_grid_shared` runs a 3-analyzer grid off one shared
+//! trace scan and `replay_grid_cold` the equivalent sequential
+//! scan-per-cell loop; their ratio is the grid's wall-clock win.
+//! The results are written as JSON
 //! (default
 //! `BENCH_des.json` in the current directory) including the measured
 //! `probe_overhead_pct`; `--check-probe-overhead PCT` makes the binary
@@ -42,8 +48,9 @@
 //!
 //! `--diff OLD.json NEW.json` measures nothing: it renders a markdown
 //! before/after table from two existing reports (ci.sh publishes it as
-//! a build artifact), closes with a bolded `web_small_run` ns/request
-//! trend line (the headline number perf PRs move), and exits 0.
+//! a build artifact), closes with bolded `web_small_run` and
+//! `replay_grid_shared` trend lines plus the new report's shared-vs-cold
+//! grid ratio (the headline numbers perf PRs move), and exits 0.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
 use vmprov_cloudsim::{NullProbe, SimBuilder, SimConfig};
@@ -80,6 +87,10 @@ struct Sizes {
     shard_horizon: f64,
     /// Simulated seconds (at 2000 req/s) of the streamed trace replay.
     trace_horizon: f64,
+    /// Simulated seconds (at 2000 req/s) of the 3-analyzer replay grid.
+    grid_horizon: f64,
+    /// `record_completion` calls per `stats_record_hot` run.
+    stats_ops: usize,
     /// Measured runs per benchmark.
     runs: u32,
 }
@@ -98,6 +109,8 @@ impl Sizes {
             campaign_horizon: 600.0,
             shard_horizon: 600.0,
             trace_horizon: 600.0,
+            grid_horizon: 240.0,
+            stats_ops: 4_000_000,
             runs: 5,
         }
     }
@@ -117,6 +130,8 @@ impl Sizes {
             campaign_horizon: 120.0,
             shard_horizon: 60.0,
             trace_horizon: 60.0,
+            grid_horizon: 30.0,
+            stats_ops: 200_000,
             runs: 3,
         }
     }
@@ -631,6 +646,83 @@ fn bench_trace_replay(horizon: f64, runs: u32) -> Timing {
     timing
 }
 
+/// Per-request bookkeeping in isolation: `RunMetrics::record_completion`
+/// against pre-drawn samples, histogram off (the default hot path — an
+/// `OnlineStats` push, busy-seconds accumulation, and the QoS-violation
+/// compare) and on (adds the log-histogram bucket record). This is the
+/// measure-first baseline for the sub-100 ns/request push: the
+/// simulation cannot get under any target this floor exceeds.
+fn bench_stats_record(ops: usize, runs: u32) -> Vec<Timing> {
+    use vmprov_cloudsim::{MetricsOptions, RunMetrics};
+    let mut rng = RngFactory::new(0xBE7C).stream("stats_record");
+    // Pre-drawn response/service pairs, cycled, so RNG cost stays out
+    // of the measured loop. Spread around the 0.3 s QoS bound so the
+    // violation branch is exercised both ways.
+    let samples: Vec<(f64, f64)> = (0..1024).map(|_| (0.5 * rng.uniform01(), 0.1)).collect();
+    let run_variant = |name: &str, options: MetricsOptions| {
+        let mut metrics = RunMetrics::new(10, options);
+        bench(name, ops as u64, 1, runs, || {
+            for i in 0..ops {
+                let (resp, svc) = samples[i & 1023];
+                metrics.record_completion(black_box(resp), svc, 0.3);
+            }
+            black_box(metrics.response.mean());
+        })
+    };
+    vec![
+        run_variant("stats_record_hot", MetricsOptions::default()),
+        run_variant("stats_record_hot_hist", MetricsOptions::with_histogram()),
+    ]
+}
+
+/// The tentpole comparison: a 3-analyzer replay grid answered from one
+/// shared trace scan (`replay_grid_shared`) vs the pre-grid equivalent —
+/// a sequential scan-per-cell loop, what three separate `repro replay`
+/// invocations pay (`replay_grid_cold`). Same seeds, same cells, same
+/// summaries; the delta is pure I/O + parse amortization (plus grid
+/// concurrency on multi-core machines).
+fn bench_replay_grid(horizon: f64, runs: u32) -> Vec<Timing> {
+    use vmprov_experiments::{run_once, AnalyzerSpec, ReplayGrid};
+    use vmprov_workloads::{generate_poisson_csv, TraceSpec, DEFAULT_CHUNK};
+    const RATE: f64 = 2_000.0;
+    let path =
+        std::env::temp_dir().join(format!("vmprov_quickbench_grid_{}.csv", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let gen =
+        generate_poisson_csv(file, RATE, SimTime::from_secs(horizon), 0xBE7C).expect("write trace");
+    let analyzers: Vec<AnalyzerSpec> = ["oracle", "mle", "ewma"]
+        .iter()
+        .map(|s| AnalyzerSpec::parse(s).expect("analyzer"))
+        .collect();
+    let units = gen.rows.max(1) * analyzers.len() as u64;
+
+    let spec = TraceSpec::scan(&path, DEFAULT_CHUNK).expect("scan trace");
+    let grid = ReplayGrid {
+        spec,
+        analyzers: analyzers.clone(),
+        reps: 1,
+        shards: None,
+        fel: None,
+        seed: 0xBE7C,
+        concurrency: None,
+    };
+    let shared = bench("replay_grid_shared", units, 1, runs, || {
+        black_box(grid.run(None));
+    });
+    let cold = bench("replay_grid_cold", units, 1, runs, || {
+        for &analyzer in &analyzers {
+            // Each cell re-scans (hash + parse passes) and re-reads the
+            // CSV, exactly like a standalone `repro replay` invocation.
+            let spec = TraceSpec::scan(&path, DEFAULT_CHUNK).expect("scan trace");
+            let scenario =
+                Scenario::trace_replay(spec, PolicySpec::Adaptive, 0xBE7C).with_analyzer(analyzer);
+            black_box(run_once(&scenario, 0));
+        }
+    });
+    let _ = std::fs::remove_file(&path);
+    vec![shared, cold]
+}
+
 /// `name -> ns_per_op` of every benchmark in a report, in file order,
 /// for the `--diff` table. Exits with status 2 on an unreadable report.
 fn load_ns_per_op(path: &std::path::Path) -> Vec<(String, f64)> {
@@ -708,6 +800,29 @@ fn run_diff(old_path: &std::path::Path, new_path: &std::path::Path) -> ! {
             fmt(*old_ns),
             fmt(*new_ns),
             100.0 * (new_ns / old_ns - 1.0)
+        );
+    }
+    // Second headline: the shared-scan grid's wall clock, plus the
+    // shared-vs-cold ratio measured by the new report.
+    let grid = "replay_grid_shared";
+    if let (Some((_, old_ns)), Some((_, new_ns))) = (
+        old.iter().find(|(n, _)| n == grid),
+        new.iter().find(|(n, _)| n == grid),
+    ) {
+        println!(
+            "**{grid}: {} → {} ns/request ({:+.1}%)**",
+            fmt(*old_ns),
+            fmt(*new_ns),
+            100.0 * (new_ns / old_ns - 1.0)
+        );
+    }
+    if let (Some((_, shared)), Some((_, cold))) = (
+        new.iter().find(|(n, _)| n == grid),
+        new.iter().find(|(n, _)| n == "replay_grid_cold"),
+    ) {
+        println!(
+            "**replay grid shared vs cold: {:.2}x wall-clock**",
+            cold / shared
         );
     }
     std::process::exit(0);
@@ -927,6 +1042,12 @@ fn main() {
     groups.push(run_group(Box::new(move || {
         vec![bench_trace_replay(sizes.trace_horizon, sizes.runs)]
     })));
+    groups.push(run_group(Box::new(move || {
+        bench_stats_record(sizes.stats_ops, sizes.runs)
+    })));
+    groups.push(run_group(Box::new(move || {
+        bench_replay_grid(sizes.grid_horizon, sizes.runs)
+    })));
 
     // A real regression (the probe generic no longer compiling away)
     // shows up in every measurement; a VM scheduling artifact does not.
@@ -1027,6 +1148,17 @@ fn main() {
         println!(
             "  erased vs monomorphized web run: {:.2}x ({erased:.1} vs {mono:.1} ns/request)",
             erased / mono
+        );
+    }
+    // Headline: the shared-scan replay grid vs the sequential
+    // scan-per-cell equivalent — the wall-clock number the grid buys.
+    if let (Some(shared), Some(cold)) = (
+        ns_per_op("replay_grid_shared"),
+        ns_per_op("replay_grid_cold"),
+    ) {
+        println!(
+            "  replay grid shared vs cold: {:.2}x ({cold:.1} vs {shared:.1} ns/request)",
+            cold / shared
         );
     }
     // Headline: intra-run shard scaling. Speedup is T₁/Tₙ, efficiency

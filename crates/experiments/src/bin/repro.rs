@@ -7,6 +7,7 @@
 //!       [--trace DIR] [--cache DIR] [--no-cache] [--jobs N]
 //!       [--shards N] [--fel calendar|binary_heap] [--arrival-run N]
 //! repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N]
+//!       [--analyzers a,b,…] [--reps N] [--rep N] [--jobs N]
 //!       [--shards N] [--fel calendar|binary_heap] [--seed N]
 //!       [--out DIR] [--cache DIR] [--no-cache]
 //! repro smoke [figures flags]
@@ -34,7 +35,23 @@
 //! process's peak RSS. `--analyzer` picks the rate source driving
 //! Algorithm 1: the oracle (whole-trace mean), the sliding-window MLE,
 //! or the EWMA estimator. Replays share the figures' run cache, keyed
-//! by trace *content hash* (schema v5).
+//! by trace *content hash* (schema v5). `--rep N` picks the
+//! replication index (seed derivation only; output names are
+//! unchanged).
+//!
+//! With `--analyzers a,b,…` and/or `--reps N`, `replay` becomes a
+//! *grid*: every (analyzer, rep) cell runs as one job queue off a
+//! single shared trace scan — the CSV is opened, read, and decoded
+//! exactly once per wave of cache misses, and the decoded chunks fan
+//! out to all concurrent cells through ref-counted handles (memory
+//! stays chunk-bounded; see DESIGN.md §13). The run cache is consulted
+//! per cell with the *single-run* keys, so warm grids are pure cache
+//! reads. Cells emit `replay_<analyzer>_rep<r>.txt/.csv/.json`
+//! (byte-identical in content to the single-run files) plus a
+//! per-cell `…_qos.json` *without* `peak_rss_kb` — RSS is process-wide
+//! and meaningless per pooled cell, so the grid reports one grid-level
+//! peak in `replay_grid.json` alongside the cross-analyzer comparison
+//! table (`replay_grid.txt`). `--jobs N` caps cells per scan wave.
 //!
 //! `smoke` is shorthand for `figures all --mode smoke`. `gen-trace`
 //! writes a deterministic synthetic Poisson trace (optionally with one
@@ -55,9 +72,9 @@ use vmprov_experiments::report::{
 };
 use vmprov_experiments::{
     ablation_table, analyzer_ablation, backend_ablation, boot_delay_ablation, dispatch_ablation,
-    fig3_series, fig4_series, fig5_spec, fig6_spec, peak_rss_kb, qos_verdict, replay_once, table2,
-    trace_dt, traced_run, AnalyzerSpec, Campaign, PolicySpec, Replicated, RunCache, RunMode,
-    Scenario,
+    fig3_series, fig4_series, fig5_spec, fig6_spec, grid_table, peak_rss_kb, qos_verdict,
+    replay_once, table2, trace_dt, traced_run, AnalyzerSpec, Campaign, GridCell, PolicySpec,
+    ReplayGrid, Replicated, RunCache, RunMode, Scenario,
 };
 use vmprov_json::{Json, ToJson};
 use vmprov_workloads::{generate_piecewise_csv, TraceSpec, DEFAULT_CHUNK};
@@ -68,6 +85,7 @@ const USAGE: &str = "usage: repro <figures|replay|smoke|gen-trace> …
 [--cache DIR] [--no-cache] [--jobs N] [--shards N] [--fel calendar|binary_heap] \
 [--arrival-run N]
   repro replay --trace FILE [--analyzer oracle|mle|ewma] [--chunk N] \
+[--analyzers a,b,…] [--reps N] [--rep N] [--jobs N] \
 [--shards N] [--fel calendar|binary_heap] [--seed N] [--out DIR] \
 [--cache DIR] [--no-cache]
   repro smoke [figures flags]
@@ -453,6 +471,15 @@ fn figures_main(argv: &[String]) {
 struct ReplayArgs {
     trace: PathBuf,
     analyzer: AnalyzerSpec,
+    /// Grid analyzer axis (`--analyzers a,b,…`); `None` = single-run
+    /// mode unless `reps > 1`.
+    analyzers: Option<Vec<AnalyzerSpec>>,
+    /// Replications per analyzer in grid mode.
+    reps: u32,
+    /// Replication index in single-run mode (seed derivation only).
+    rep: u32,
+    /// Grid wave concurrency cap (`None` = all misses in one wave).
+    jobs: Option<usize>,
     chunk: usize,
     shards: Option<u32>,
     fel: Option<FelBackend>,
@@ -465,6 +492,10 @@ struct ReplayArgs {
 fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
     let mut trace = None;
     let mut analyzer = AnalyzerSpec::Oracle;
+    let mut analyzers = None;
+    let mut reps = 1u32;
+    let mut rep = 0u32;
+    let mut jobs = None;
     let mut chunk = DEFAULT_CHUNK;
     let mut shards = None;
     let mut fel = None;
@@ -482,6 +513,43 @@ fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
                 let v = it.next().ok_or("--analyzer needs a value")?;
                 analyzer = AnalyzerSpec::parse(v)
                     .ok_or(format!("unknown analyzer {v} (oracle|mle|ewma)"))?;
+            }
+            "--analyzers" => {
+                let v = it.next().ok_or("--analyzers needs a value")?;
+                let mut list = Vec::new();
+                for part in v.split(',').filter(|p| !p.is_empty()) {
+                    let a = AnalyzerSpec::parse(part)
+                        .ok_or(format!("unknown analyzer {part} (oracle|mle|ewma)"))?;
+                    if list.contains(&a) {
+                        return Err(format!("duplicate analyzer {part} in --analyzers"));
+                    }
+                    list.push(a);
+                }
+                if list.is_empty() {
+                    return Err("--analyzers needs at least one analyzer".into());
+                }
+                analyzers = Some(list);
+            }
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                reps = v.parse().map_err(|_| format!("bad rep count {v}"))?;
+                if reps < 1 {
+                    return Err("--reps must be at least 1".into());
+                }
+            }
+            "--rep" => {
+                let v = it.next().ok_or("--rep needs a value")?;
+                rep = v
+                    .parse()
+                    .map_err(|_| format!("bad replication index {v}"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad job count {v}"))?;
+                if n < 1 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(n);
             }
             "--chunk" => {
                 let v = it.next().ok_or("--chunk needs a value")?;
@@ -519,9 +587,16 @@ fn parse_replay_args(argv: &[String]) -> Result<ReplayArgs, String> {
     if no_cache && cache.is_some() {
         return Err("--cache and --no-cache are mutually exclusive".into());
     }
+    if analyzers.is_some() && rep != 0 {
+        return Err("--rep is single-run only; grids use --reps N".into());
+    }
     Ok(ReplayArgs {
         trace: trace.ok_or("replay needs --trace FILE")?,
         analyzer,
+        analyzers,
+        reps,
+        rep,
+        jobs,
         chunk,
         shards,
         fel,
@@ -559,6 +634,9 @@ fn replay_main(argv: &[String]) {
         spec.content_hash,
         spec.chunk,
     );
+    if args.analyzers.is_some() || args.reps > 1 {
+        return replay_grid_main(&args, spec, started);
+    }
     println!(
         "analyzer: {} | shards: {} | scan {:.1}s",
         args.analyzer.label(),
@@ -574,7 +652,7 @@ fn replay_main(argv: &[String]) {
     }
     let cache = open_cache(&args.out, &args.cache, args.no_cache);
     let run_started = Instant::now();
-    let (summary, source) = replay_once(&scenario, 0, cache.as_ref());
+    let (summary, source) = replay_once(&scenario, args.rep, cache.as_ref());
     let wall = run_started.elapsed().as_secs_f64();
     let verdict = qos_verdict(&summary);
     let rss = peak_rss_kb();
@@ -630,6 +708,153 @@ fn replay_main(argv: &[String]) {
         None => println!("peak RSS: unavailable (no procfs)"),
     }
     println!("  [replay done in {wall:.1}s, {}]", source.label());
+}
+
+/// Emits one grid cell's report files. Content of the
+/// `.txt`/`.csv`/`.json` triple is byte-identical to what the
+/// single-run path writes for the same (analyzer, rep) — only the
+/// `_rep<r>` name segment differs (pinned by the CI grid byte-diff).
+/// The per-cell `_qos.json` carries **no** `peak_rss_kb`: it reads
+/// process-wide, so per-cell values under a pooled grid would all
+/// report the same high-water mark (see `replay_grid.json`).
+fn emit_grid_cell(cell: &GridCell, spec: &TraceSpec, out: &Path) {
+    let label = format!("Adaptive({})", cell.analyzer.label());
+    let name = format!("replay_{}_rep{}", cell.analyzer.label(), cell.rep);
+    let title = format!(
+        "Trace replay — {} requests, adaptive provisioning ({} analyzer)",
+        spec.total_requests,
+        cell.analyzer.label()
+    );
+    let reps = [Replicated {
+        policy: label.clone(),
+        runs: vec![cell.summary.clone()],
+    }];
+    emit_experiment(&name, &title, &reps, out);
+    let verdict = qos_verdict(&cell.summary);
+    let qos_json = Json::obj([
+        ("analyzer", Json::from(cell.analyzer.label())),
+        ("rep", Json::from(u64::from(cell.rep))),
+        ("policy", Json::from(label)),
+        ("trace_content_hash", Json::from(spec.content_hash)),
+        ("total_requests", Json::from(spec.total_requests)),
+        ("end_time_secs", Json::from(spec.end_time.as_secs())),
+        ("mean_rate", Json::from(spec.mean_rate)),
+        ("verdict", verdict.to_json()),
+        ("all_met", Json::from(verdict.all_met())),
+        ("source", Json::from(cell.source.label())),
+    ]);
+    write(
+        &out.join(format!("{name}_qos.json")),
+        &qos_json.to_string_pretty(),
+    );
+}
+
+fn replay_grid_main(args: &ReplayArgs, spec: TraceSpec, started: Instant) {
+    let analyzers = args
+        .analyzers
+        .clone()
+        .unwrap_or_else(|| vec![args.analyzer]);
+    let labels: Vec<&str> = analyzers.iter().map(|a| a.label()).collect();
+    println!(
+        "grid: {{{}}} × {} rep(s) = {} cells | shards: {} | scan {:.1}s",
+        labels.join(","),
+        args.reps,
+        analyzers.len() * args.reps as usize,
+        args.shards.map_or("serial".to_string(), |n| n.to_string()),
+        started.elapsed().as_secs_f64()
+    );
+    let grid = ReplayGrid {
+        spec: spec.clone(),
+        analyzers: analyzers.clone(),
+        reps: args.reps,
+        shards: args.shards,
+        fel: args.fel,
+        seed: args.seed,
+        concurrency: args.jobs,
+    };
+    let cache = open_cache(&args.out, &args.cache, args.no_cache);
+    let outcome = grid.run(cache.as_ref());
+    for cell in &outcome.cells {
+        emit_grid_cell(cell, &spec, &args.out);
+    }
+
+    let stats = &outcome.stats;
+    let table = grid_table(
+        &format!(
+            "Replay grid — {} requests × {{{}}} × {} rep(s)",
+            spec.total_requests,
+            labels.join(","),
+            args.reps
+        ),
+        &outcome,
+        &analyzers,
+    );
+    println!("{table}");
+    println!(
+        "scan: {} wave(s), {} batches decoded, {} trace open(s), window ≤ {}",
+        stats.scan_waves, stats.batches_decoded, stats.trace_file_opens, stats.max_window
+    );
+    println!(
+        "cache: {} hit(s), {} miss(es){}",
+        stats.cache_hits,
+        stats.cache_misses,
+        if cache.is_some() { "" } else { " (disabled)" }
+    );
+    match stats.peak_rss_kb {
+        Some(kb) => println!("grid peak RSS: {kb} kB (process-wide)"),
+        None => println!("grid peak RSS: unavailable (no procfs)"),
+    }
+
+    let mut text = table;
+    text.push_str(&format!(
+        "\nscan waves: {} | batches decoded: {} | trace opens: {} | max window: {}\n\
+         cache hits: {} | misses: {} | grid peak RSS: {} kB\n",
+        stats.scan_waves,
+        stats.batches_decoded,
+        stats.trace_file_opens,
+        stats.max_window,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.peak_rss_kb.map_or("?".into(), |kb| kb.to_string()),
+    ));
+    write(&args.out.join("replay_grid.txt"), &text);
+
+    let cells_json = Json::arr(outcome.cells.iter().map(|c| {
+        let verdict = qos_verdict(&c.summary);
+        Json::obj([
+            ("analyzer", Json::from(c.analyzer.label())),
+            ("rep", Json::from(u64::from(c.rep))),
+            ("source", Json::from(c.source.label())),
+            ("verdict", verdict.to_json()),
+            ("all_met", Json::from(verdict.all_met())),
+        ])
+    }));
+    let grid_json = Json::obj([
+        ("trace_content_hash", Json::from(spec.content_hash)),
+        ("total_requests", Json::from(spec.total_requests)),
+        ("end_time_secs", Json::from(spec.end_time.as_secs())),
+        ("mean_rate", Json::from(spec.mean_rate)),
+        (
+            "analyzers",
+            Json::arr(labels.iter().map(|l| Json::from(*l))),
+        ),
+        ("reps", Json::from(u64::from(args.reps))),
+        (
+            "shards",
+            args.shards.map_or(Json::Null, |n| Json::from(u64::from(n))),
+        ),
+        ("cells", cells_json),
+        ("stats", stats.to_json()),
+    ]);
+    write(
+        &args.out.join("replay_grid.json"),
+        &grid_json.to_string_pretty(),
+    );
+    println!(
+        "  [grid done in {:.1}s total, {:.1}s execution]",
+        started.elapsed().as_secs_f64(),
+        stats.wall.as_secs_f64()
+    );
 }
 
 fn gen_trace_main(argv: &[String]) {

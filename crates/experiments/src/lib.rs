@@ -21,6 +21,7 @@ pub mod ablations;
 pub mod cache;
 pub mod campaign;
 pub mod figures;
+pub mod grid;
 pub mod pool;
 pub mod replay;
 pub mod report;
@@ -34,12 +35,14 @@ pub use ablations::{
 pub use cache::{run_key, Lookup, RunCache, CACHE_SCHEMA_VERSION};
 pub use campaign::{Campaign, CampaignResult, CampaignStats, FigureHandle};
 pub use figures::{fig3_series, fig4_series, fig5, fig5_spec, fig6, fig6_spec, table2, RunMode};
+pub use grid::{grid_table, GridCell, GridOutcome, GridStats, ReplayGrid, MAX_WAVE};
 pub use replay::{peak_rss_kb, qos_verdict, replay_once, QosVerdict, ReplaySource};
 pub use runner::{
-    builder_for, run_once, run_once_warm, run_policy_set, run_replicated, trace_dt, traced_run,
-    Replicated, TracedRun,
+    builder_for, run_once, run_once_warm, run_once_warm_with, run_policy_set, run_replicated,
+    trace_dt, traced_run, Replicated, TracedRun,
 };
 pub use scenario::{
     fig5_scenarios, fig6_scenarios, AnalyzerSpec, DispatchSpec, PolicySpec, Scenario, WorkloadKind,
-    DEFAULT_EWMA_ALPHA, DEFAULT_MLE_WINDOW, ESTIMATOR_HEADROOM, SCI_STATIC_SIZES, WEB_STATIC_SIZES,
+    DEFAULT_EWMA_ALPHA, DEFAULT_MLE_WINDOW, ESTIMATOR_HEADROOM, REPLAY_ARRIVAL_RUN,
+    SCI_STATIC_SIZES, WEB_STATIC_SIZES,
 };

@@ -95,6 +95,31 @@ pub fn run_once_warm(scenario: &Scenario, rep: u32) -> RunSummary {
     })
 }
 
+/// [`run_once_warm`] with a caller-supplied arrival process in place of
+/// `scenario.build_workload()`. The replay grid injects shared-scan
+/// consumers here; the caller **must** hand in a workload that yields
+/// the byte-identical arrival stream the scenario describes, or cached
+/// summaries keyed on the scenario would lie (pinned by the
+/// shared-vs-independent grid test).
+pub fn run_once_warm_with(
+    scenario: &Scenario,
+    rep: u32,
+    workload: vmprov_workloads::AnyWorkload,
+) -> RunSummary {
+    WARM.with(|scratch| {
+        SimBuilder::new(scenario.sim_config())
+            .workload(workload)
+            .service(scenario.service_model())
+            .policy(scenario.build_policy())
+            .dispatcher(scenario.build_dispatcher())
+            .shards(scenario.shards)
+            .run_scratch(
+                &RngFactory::new(replication_seed(scenario.seed, rep)),
+                &mut scratch.borrow_mut(),
+            )
+    })
+}
+
 /// A [`SimBuilder`] primed with every component of `scenario` — attach
 /// a probe and run for observed replications ([`run_once`] is
 /// `builder_for(s).run(…)`).

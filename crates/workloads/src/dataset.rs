@@ -16,6 +16,14 @@
 //! byte-identical for every chunk size (pinned by a property test): the
 //! buffer is pure plumbing, invisible to the simulation.
 //!
+//! [`SharedTraceScan`] is the **fan-out layer** on top of the seam:
+//! one decode pass feeding N concurrent [`StreamReplay`] consumers
+//! through ref-counted chunk handles with a bounded window
+//! ([`SCAN_DEPTH`]), so an analyzer × replication grid over one trace
+//! parses it exactly once (build one via
+//! [`TraceSpec::replay_shared`]; the [`trace_file_opens`] counter is
+//! the probe that asserts the exactly-once property end to end).
+//!
 //! External files are validated **up front** by [`TraceSpec::scan`],
 //! which streams the file once to check it parses end to end and to
 //! compute the content hash (the run-cache key component), request
@@ -26,12 +34,25 @@
 
 use crate::trace::Trace;
 use crate::traits::{ArrivalBatch, ArrivalProcess};
+use std::collections::VecDeque;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use vmprov_des::{SimRng, SimTime, StableHasher};
+
+/// Process-wide count of trace files opened for parsing — the probe the
+/// shared-scan grid uses to *assert* it decoded the trace exactly once
+/// (one [`CsvReader::open`] per scan wave, however many grid cells
+/// consume it). Monotonic; callers measure deltas around a phase.
+static TRACE_FILE_OPENS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the [`CsvReader::open`] counter (see [`TRACE_FILE_OPENS`]).
+pub fn trace_file_opens() -> u64 {
+    TRACE_FILE_OPENS.load(Ordering::SeqCst)
+}
 
 /// A trace-ingestion failure, with the 1-based source line when the
 /// failure is attributable to one.
@@ -109,6 +130,7 @@ impl CsvReader<BufReader<File>> {
     pub fn open(path: &Path) -> Result<Self, DatasetError> {
         let file = File::open(path)
             .map_err(|e| DatasetError::io(format!("cannot open {}: {e}", path.display())))?;
+        TRACE_FILE_OPENS.fetch_add(1, Ordering::SeqCst);
         Ok(CsvReader::new(BufReader::new(file)))
     }
 }
@@ -239,6 +261,239 @@ impl DatasetReader for MemoryReader {
 /// batches ≈ 192 KiB, the whole ingestion footprint of a replay.
 pub const DEFAULT_CHUNK: usize = 8192;
 
+/// Chunks the shared scan buffers ahead of the slowest consumer: the
+/// whole fan-out holds at most `SCAN_DEPTH + 1` chunks alive (the
+/// window plus one evicted chunk a straggler may still be iterating),
+/// independent of the consumer count.
+pub const SCAN_DEPTH: usize = 4;
+
+/// Counters of one [`SharedTraceScan`], for the exactly-once probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks decoded off the underlying reader (each exactly once).
+    pub chunks_decoded: u64,
+    /// Batches decoded off the underlying reader (each exactly once).
+    pub batches_decoded: u64,
+    /// High-water mark of the chunk window (≤ [`SCAN_DEPTH`] always —
+    /// the backpressure invariant).
+    pub max_window: usize,
+    /// Consumers registered at fan-out time.
+    pub consumers: usize,
+}
+
+/// State shared between one scan's consumers, under one mutex.
+struct ScanState {
+    /// Decoded chunks awaiting slow consumers; `window[0]` has sequence
+    /// number `base`.
+    window: VecDeque<Arc<Vec<ArrivalBatch>>>,
+    /// Sequence number of the oldest buffered chunk.
+    base: u64,
+    /// Per-consumer next-chunk sequence number; `u64::MAX` marks a
+    /// finished or dropped consumer (it no longer holds back eviction).
+    cursors: Vec<u64>,
+    /// The underlying reader, `None` while a consumer holds it for an
+    /// out-of-lock read or after EOF/failure retired it.
+    reader: Option<Box<dyn DatasetReader>>,
+    /// A consumer is currently decoding the next chunk outside the lock.
+    reading: bool,
+    /// The reader returned 0: no more chunks will ever appear.
+    eof: bool,
+    /// The reader failed; every consumer sees this error.
+    failed: Option<DatasetError>,
+    chunks_decoded: u64,
+    batches_decoded: u64,
+    max_window: usize,
+}
+
+impl ScanState {
+    /// Drops every window chunk all live consumers have moved past.
+    /// Returns whether anything was evicted (= space freed for the
+    /// producer side).
+    fn evict(&mut self) -> bool {
+        let min_live = self.cursors.iter().copied().min().unwrap_or(u64::MAX);
+        let mut evicted = false;
+        while !self.window.is_empty() && self.base < min_live {
+            self.window.pop_front();
+            self.base += 1;
+            evicted = true;
+        }
+        evicted
+    }
+}
+
+struct ScanShared {
+    chunk: usize,
+    state: Mutex<ScanState>,
+    /// Notified on every state transition: chunk published, chunk
+    /// evicted, reader finished/failed, consumer dropped. Consumers
+    /// re-check their own condition on wake.
+    cv: Condvar,
+}
+
+/// One reader, one decode pass, N consumers: the **shared-scan
+/// broadcaster** behind replay grids.
+///
+/// The scan has no thread of its own. Whichever consumer first needs a
+/// chunk that is not buffered yet takes the reader out of the shared
+/// state, decodes one chunk *outside* the lock, publishes it, and puts
+/// the reader back — so I/O and parsing happen exactly once per chunk,
+/// cooperatively, on whichever pool worker got there first. Chunks fan
+/// out as `Arc` handles (no per-consumer copy); a chunk is evicted as
+/// soon as every live consumer has taken it. The window is bounded at
+/// [`SCAN_DEPTH`] chunks: when it is full, fast consumers block until
+/// the slowest advances — backpressure instead of unbounded buffering,
+/// keeping memory `O(chunk × SCAN_DEPTH)` rather than
+/// `O(chunk × consumers)`.
+///
+/// Dropping a [`ScanConsumer`] (including mid-stream, e.g. a panicking
+/// grid cell) marks it finished, so stragglers can never wedge the
+/// group.
+pub struct SharedTraceScan {
+    shared: Arc<ScanShared>,
+}
+
+impl SharedTraceScan {
+    /// Fans `reader` out to `consumers` concurrent consumers decoding
+    /// `chunk` batches at a time. All consumers register up front; the
+    /// returned handle reports [`ScanStats`] while and after they run.
+    pub fn fan_out(
+        reader: Box<dyn DatasetReader>,
+        consumers: usize,
+        chunk: usize,
+    ) -> (SharedTraceScan, Vec<ScanConsumer>) {
+        assert!(consumers >= 1, "a scan needs at least one consumer");
+        assert!(chunk >= 1, "chunk must hold at least one batch");
+        let shared = Arc::new(ScanShared {
+            chunk,
+            state: Mutex::new(ScanState {
+                window: VecDeque::new(),
+                base: 0,
+                cursors: vec![0; consumers],
+                reader: Some(reader),
+                reading: false,
+                eof: false,
+                failed: None,
+                chunks_decoded: 0,
+                batches_decoded: 0,
+                max_window: 0,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..consumers)
+            .map(|id| ScanConsumer {
+                shared: Arc::clone(&shared),
+                id,
+            })
+            .collect();
+        (SharedTraceScan { shared }, handles)
+    }
+
+    /// Decode counters so far (final once every consumer finished).
+    pub fn stats(&self) -> ScanStats {
+        let st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        ScanStats {
+            chunks_decoded: st.chunks_decoded,
+            batches_decoded: st.batches_decoded,
+            max_window: st.max_window,
+            consumers: st.cursors.len(),
+        }
+    }
+}
+
+impl fmt::Debug for SharedTraceScan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SharedTraceScan")
+            .field("consumers", &s.consumers)
+            .field("chunks_decoded", &s.chunks_decoded)
+            .finish()
+    }
+}
+
+/// One consumer's cursor into a [`SharedTraceScan`]. Yields every chunk
+/// of the underlying reader, in order, as ref-counted handles.
+pub struct ScanConsumer {
+    shared: Arc<ScanShared>,
+    id: usize,
+}
+
+impl ScanConsumer {
+    /// Blocks until this consumer's next chunk is available and returns
+    /// it (`Ok(None)` at end of stream). Decodes the chunk itself when
+    /// it gets there first and the window has room; otherwise waits for
+    /// the producer-of-the-moment or — when the window is full — for
+    /// the slowest consumer to free space.
+    pub fn next_chunk(&mut self) -> Result<Option<Arc<Vec<ArrivalBatch>>>, DatasetError> {
+        let sh = &self.shared;
+        let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let seq = st.cursors[self.id];
+            debug_assert!(seq >= st.base, "cursor behind the window");
+            if seq < st.base + st.window.len() as u64 {
+                let chunk = Arc::clone(&st.window[(seq - st.base) as usize]);
+                st.cursors[self.id] = seq + 1;
+                if st.evict() {
+                    sh.cv.notify_all();
+                }
+                return Ok(Some(chunk));
+            }
+            if let Some(e) = &st.failed {
+                return Err(e.clone());
+            }
+            if st.eof {
+                return Ok(None);
+            }
+            // Nothing buffered for us and the stream is live: decode the
+            // next chunk ourselves if the reader is free and the window
+            // has room, else wait for whoever has it / for space.
+            if !st.reading && st.window.len() < SCAN_DEPTH {
+                if let Some(mut reader) = st.reader.take() {
+                    st.reading = true;
+                    drop(st);
+                    let mut buf = Vec::with_capacity(sh.chunk);
+                    let res = reader.read_chunk(&mut buf, sh.chunk);
+                    st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+                    st.reading = false;
+                    match res {
+                        Ok(0) => st.eof = true, // reader retired (file closes)
+                        Ok(n) => {
+                            st.chunks_decoded += 1;
+                            st.batches_decoded += n as u64;
+                            st.window.push_back(Arc::new(buf));
+                            st.max_window = st.max_window.max(st.window.len());
+                            st.reader = Some(reader);
+                        }
+                        Err(e) => st.failed = Some(e),
+                    }
+                    sh.cv.notify_all();
+                    continue;
+                }
+            }
+            st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for ScanConsumer {
+    /// Deregisters the consumer: its cursor stops holding back eviction,
+    /// so a dropped (or panicked) consumer can never backpressure the
+    /// rest of the group forever.
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.cursors[self.id] = u64::MAX;
+        st.evict();
+        self.shared.cv.notify_all();
+    }
+}
+
+impl fmt::Debug for ScanConsumer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScanConsumer")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
 /// Everything a run needs to know about an on-disk trace, computed by
 /// one up-front streaming [`scan`](TraceSpec::scan): the content hash
 /// (what the run cache keys on — two copies of one trace share cache
@@ -327,19 +582,89 @@ impl TraceSpec {
             mean_rate: self.mean_rate,
             horizon: self.end_time,
             reader: None,
-            buf: Vec::new(),
+            buf: ChunkBuf::empty(),
             pos: 0,
+        }
+    }
+
+    /// Builds `consumers` replay processes that share **one** scan of
+    /// this trace: the file is opened and decoded once, and the decoded
+    /// chunks fan out through a [`SharedTraceScan`]. Each returned
+    /// replay yields the byte-identical arrival stream of
+    /// [`replay`](Self::replay) — only the I/O and parse work is
+    /// amortized — but the consumers must run concurrently: a consumer
+    /// more than [`SCAN_DEPTH`] chunks ahead blocks until the slowest
+    /// catches up.
+    pub fn replay_shared(
+        &self,
+        consumers: usize,
+    ) -> Result<(SharedTraceScan, Vec<StreamReplay>), DatasetError> {
+        let reader = Box::new(CsvReader::open(&self.path)?);
+        let (scan, handles) = SharedTraceScan::fan_out(reader, consumers, self.chunk);
+        let replays = handles
+            .into_iter()
+            .map(|consumer| StreamReplay {
+                source: ReplaySource::Shared(consumer),
+                chunk: self.chunk,
+                mean_rate: self.mean_rate,
+                horizon: self.end_time,
+                reader: None,
+                buf: ChunkBuf::empty(),
+                pos: 0,
+            })
+            .collect();
+        Ok((scan, replays))
+    }
+}
+
+/// Where a [`StreamReplay`] gets its reader from. The file and memory
+/// sources are re-openable so the replay can be `Clone` (each clone
+/// starts a fresh pass) even though a live reader is not; a shared-scan
+/// consumer is single-pass by construction, so cloning one panics.
+enum ReplaySource {
+    File(PathBuf),
+    Memory(Arc<Trace>),
+    Shared(ScanConsumer),
+}
+
+impl Clone for ReplaySource {
+    fn clone(&self) -> Self {
+        match self {
+            ReplaySource::File(p) => ReplaySource::File(p.clone()),
+            ReplaySource::Memory(t) => ReplaySource::Memory(Arc::clone(t)),
+            ReplaySource::Shared(_) => panic!(
+                "a shared-scan replay cannot be cloned: the scan is single-pass \
+                 (build one consumer per run via TraceSpec::replay_shared)"
+            ),
         }
     }
 }
 
-/// Where a [`StreamReplay`] gets its reader from. Kept re-openable so
-/// the replay can be `Clone` (each clone starts a fresh pass) even
-/// though a live reader is not.
-#[derive(Clone)]
-enum ReplaySource {
-    File(PathBuf),
-    Memory(Arc<Trace>),
+/// The replay's current chunk: owned when this replay read it itself,
+/// ref-counted when it came off a [`SharedTraceScan`] (no per-consumer
+/// copy — the handle *is* the bounded buffering).
+enum ChunkBuf {
+    Owned(Vec<ArrivalBatch>),
+    Shared(Arc<Vec<ArrivalBatch>>),
+}
+
+impl ChunkBuf {
+    fn empty() -> Self {
+        ChunkBuf::Owned(Vec::new())
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[ArrivalBatch] {
+        match self {
+            ChunkBuf::Owned(v) => v,
+            ChunkBuf::Shared(a) => a,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
 }
 
 /// An [`ArrivalProcess`] that streams batches off a [`DatasetReader`]
@@ -356,7 +681,7 @@ pub struct StreamReplay {
     mean_rate: f64,
     horizon: SimTime,
     reader: Option<Box<dyn DatasetReader>>,
-    buf: Vec<ArrivalBatch>,
+    buf: ChunkBuf,
     pos: usize,
 }
 
@@ -375,12 +700,30 @@ impl StreamReplay {
             mean_rate,
             horizon,
             reader: None,
-            buf: Vec::new(),
+            buf: ChunkBuf::empty(),
             pos: 0,
         }
     }
 
     fn refill(&mut self) -> Option<()> {
+        self.pos = 0;
+        if let ReplaySource::Shared(consumer) = &mut self.source {
+            // The shared scan decodes each chunk once and hands out a
+            // ref-counted handle — this consumer never parses anything.
+            let next = consumer
+                .next_chunk()
+                .unwrap_or_else(|e| panic!("trace changed after scan: {e}"));
+            return match next {
+                Some(chunk) => {
+                    self.buf = ChunkBuf::Shared(chunk);
+                    Some(())
+                }
+                None => {
+                    self.buf = ChunkBuf::empty();
+                    None
+                }
+            };
+        }
         let chunk = self.chunk;
         let reader = match &mut self.reader {
             Some(r) => r,
@@ -393,14 +736,26 @@ impl StreamReplay {
                             .unwrap_or_else(|e| panic!("trace changed after scan: {e}")),
                     ),
                     ReplaySource::Memory(t) => Box::new(MemoryReader::new(Arc::clone(t))),
+                    ReplaySource::Shared(_) => unreachable!("handled above"),
                 };
                 self.reader.insert(fresh)
             }
         };
-        self.buf.clear();
-        self.pos = 0;
+        let buf = match &mut self.buf {
+            ChunkBuf::Owned(v) => v,
+            // A shared handle can't land here (the shared path returned
+            // above), but replacing is harmless and keeps this total.
+            shared => {
+                *shared = ChunkBuf::empty();
+                match shared {
+                    ChunkBuf::Owned(v) => v,
+                    ChunkBuf::Shared(_) => unreachable!(),
+                }
+            }
+        };
+        buf.clear();
         let got = reader
-            .read_chunk(&mut self.buf, chunk)
+            .read_chunk(buf, chunk)
             .unwrap_or_else(|e| panic!("trace changed after scan: {e}"));
         if got == 0 {
             None
@@ -418,7 +773,7 @@ impl Clone for StreamReplay {
             mean_rate: self.mean_rate,
             horizon: self.horizon,
             reader: None,
-            buf: Vec::new(),
+            buf: ChunkBuf::empty(),
             pos: 0,
         }
     }
@@ -429,6 +784,7 @@ impl fmt::Debug for StreamReplay {
         let source = match &self.source {
             ReplaySource::File(path) => format!("file {}", path.display()),
             ReplaySource::Memory(t) => format!("memory ({} batches)", t.len()),
+            ReplaySource::Shared(c) => format!("shared scan (consumer {})", c.id),
         };
         f.debug_struct("StreamReplay")
             .field("source", &source)
@@ -445,7 +801,7 @@ impl ArrivalProcess for StreamReplay {
         if self.pos == self.buf.len() {
             self.refill()?;
         }
-        let b = self.buf[self.pos];
+        let b = self.buf.as_slice()[self.pos];
         self.pos += 1;
         Some(b)
     }
@@ -467,7 +823,8 @@ impl ArrivalProcess for StreamReplay {
             if self.pos == self.buf.len() && self.refill().is_none() {
                 break;
             }
-            let window = &self.buf[self.pos..self.buf.len().min(self.pos + (max - n))];
+            let buf = self.buf.as_slice();
+            let window = &buf[self.pos..buf.len().min(self.pos + (max - n))];
             // Honor the stop-after-spread rule: copy up to and
             // including the first spread > 0 batch of the window.
             let take = match window.iter().position(|b| b.spread > 0.0) {
@@ -475,9 +832,10 @@ impl ArrivalProcess for StreamReplay {
                 None => window.len(),
             };
             out.extend_from_slice(&window[..take]);
+            let stop = window[..take].last().is_some_and(|b| b.spread > 0.0);
             self.pos += take;
             n += take;
-            if window[..take].last().is_some_and(|b| b.spread > 0.0) {
+            if stop {
                 break;
             }
         }
@@ -809,6 +1167,201 @@ mod tests {
         let batches = drain_via(&mut reader, 4096);
         assert_eq!(batches.len() as u64, ga.rows);
         assert!(batches.iter().all(|b| b.count == 1 && b.spread == 0.0));
+    }
+
+    /// Drains one replay to completion on its own thread, alternating
+    /// between the scalar and the run-pulling consumer seam so shared
+    /// chunks are exercised through both paths.
+    fn drain_replay_threaded(replays: Vec<StreamReplay>) -> Vec<Vec<ArrivalBatch>> {
+        let handles: Vec<_> = replays
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                std::thread::spawn(move || {
+                    let mut rng = RngFactory::new(1).stream("unused");
+                    let mut got = Vec::new();
+                    if i % 2 == 0 {
+                        while let Some(b) = r.next_batch(&mut rng) {
+                            got.push(b);
+                        }
+                    } else {
+                        let mut run = Vec::new();
+                        loop {
+                            run.clear();
+                            if r.next_batch_run(&mut rng, 64, &mut run) == 0 {
+                                break;
+                            }
+                            got.extend_from_slice(&run);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn shared_scan_decodes_once_and_fans_out() {
+        // N concurrent consumers over one scan all see the reference
+        // stream bit-identically, while the underlying reader decodes
+        // every batch exactly once and the window never exceeds the
+        // backpressure bound.
+        let dir =
+            std::env::temp_dir().join(format!("vmprov_dataset_shared_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.csv");
+        let mut csv = Vec::new();
+        generate_poisson_csv(&mut csv, 4.0, SimTime::from_secs(500.0), 11).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+
+        for chunk in [1usize, 7, 4096] {
+            let spec = TraceSpec::scan(&path, chunk).unwrap();
+            let mut rng = RngFactory::new(1).stream("unused");
+            let reference: Vec<ArrivalBatch> = {
+                let mut r = spec.replay();
+                std::iter::from_fn(|| r.next_batch(&mut rng)).collect()
+            };
+            for consumers in [1usize, 2, 5] {
+                let (scan, replays) = spec.replay_shared(consumers).unwrap();
+                for (i, got) in drain_replay_threaded(replays).into_iter().enumerate() {
+                    assert_eq!(got, reference, "chunk {chunk}, consumer {i}/{consumers}");
+                }
+                let stats = scan.stats();
+                assert_eq!(stats.consumers, consumers);
+                assert_eq!(
+                    stats.batches_decoded, spec.batches,
+                    "chunk {chunk}: every batch decoded exactly once"
+                );
+                assert_eq!(
+                    stats.chunks_decoded,
+                    spec.batches.div_ceil(chunk as u64),
+                    "chunk {chunk}: chunk count"
+                );
+                assert!(
+                    stats.max_window <= SCAN_DEPTH,
+                    "chunk {chunk}: window {} breached the bound",
+                    stats.max_window
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_scan_preserves_spread_batches() {
+        // The stop-after-spread rule of `next_batch_run` must behave
+        // identically through shared chunks (spread > 0 rows break runs
+        // at the same points).
+        let trace = Trace::new(
+            (0..300)
+                .map(|i| ArrivalBatch {
+                    time: SimTime::from_secs(i as f64),
+                    count: 1 + (i % 3) as u64,
+                    spread: if i % 11 == 0 { 30.0 } else { 0.0 },
+                })
+                .collect(),
+        )
+        .unwrap();
+        let reference = trace.batches().to_vec();
+        let (scan, consumers) =
+            SharedTraceScan::fan_out(Box::new(MemoryReader::new(Arc::new(trace))), 3, 16);
+        let replays: Vec<StreamReplay> = consumers
+            .into_iter()
+            .map(|c| StreamReplay {
+                source: ReplaySource::Shared(c),
+                chunk: 16,
+                mean_rate: 1.0,
+                horizon: SimTime::from_secs(300.0),
+                reader: None,
+                buf: ChunkBuf::empty(),
+                pos: 0,
+            })
+            .collect();
+        for got in drain_replay_threaded(replays) {
+            assert_eq!(got, reference);
+        }
+        assert_eq!(scan.stats().batches_decoded, 300);
+    }
+
+    #[test]
+    fn dropped_consumer_does_not_wedge_the_group() {
+        // A consumer that dies mid-grid (drop without draining) must not
+        // backpressure the survivors: its cursor deregisters and the
+        // scan keeps flowing.
+        let trace = Trace::new(
+            (0..1000)
+                .map(|i| ArrivalBatch {
+                    time: SimTime::from_secs(i as f64),
+                    count: 1,
+                    spread: 0.0,
+                })
+                .collect(),
+        )
+        .unwrap();
+        let reference = trace.batches().to_vec();
+        // chunk 8 → 125 chunks, far beyond SCAN_DEPTH: survivors only
+        // finish if eviction stops waiting on the dropped consumer.
+        let (scan, mut consumers) =
+            SharedTraceScan::fan_out(Box::new(MemoryReader::new(Arc::new(trace))), 3, 8);
+        drop(consumers.remove(1));
+        let replays: Vec<StreamReplay> = consumers
+            .into_iter()
+            .map(|c| StreamReplay {
+                source: ReplaySource::Shared(c),
+                chunk: 8,
+                mean_rate: 1.0,
+                horizon: SimTime::from_secs(1000.0),
+                reader: None,
+                buf: ChunkBuf::empty(),
+                pos: 0,
+            })
+            .collect();
+        for got in drain_replay_threaded(replays) {
+            assert_eq!(got, reference);
+        }
+        assert_eq!(scan.stats().batches_decoded, 1000);
+    }
+
+    #[test]
+    fn shared_replay_clone_panics_with_a_clear_message() {
+        let trace = Trace::new(vec![ArrivalBatch {
+            time: SimTime::from_secs(0.0),
+            count: 1,
+            spread: 0.0,
+        }])
+        .unwrap();
+        let (_scan, consumers) =
+            SharedTraceScan::fan_out(Box::new(MemoryReader::new(Arc::new(trace))), 1, 4);
+        let replay = StreamReplay {
+            source: ReplaySource::Shared(consumers.into_iter().next().unwrap()),
+            chunk: 4,
+            mean_rate: 1.0,
+            horizon: SimTime::from_secs(1.0),
+            reader: None,
+            buf: ChunkBuf::empty(),
+            pos: 0,
+        };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| replay.clone()))
+            .expect_err("cloning a shared-scan replay must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("single-pass"), "unhelpful panic: {msg}");
+    }
+
+    #[test]
+    fn shared_scan_propagates_reader_errors_to_every_consumer() {
+        let input = "0,1,0\n1.0,notanumber\n";
+        let reader = CsvReader::new(io::BufReader::new(input.as_bytes()));
+        let (_scan, consumers) = SharedTraceScan::fan_out(Box::new(reader), 2, 64);
+        for mut c in consumers {
+            let err = c.next_chunk().expect_err("bad row must surface");
+            assert_eq!(err.line, Some(2), "{err}");
+            assert!(err.msg.contains("bad count"), "{err}");
+        }
     }
 
     #[test]

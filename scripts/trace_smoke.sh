@@ -16,6 +16,11 @@
 #   4. The estimator-driven runs (sliding-window MLE, EWMA) produce the
 #      same Fig 5-style QoS verdicts as the oracle-λ run on this
 #      stationary trace.
+#   5. A 3-analyzer × 2-rep shared-scan grid opens and parses the trace
+#      exactly once (asserted via the scan counters in
+#      replay_grid.json), stays chunk-bounded in RSS at grid level, and
+#      every cell's summary is byte-identical to its single-run
+#      counterpart.
 #
 # usage: trace_smoke.sh [RATE HORIZON_SECS]
 #   trace_smoke.sh              # 2000 req/s × 5000 s ≈ 10M requests
@@ -117,6 +122,60 @@ for analyzer in mle ewma; do
     fi
     echo "trace_smoke.sh: ${analyzer} verdicts match the oracle (${got})" >&2
 done
+
+# --- shared-scan grid (invariant 5) -----------------------------------
+# Single-run rep-1 counterparts for the grid byte-diff (rep-0
+# counterparts already exist from invariants 2 and 4 above).
+for analyzer in oracle mle ewma; do
+    echo "trace_smoke.sh: single-run rep-1 cell ${analyzer}" >&2
+    run_cell "$OUT/rep1_${analyzer}" --analyzer "$analyzer" --rep 1
+done
+
+echo "trace_smoke.sh: 3-analyzer × 2-rep shared-scan grid" >&2
+run_cell "$OUT/grid" --analyzers oracle,mle,ewma --reps 2
+
+grid_stat() { # FIELD — integer field from replay_grid.json
+    sed -n "s/.*\"$1\": *\([0-9][0-9]*\).*/\1/p" "$OUT/grid/replay_grid.json" | head -1
+}
+opens=$(grid_stat trace_file_opens)
+waves=$(grid_stat scan_waves)
+if [ "$opens" != 1 ] || [ "$waves" != 1 ]; then
+    echo "trace_smoke.sh: FAIL — grid opened the trace ${opens:-?} time(s) in" \
+         "${waves:-?} wave(s); the shared scan must decode it exactly once" >&2
+    exit 1
+fi
+echo "trace_smoke.sh: grid scanned the trace exactly once (1 open, 1 wave)" >&2
+# The grid-level peak covers all 6 concurrent cells; the per-cell bound
+# still applies because the shared window is chunk-bounded (DESIGN §13).
+rss_of "$OUT/grid/replay_grid.json" "$RSS_BOUND_KB" "grid"
+if grep -q peak_rss_kb "$OUT/grid/replay_oracle_rep0_qos.json"; then
+    echo "trace_smoke.sh: FAIL — per-cell qos reports claim an RSS figure;" \
+         "under a pooled grid that number is process-wide and meaningless" >&2
+    exit 1
+fi
+
+grid_cell_of() { # ANALYZER REP — the single-run counterpart summary
+    local analyzer="$1" rep="$2"
+    if [ "$rep" = 0 ]; then
+        case "$analyzer" in
+            oracle) echo "$OUT/serial/replay_oracle.json" ;;
+            *) echo "$OUT/est_${analyzer}/replay_${analyzer}.json" ;;
+        esac
+    else
+        echo "$OUT/rep1_${analyzer}/replay_${analyzer}.json"
+    fi
+}
+for analyzer in oracle mle ewma; do
+    for rep in 0 1; do
+        single=$(grid_cell_of "$analyzer" "$rep")
+        if ! diff -q "$OUT/grid/replay_${analyzer}_rep${rep}.json" "$single" >&2; then
+            echo "trace_smoke.sh: FAIL — grid cell ${analyzer} rep ${rep} differs" \
+                 "from its single-run counterpart" >&2
+            exit 1
+        fi
+    done
+done
+echo "trace_smoke.sh: all 6 grid cells match their single-run counterparts byte for byte" >&2
 
 # The generated trace is ~220 MB; don't leave it for the artifact upload.
 rm -f "$TRACE"
