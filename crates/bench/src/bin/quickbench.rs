@@ -30,7 +30,10 @@
 //! per-request ingestion cost. `stats_record_hot[_hist]` isolates the
 //! per-request bookkeeping (`RunMetrics::record_completion`, with and
 //! without the histogram) — the baseline for the sub-100 ns/request
-//! push. `replay_grid_shared` runs a 3-analyzer grid off one shared
+//! push; `stats_record_{stream,batched}` time the full
+//! `record_run_completion` sink in its two stats modes, and
+//! `hist_bucket_index_hot` the histogram's bit-index bucket record in
+//! isolation. `replay_grid_shared` runs a 3-analyzer grid off one shared
 //! trace scan and `replay_grid_cold` the equivalent sequential
 //! scan-per-cell loop; their ratio is the grid's wall-clock win.
 //! The results are written as JSON
@@ -53,7 +56,7 @@
 //! grid ratio (the headline numbers perf PRs move), and exits 0.
 
 use vmprov_bench::{bench, bench_report, black_box, Timing};
-use vmprov_cloudsim::{NullProbe, SimBuilder, SimConfig};
+use vmprov_cloudsim::{NullProbe, SimBuilder, SimConfig, StatsMode};
 use vmprov_des::{EventQueue, FelBackend, RngFactory, SimTime};
 use vmprov_experiments::runner::{builder_for, replication_seed};
 use vmprov_experiments::scenario::{PolicySpec, Scenario};
@@ -652,6 +655,12 @@ fn bench_trace_replay(horizon: f64, runs: u32) -> Timing {
 /// compare) and on (adds the log-histogram bucket record). This is the
 /// measure-first baseline for the sub-100 ns/request push: the
 /// simulation cannot get under any target this floor exceeds.
+///
+/// `stats_record_stream` / `stats_record_batched` measure the full
+/// per-completion sink the engine actually calls
+/// (`record_run_completion`, response *and* service accumulation) in
+/// its two modes; the delta is what deferring Welford folds into
+/// 64-sample batches buys per request.
 fn bench_stats_record(ops: usize, runs: u32) -> Vec<Timing> {
     use vmprov_cloudsim::{MetricsOptions, RunMetrics};
     let mut rng = RngFactory::new(0xBE7C).stream("stats_record");
@@ -669,10 +678,44 @@ fn bench_stats_record(ops: usize, runs: u32) -> Vec<Timing> {
             black_box(metrics.response.mean());
         })
     };
+    let run_mode = |name: &str, stats: StatsMode| {
+        let options = MetricsOptions {
+            stats,
+            ..MetricsOptions::default()
+        };
+        let mut metrics = RunMetrics::new(10, options);
+        bench(name, ops as u64, 1, runs, || {
+            for i in 0..ops {
+                let (resp, svc) = samples[i & 1023];
+                metrics.record_run_completion(black_box(resp), svc, 0.3);
+            }
+            metrics.flush_samples();
+            black_box(metrics.response.mean());
+        })
+    };
     vec![
         run_variant("stats_record_hot", MetricsOptions::default()),
         run_variant("stats_record_hot_hist", MetricsOptions::with_histogram()),
+        run_mode("stats_record_stream", StatsMode::Streaming),
+        run_mode("stats_record_batched", StatsMode::Batched),
     ]
+}
+
+/// The log-histogram bucket record in isolation: the bit-index path
+/// (exponent bits + mantissa-table interpolation) that replaced the
+/// per-sample `ln()` bucket computation, over the same latency-shaped
+/// samples `stats_record_hot_hist` feeds it.
+fn bench_hist_bucket_index(ops: usize, runs: u32) -> Timing {
+    use vmprov_des::stats::LogHistogram;
+    let mut rng = RngFactory::new(0xBE7C).stream("stats_record");
+    let samples: Vec<f64> = (0..1024).map(|_| 0.5 * rng.uniform01()).collect();
+    let mut hist = LogHistogram::for_latencies();
+    bench("hist_bucket_index_hot", ops as u64, 1, runs, || {
+        for i in 0..ops {
+            hist.record(black_box(samples[i & 1023]));
+        }
+        black_box(hist.count());
+    })
 }
 
 /// The tentpole comparison: a 3-analyzer replay grid answered from one
@@ -703,6 +746,7 @@ fn bench_replay_grid(horizon: f64, runs: u32) -> Vec<Timing> {
         reps: 1,
         shards: None,
         fel: None,
+        stats: StatsMode::Streaming,
         seed: 0xBE7C,
         concurrency: None,
     };
@@ -1044,6 +1088,9 @@ fn main() {
     })));
     groups.push(run_group(Box::new(move || {
         bench_stats_record(sizes.stats_ops, sizes.runs)
+    })));
+    groups.push(run_group(Box::new(move || {
+        vec![bench_hist_bucket_index(sizes.stats_ops, sizes.runs)]
     })));
     groups.push(run_group(Box::new(move || {
         bench_replay_grid(sizes.grid_horizon, sizes.runs)

@@ -31,7 +31,7 @@ pub mod sim;
 pub use builder::SimBuilder;
 pub use config::{AdmissionMode, SimConfig};
 pub use host::{HostPool, PlacementPolicy, Resources, PAPER_HOST, PAPER_VM};
-pub use metrics::{MetricsOptions, RunMetrics, RunSummary};
+pub use metrics::{MetricsOptions, RunMetrics, RunSummary, StatsMode};
 pub use probe::{
     CounterProbe, NullProbe, PoolSample, Probe, RejectReason, RequestClass, TimeSample, TimeSeries,
     TimeSeriesProbe, TraceProbe,

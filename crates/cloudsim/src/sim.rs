@@ -22,7 +22,7 @@ use crate::metrics::{RunMetrics, RunSummary};
 use crate::probe::{NullProbe, PoolSample, Probe, RejectReason, RequestClass};
 use vmprov_core::dispatch::{AnyDispatcher, Dispatcher, InstancePool, InstanceView};
 use vmprov_core::policy::{MonitorReport, PoolStatus, ProvisioningPolicy};
-use vmprov_des::stats::{OnlineStats, TimeWeighted};
+use vmprov_des::stats::TimeWeighted;
 use vmprov_des::{Engine, EventHandle, EventQueue, RngFactory, Scheduler, SimRng, SimTime, World};
 use vmprov_workloads::{AnyWorkload, ArrivalBatch, ArrivalProcess, ServiceModel};
 
@@ -72,19 +72,55 @@ enum InstState {
     Dead,
 }
 
+/// The per-instance fields every completion touches, packed into one
+/// record (≈40 bytes, under a cache line) so the completion hot path
+/// reads a single contiguous location instead of four scattered SoA
+/// arrays: lifecycle state, the queue-ring head/length, the slot's
+/// membership-list position, and the pending completion timer.
+#[derive(Debug, Clone, Copy)]
+struct InstHot {
+    state: InstState,
+    /// Ring index of the request in service.
+    qhead: u32,
+    /// Requests in the ring (head in service).
+    qlen: u32,
+    /// Position of the slot in the `active` list while `Active`, or in
+    /// the `draining` list while `Draining` — the index swap-removal
+    /// and completion-side bitset maintenance use. Meaningless in other
+    /// states.
+    list_pos: u32,
+    /// Pending [`Event::Completion`] for the request in service;
+    /// withdrawn when a crash discards the queue.
+    completion_timer: Option<EventHandle>,
+}
+
+impl InstHot {
+    fn booting() -> Self {
+        InstHot {
+            state: InstState::Booting,
+            qhead: 0,
+            qlen: 0,
+            list_pos: 0,
+            completion_timer: None,
+        }
+    }
+}
+
 /// Struct-of-arrays instance storage with free-list slot reuse.
 ///
 /// The hot path (arrival → enqueue, completion → dequeue) touches only
-/// `qlen`/`qhead`/`qdata`, which stay contiguous across every live
-/// instance instead of being scattered per-`Instance` heap objects.
-/// Request queues live in one flat slab: slot `s` owns the ring
-/// `qdata[s·stride .. (s+1)·stride]` where `stride` is the smallest
-/// power of two holding `k + 1` entries, so admitting or completing a
-/// request is index arithmetic on shared storage and a destroyed slot's
-/// ring is reused verbatim by the next boot — steady-state VM churn
-/// allocates nothing.
+/// the packed [`InstHot`] records and `qdata`, which stay contiguous
+/// across every live instance instead of being scattered per-`Instance`
+/// heap objects. Request queues live in one flat slab: slot `s` owns
+/// the ring `qdata[s·stride .. (s+1)·stride]` where `stride` is the
+/// smallest power of two holding `k + 1` entries, so admitting or
+/// completing a request is index arithmetic on shared storage and a
+/// destroyed slot's ring is reused verbatim by the next boot —
+/// steady-state VM churn allocates nothing. Cold fields (host, creation
+/// time/sequence, boot and failure timers) stay in separate arrays.
 struct InstanceSlots {
-    state: Vec<InstState>,
+    /// Completion-hot per-slot state (see [`InstHot`]).
+    hot: Vec<InstHot>,
     host: Vec<usize>,
     created_at: Vec<SimTime>,
     /// Monotone creation sequence of the slot's current tenant. Slot
@@ -99,14 +135,9 @@ struct InstanceSlots {
     /// Pending [`Event::Failure`] clock; withdrawn when the instance is
     /// destroyed before its crash (and at end-of-workload teardown).
     failure_timer: Vec<Option<EventHandle>>,
-    /// Pending [`Event::Completion`] for the request in service;
-    /// withdrawn when a crash discards the queue.
-    completion_timer: Vec<Option<EventHandle>>,
     /// Flat ring-buffer slab of (arrival time, service time) FIFOs; the
     /// head entry of each slot's ring is the request in service.
     qdata: Vec<(f64, f64)>,
-    qhead: Vec<u32>,
-    qlen: Vec<u32>,
     /// Per-slot ring size (a power of two ≥ k + 1; grows on demand,
     /// never shrinks).
     stride: usize,
@@ -123,16 +154,13 @@ impl InstanceSlots {
     fn with_capacity(cap: usize, k: u32) -> Self {
         let stride = Self::stride_for(k);
         InstanceSlots {
-            state: Vec::with_capacity(cap),
+            hot: Vec::with_capacity(cap),
             host: Vec::with_capacity(cap),
             created_at: Vec::with_capacity(cap),
             created_seq: Vec::with_capacity(cap),
             boot_timer: Vec::with_capacity(cap),
             failure_timer: Vec::with_capacity(cap),
-            completion_timer: Vec::with_capacity(cap),
             qdata: Vec::with_capacity(cap * stride),
-            qhead: Vec::with_capacity(cap),
-            qlen: Vec::with_capacity(cap),
             stride,
             free: Vec::new(),
             next_seq: 0,
@@ -145,16 +173,13 @@ impl InstanceSlots {
     /// `with_capacity(_, k)` except for retained capacity, which never
     /// affects behaviour.
     fn reset(&mut self, k: u32) {
-        self.state.clear();
+        self.hot.clear();
         self.host.clear();
         self.created_at.clear();
         self.created_seq.clear();
         self.boot_timer.clear();
         self.failure_timer.clear();
-        self.completion_timer.clear();
         self.qdata.clear();
-        self.qhead.clear();
-        self.qlen.clear();
         self.stride = Self::stride_for(k);
         self.free.clear();
         self.next_seq = 0;
@@ -162,7 +187,7 @@ impl InstanceSlots {
 
     /// Total slots ever created (live + dead-awaiting-reuse).
     fn len(&self) -> usize {
-        self.state.len()
+        self.hot.len()
     }
 
     /// Claims a slot in `Booting` state, reusing a freed one when
@@ -172,31 +197,27 @@ impl InstanceSlots {
         self.next_seq += 1;
         if let Some(slot) = self.free.pop() {
             let i = slot as usize;
-            debug_assert_eq!(self.state[i], InstState::Dead);
-            debug_assert_eq!(self.qlen[i], 0);
+            debug_assert_eq!(self.hot[i].state, InstState::Dead);
+            debug_assert_eq!(self.hot[i].qlen, 0);
             debug_assert!(
                 self.boot_timer[i].is_none()
                     && self.failure_timer[i].is_none()
-                    && self.completion_timer[i].is_none(),
+                    && self.hot[i].completion_timer.is_none(),
                 "freed slot still has timers armed"
             );
-            self.state[i] = InstState::Booting;
+            self.hot[i] = InstHot::booting();
             self.host[i] = host;
             self.created_at[i] = now;
             self.created_seq[i] = seq;
-            self.qhead[i] = 0;
             slot
         } else {
-            let slot = self.state.len() as u32;
-            self.state.push(InstState::Booting);
+            let slot = self.hot.len() as u32;
+            self.hot.push(InstHot::booting());
             self.host.push(host);
             self.created_at.push(now);
             self.created_seq.push(seq);
             self.boot_timer.push(None);
             self.failure_timer.push(None);
-            self.completion_timer.push(None);
-            self.qhead.push(0);
-            self.qlen.push(0);
             self.qdata
                 .resize(self.qdata.len() + self.stride, (0.0, 0.0));
             slot
@@ -206,48 +227,56 @@ impl InstanceSlots {
     /// Returns the slot to the free list (caller has already marked it
     /// `Dead`, withdrawn its timers, and drained its queue).
     fn release(&mut self, slot: u32) {
-        debug_assert_eq!(self.state[slot as usize], InstState::Dead);
-        debug_assert_eq!(self.qlen[slot as usize], 0);
+        debug_assert_eq!(self.hot[slot as usize].state, InstState::Dead);
+        debug_assert_eq!(self.hot[slot as usize].qlen, 0);
         self.free.push(slot);
     }
 
     #[inline]
+    fn state(&self, slot: u32) -> InstState {
+        self.hot[slot as usize].state
+    }
+
+    #[inline]
     fn queue_len(&self, slot: u32) -> u32 {
-        self.qlen[slot as usize]
+        self.hot[slot as usize].qlen
     }
 
     /// Appends a request to the slot's ring; returns the new length.
     #[inline]
     fn push_back(&mut self, slot: u32, entry: (f64, f64)) -> u32 {
         let i = slot as usize;
-        debug_assert!((self.qlen[i] as usize) < self.stride, "ring overflow");
-        let pos = (self.qhead[i] as usize + self.qlen[i] as usize) & (self.stride - 1);
+        let h = &mut self.hot[i];
+        debug_assert!((h.qlen as usize) < self.stride, "ring overflow");
+        let pos = (h.qhead as usize + h.qlen as usize) & (self.stride - 1);
+        h.qlen += 1;
+        let qlen = h.qlen;
         self.qdata[i * self.stride + pos] = entry;
-        self.qlen[i] += 1;
-        self.qlen[i]
+        qlen
     }
 
     /// Removes and returns the request in service.
     #[inline]
     fn pop_front(&mut self, slot: u32) -> (f64, f64) {
         let i = slot as usize;
-        debug_assert!(self.qlen[i] > 0, "pop on empty instance");
-        let e = self.qdata[i * self.stride + self.qhead[i] as usize];
-        self.qhead[i] = ((self.qhead[i] as usize + 1) & (self.stride - 1)) as u32;
-        self.qlen[i] -= 1;
-        e
+        let h = &mut self.hot[i];
+        debug_assert!(h.qlen > 0, "pop on empty instance");
+        let head = h.qhead as usize;
+        h.qhead = ((head + 1) & (self.stride - 1)) as u32;
+        h.qlen -= 1;
+        self.qdata[i * self.stride + head]
     }
 
     /// The request in service (head of the ring).
     #[inline]
     fn front(&self, slot: u32) -> (f64, f64) {
         let i = slot as usize;
-        self.qdata[i * self.stride + self.qhead[i] as usize]
+        self.qdata[i * self.stride + self.hot[i].qhead as usize]
     }
 
     fn clear_queue(&mut self, slot: u32) {
-        self.qhead[slot as usize] = 0;
-        self.qlen[slot as usize] = 0;
+        self.hot[slot as usize].qhead = 0;
+        self.hot[slot as usize].qlen = 0;
     }
 
     /// Grows every slot's ring when Eq. 1 raises `k` past the current
@@ -261,11 +290,11 @@ impl InstanceSlots {
         let n = self.len();
         let mut data = vec![(0.0f64, 0.0f64); n * want];
         for i in 0..n {
-            for j in 0..self.qlen[i] as usize {
-                let src = (self.qhead[i] as usize + j) & (self.stride - 1);
+            for j in 0..self.hot[i].qlen as usize {
+                let src = (self.hot[i].qhead as usize + j) & (self.stride - 1);
                 data[i * want + j] = self.qdata[i * self.stride + src];
             }
-            self.qhead[i] = 0;
+            self.hot[i].qhead = 0;
         }
         self.qdata = data;
         self.stride = want;
@@ -281,7 +310,7 @@ impl InstanceSlots {
 /// probe's capacity exactly, i.e. for the `capacity == k` class under
 /// [`AdmissionMode::Bitset`].
 struct PoolViewRef<'a> {
-    qlen: &'a [u32],
+    hot: &'a [InstHot],
     active: &'a [u32],
     capacity: u32,
     exact_free: Option<usize>,
@@ -294,7 +323,7 @@ impl InstancePool for PoolViewRef<'_> {
     }
     fn view(&self, i: usize) -> InstanceView {
         InstanceView {
-            in_system: self.qlen[self.active[i] as usize],
+            in_system: self.hot[self.active[i] as usize].qlen,
             capacity: self.capacity,
             accepting: true,
         }
@@ -344,12 +373,11 @@ where
     /// (`room_bits[i/64] >> (i%64) & 1` ⟺ `active[i]` holds fewer than
     /// `k` requests; bits at index ≥ `active.len()` are zero). The
     /// branch-free round-robin admission path word-scans this instead
-    /// of probing instances.
+    /// of probing instances. Each slot's position in the active (or
+    /// draining) list lives in its packed [`InstHot`] record
+    /// (`list_pos`), making completion-side bit maintenance and
+    /// failure/drain removal O(1).
     room_bits: Vec<u64>,
-    /// Position of each slot in the active list (`active[active_pos[s]]
-    /// == s`), valid only while the slot is `Active`. Makes
-    /// completion-side bit maintenance and failure removal O(1).
-    active_pos: Vec<u32>,
     /// Active instances currently serving a request.
     busy_count: usize,
     /// Current per-instance queue capacity (Eq. 1, re-derived from the
@@ -370,8 +398,6 @@ where
     rng_dispatch: SimRng,
     rng_class: SimRng,
     rng_failures: SimRng,
-    /// Monitored execution-time statistics (cumulative).
-    service_stats: OnlineStats,
     /// Arrivals seen since the last monitor tick.
     window_arrivals: u64,
     horizon: SimTime,
@@ -509,7 +535,6 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
             booting_slots: Vec::new(),
             free_count: 0,
             room_bits: Vec::new(),
-            active_pos: Vec::new(),
             busy_count: 0,
             k,
             workload,
@@ -523,7 +548,6 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
             rng_dispatch: rngs.stream("dispatch"),
             rng_class: rngs.stream("class"),
             rng_failures: rngs.stream("failures"),
-            service_stats: OnlineStats::new(),
             window_arrivals: 0,
             horizon,
             metrics: RunMetrics::new(0, cfg.metrics),
@@ -585,6 +609,8 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
 
     /// Captures aggregate pool state and hands it to the probe.
     fn emit_sample(&mut self, now: SimTime) {
+        // Deferred samples must land before the accumulators are read.
+        self.metrics.flush_samples();
         let queue_depth: u64 = self
             .active
             .iter()
@@ -596,7 +622,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         // order (the same float summation order as the end-of-run
         // billing, which slot reuse no longer guarantees by index).
         let mut live: Vec<(u64, SimTime)> = (0..self.instances.len())
-            .filter(|&i| self.instances.state[i] != InstState::Dead)
+            .filter(|&i| self.instances.hot[i].state != InstState::Dead)
             .map(|i| (self.instances.created_seq[i], self.instances.created_at[i]))
             .collect();
         live.sort_unstable_by_key(|&(seq, _)| seq);
@@ -636,11 +662,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     /// by invariant, so only a set is ever needed).
     fn push_active(&mut self, slot: u32) {
         let idx = self.active.len();
-        let i = slot as usize;
-        if i >= self.active_pos.len() {
-            self.active_pos.resize(i + 1, 0);
-        }
-        self.active_pos[i] = idx as u32;
+        self.instances.hot[slot as usize].list_pos = idx as u32;
         self.active.push(slot);
         if idx >> 6 >= self.room_bits.len() {
             self.room_bits.push(0);
@@ -659,7 +681,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         let last = self.active.len(); // position vacated by the swap
         if idx < last {
             let moved = self.active[idx];
-            self.active_pos[moved as usize] = idx as u32;
+            self.instances.hot[moved as usize].list_pos = idx as u32;
             let bit = self.room_bits[last >> 6] >> (last & 63) & 1;
             let mask = 1u64 << (idx & 63);
             if bit != 0 {
@@ -672,11 +694,24 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         slot
     }
 
+    /// Removes `slot` from the draining list via its recorded position
+    /// — no scan — relocating the moved tail entry's index. Replaces
+    /// the former O(n) `retain` over the whole list.
+    fn remove_draining(&mut self, slot: u32) {
+        let pos = self.instances.hot[slot as usize].list_pos as usize;
+        debug_assert_eq!(self.draining[pos], slot, "draining list_pos out of sync");
+        self.draining.swap_remove(pos);
+        if pos < self.draining.len() {
+            let moved = self.draining[pos];
+            self.instances.hot[moved as usize].list_pos = pos as u32;
+        }
+    }
+
     /// Creates an instance that is active immediately (initial fleet, or
     /// boot delay zero). Returns the slot if placement succeeded.
     fn create_instance_immediately(&mut self, now: SimTime) -> Option<u32> {
         let slot = self.allocate_instance(now)?;
-        self.instances.state[slot as usize] = InstState::Active;
+        self.instances.hot[slot as usize].state = InstState::Active;
         self.push_active(slot);
         self.free_count += 1; // fresh instance is empty
         self.probe.on_vm_active(now, slot);
@@ -708,13 +743,13 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     /// timer still armed for it so no dead-instance event ever fires.
     fn destroy_instance(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let i = slot as usize;
-        debug_assert_eq!(self.instances.qlen[i], 0, "destroying a busy instance");
-        debug_assert!(self.instances.state[i] != InstState::Dead);
-        self.instances.state[i] = InstState::Dead;
+        debug_assert_eq!(self.instances.hot[i].qlen, 0, "destroying a busy instance");
+        debug_assert!(self.instances.hot[i].state != InstState::Dead);
+        self.instances.hot[i].state = InstState::Dead;
         for timer in [
             self.instances.boot_timer[i].take(),
             self.instances.failure_timer[i].take(),
-            self.instances.completion_timer[i].take(),
+            self.instances.hot[i].completion_timer.take(),
         ]
         .into_iter()
         .flatten()
@@ -756,8 +791,8 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 let Some(slot) = self.draining.pop() else {
                     break;
                 };
-                debug_assert_eq!(self.instances.state[slot as usize], InstState::Draining);
-                self.instances.state[slot as usize] = InstState::Active;
+                debug_assert_eq!(self.instances.hot[slot as usize].state, InstState::Draining);
+                self.instances.hot[slot as usize].state = InstState::Active;
                 self.push_active(slot);
                 if self.instance_has_room(slot) {
                     self.free_count += 1;
@@ -806,7 +841,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 let Some(slot) = self.booting_slots.pop() else {
                     break;
                 };
-                debug_assert_eq!(self.instances.state[slot as usize], InstState::Booting);
+                debug_assert_eq!(self.instances.hot[slot as usize].state, InstState::Booting);
                 self.destroy_instance(slot, now, sched);
                 excess -= 1;
             }
@@ -823,7 +858,8 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
                 }
-                self.instances.state[slot as usize] = InstState::Draining;
+                self.instances.hot[slot as usize].state = InstState::Draining;
+                self.instances.hot[slot as usize].list_pos = self.draining.len() as u32;
                 self.draining.push(slot);
                 self.probe.on_vm_drain(now, slot);
                 excess -= 1;
@@ -832,11 +868,17 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     }
 
     /// The monitored Tm / SCV, falling back to configured priors until
-    /// enough completions are recorded.
+    /// enough completions are recorded. Callers must flush deferred
+    /// samples first ([`RunMetrics::flush_samples`]).
     fn monitored_service(&self) -> (f64, f64) {
-        if self.service_stats.count() >= 30 {
-            let mean = self.service_stats.mean();
-            let scv = self.service_stats.population_variance() / (mean * mean);
+        debug_assert!(
+            self.metrics.samples_flushed(),
+            "monitored_service read a stale accumulator"
+        );
+        let service = &self.metrics.service;
+        if service.count() >= 30 {
+            let mean = service.mean();
+            let scv = service.population_variance() / (mean * mean);
             (mean, scv)
         } else {
             (
@@ -879,7 +921,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 _ => None,
             };
             let view = PoolViewRef {
-                qlen: &self.instances.qlen,
+                hot: &self.instances.hot,
                 active: &self.active,
                 capacity,
                 exact_free,
@@ -907,7 +949,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         if len == 1 {
             // Idle instance starts serving right away.
             self.busy_count += 1;
-            self.instances.completion_timer[slot as usize] =
+            self.instances.hot[slot as usize].completion_timer =
                 Some(sched.after(svc, Event::Completion { slot }));
             self.probe.on_service_start(now, slot);
         }
@@ -919,24 +961,23 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     }
 
     fn handle_completion(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let state = self.instances.state[slot as usize];
+        let state = self.instances.state(slot);
         // Crashes withdraw the pending completion, so this event can
         // only reach a live instance.
         debug_assert!(
             state != InstState::Dead,
             "completion leaked past cancellation"
         );
-        self.instances.completion_timer[slot as usize] = None;
+        self.instances.hot[slot as usize].completion_timer = None;
         let (arr, svc) = self.instances.pop_front(slot);
         let response = now.as_secs() - arr;
-        self.metrics.record_completion(response, svc, self.ts);
-        self.service_stats.push(svc);
+        self.metrics.record_run_completion(response, svc, self.ts);
         self.probe.on_service_complete(now, slot, response, svc);
         let remaining = self.instances.queue_len(slot);
         if remaining > 0 {
             let next_svc = self.instances.front(slot).1;
             let h = sched.after(next_svc, Event::Completion { slot });
-            self.instances.completion_timer[slot as usize] = Some(h);
+            self.instances.hot[slot as usize].completion_timer = Some(h);
             self.probe.on_service_start(now, slot);
         } else {
             self.busy_count -= 1;
@@ -946,14 +987,14 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 // Freed one unit of room if it was exactly full.
                 if remaining + 1 == self.k {
                     self.free_count += 1;
-                    let idx = self.active_pos[slot as usize] as usize;
-                    debug_assert_eq!(self.active[idx], slot, "active_pos out of sync");
+                    let idx = self.instances.hot[slot as usize].list_pos as usize;
+                    debug_assert_eq!(self.active[idx], slot, "active list_pos out of sync");
                     self.room_bits[idx >> 6] |= 1u64 << (idx & 63);
                 }
             }
             InstState::Draining => {
                 if remaining == 0 {
-                    self.draining.retain(|&s| s != slot);
+                    self.remove_draining(slot);
                     self.destroy_instance(slot, now, sched);
                 }
             }
@@ -967,15 +1008,15 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
     /// lost, resources are released, and the policy is re-evaluated
     /// immediately (idealized instant failure detection).
     fn handle_failure(&mut self, slot: u32, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let state = self.instances.state[slot as usize];
+        let state = self.instances.state(slot);
         // Destruction withdraws the failure clock, so this event can
         // only reach a live instance.
         debug_assert!(state != InstState::Dead, "failure leaked past cancellation");
         self.instances.failure_timer[slot as usize] = None;
         match state {
             InstState::Active => {
-                let idx = self.active_pos[slot as usize] as usize;
-                debug_assert_eq!(self.active[idx], slot, "active_pos out of sync");
+                let idx = self.instances.hot[slot as usize].list_pos as usize;
+                debug_assert_eq!(self.active[idx], slot, "active list_pos out of sync");
                 self.remove_active(idx);
                 if self.instance_has_room(slot) {
                     self.free_count -= 1;
@@ -985,7 +1026,7 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
                 }
             }
             InstState::Draining => {
-                self.draining.retain(|&s| s != slot);
+                self.remove_draining(slot);
             }
             InstState::Booting => {
                 let idx = self
@@ -1016,6 +1057,9 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> CloudSim<P, W, D> {
         sched: &mut Scheduler<'_, Event>,
         reschedule: bool,
     ) {
+        // The G/G/1/k refinement reads the service accumulator: fold in
+        // any deferred samples first (no-op when streaming).
+        self.metrics.flush_samples();
         let (tm, scv) = self.monitored_service();
         let new_k = self.policy.queue_capacity(tm);
         if new_k != self.k {
@@ -1106,12 +1150,12 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> World for CloudSim<P, W,
                 // Scale-downs withdraw the boot timer when they cancel a
                 // boot, so this event always finds the instance booting.
                 debug_assert_eq!(
-                    self.instances.state[slot as usize],
+                    self.instances.state(slot),
                     InstState::Booting,
                     "boot leaked past cancellation"
                 );
                 self.instances.boot_timer[slot as usize] = None;
-                self.instances.state[slot as usize] = InstState::Active;
+                self.instances.hot[slot as usize].state = InstState::Active;
                 let idx = self
                     .booting_slots
                     .iter()
@@ -1138,6 +1182,10 @@ impl<P: Probe, W: ArrivalProcess + Send, D: Dispatcher> World for CloudSim<P, W,
                 }
             }
             Event::Monitor => {
+                // Monitor ticks are a flush point: the next accumulator
+                // read (policy evaluation, finalization) must never see
+                // samples deferred across a control boundary.
+                self.metrics.flush_samples();
                 self.policy
                     .observe_arrivals(now, self.window_arrivals, self.cfg.monitor_interval);
                 self.window_arrivals = 0;
@@ -1213,8 +1261,13 @@ fn run_engine_core<P: Probe, W: ArrivalProcess + Send, D: Dispatcher>(
     // keeps its final level so min/max reflect pool dynamics, not the
     // teardown.
     let mut live: Vec<(u64, SimTime)> = (0..world.instances.len())
-        .filter(|&i| world.instances.state[i] != InstState::Dead)
-        .inspect(|&i| debug_assert_eq!(world.instances.qlen[i], 0, "run ended with work in flight"))
+        .filter(|&i| world.instances.hot[i].state != InstState::Dead)
+        .inspect(|&i| {
+            debug_assert_eq!(
+                world.instances.hot[i].qlen, 0,
+                "run ended with work in flight"
+            )
+        })
         .map(|i| {
             (
                 world.instances.created_seq[i],

@@ -1,0 +1,194 @@
+//! Equivalence pins for the deferred per-request bookkeeping
+//! (`StatsMode::Batched`) and the draining swap-remove index:
+//!
+//! * Under a fixed fleet the batched stats sink changes **only** the
+//!   float fold order of the response/service moments: every integer
+//!   counter, the min/max, and the billing sums must match the
+//!   streaming run exactly, and the Welford moments must agree within
+//!   float-reassociation tolerance (1e-9 relative) — on both FEL
+//!   backends, serial and sharded.
+//! * A policy that oscillates the target every tick churns the
+//!   draining list (drain → revive → drain, with failures landing
+//!   mid-list), exercising the O(1) swap-remove path; runs must stay
+//!   deterministic and FEL-backend identical under that churn.
+
+use vmprov_cloudsim::{RunSummary, SimBuilder, SimConfig, StatsMode};
+use vmprov_core::policy::{PoolStatus, ProvisioningPolicy};
+use vmprov_core::qos::QosTargets;
+use vmprov_core::{RoundRobin, StaticPolicy};
+use vmprov_des::{FelBackend, RngFactory, SimTime};
+use vmprov_workloads::synthetic::PoissonProcess;
+use vmprov_workloads::ServiceModel;
+
+const BACKENDS: [FelBackend; 2] = [FelBackend::Calendar, FelBackend::BinaryHeap];
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-300);
+    (a - b).abs() / scale <= tol
+}
+
+/// Everything except the two Welford moments must be *exact* across
+/// stats modes; the moments must agree to 1e-9 relative.
+fn assert_statistically_equal(streaming: &RunSummary, batched: &RunSummary, label: &str) {
+    let mut s = streaming.clone();
+    let mut b = batched.clone();
+    assert!(
+        rel_close(s.mean_response_time, b.mean_response_time, 1e-9),
+        "{label}: mean {} vs {}",
+        s.mean_response_time,
+        b.mean_response_time
+    );
+    assert!(
+        rel_close(s.std_response_time, b.std_response_time, 1e-9),
+        "{label}: std {} vs {}",
+        s.std_response_time,
+        b.std_response_time
+    );
+    // With the moments neutralized the summaries must be bit-identical:
+    // counts, rejections, QoS violations, min/max, billing, failures.
+    s.mean_response_time = 0.0;
+    s.std_response_time = 0.0;
+    b.mean_response_time = 0.0;
+    b.std_response_time = 0.0;
+    assert_eq!(
+        s, b,
+        "{label}: non-moment fields diverged across stats modes"
+    );
+}
+
+fn run_static(backend: FelBackend, mode: StatsMode, shards: Option<u32>) -> RunSummary {
+    let cfg = SimConfig {
+        hosts: 100,
+        instance_mtbf: Some(200.0),
+        ..SimConfig::paper(0.100, 0.250)
+    };
+    SimBuilder::new(cfg)
+        .workload(PoissonProcess::new(180.0, SimTime::from_secs(600.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(StaticPolicy::new(25, QosTargets::web_paper())))
+        .dispatcher(RoundRobin::new())
+        .fel_backend(backend)
+        .stats_mode(mode)
+        .shards(shards)
+        .run(&RngFactory::new(0x57A75))
+}
+
+/// Serial engine: batched vs streaming on both FEL backends. The fixed
+/// fleet keeps the event schedule independent of the accumulators, so
+/// every non-moment field is exact.
+#[test]
+fn batched_stats_match_streaming_serial() {
+    for backend in BACKENDS {
+        let streaming = run_static(backend, StatsMode::Streaming, None);
+        assert!(streaming.offered_requests > 50_000, "run too small to pin");
+        assert!(streaming.instance_failures > 0, "failure path never ran");
+        let batched = run_static(backend, StatsMode::Batched, None);
+        assert_statistically_equal(&streaming, &batched, &format!("serial {backend:?}"));
+    }
+}
+
+/// Sharded engine: per-VM batches flush on their own completion
+/// sequence, so the merged summary is shard-count invariant and
+/// statistically equal to the sharded streaming run.
+#[test]
+fn batched_stats_match_streaming_sharded() {
+    let streaming = run_static(FelBackend::Calendar, StatsMode::Streaming, Some(1));
+    let batched_1 = run_static(FelBackend::Calendar, StatsMode::Batched, Some(1));
+    assert_statistically_equal(&streaming, &batched_1, "sharded n=1");
+    for n in [2u32, 4] {
+        assert_eq!(
+            batched_1,
+            run_static(FelBackend::Calendar, StatsMode::Batched, Some(n)),
+            "batched sharded run diverged between 1 and {n} shards"
+        );
+    }
+}
+
+/// A target that flips between a wide and a narrow fleet every
+/// evaluation, so instances continuously drain, revive, and die from
+/// the middle of the draining list.
+struct Oscillator {
+    high: u32,
+    low: u32,
+    tick: u32,
+}
+
+impl ProvisioningPolicy for Oscillator {
+    fn name(&self) -> String {
+        format!("Oscillator-{}-{}", self.high, self.low)
+    }
+
+    fn initial_instances(&self) -> u32 {
+        self.high
+    }
+
+    fn evaluate(&mut self, _status: &PoolStatus) -> u32 {
+        self.tick += 1;
+        if self.tick.is_multiple_of(2) {
+            self.high
+        } else {
+            self.low
+        }
+    }
+
+    fn next_evaluation(&self, now: SimTime) -> SimTime {
+        now + 30.0
+    }
+
+    fn queue_capacity(&self, _tm: f64) -> u32 {
+        5
+    }
+}
+
+fn run_churn(backend: FelBackend, mode: StatsMode) -> RunSummary {
+    let cfg = SimConfig {
+        hosts: 100,
+        instance_mtbf: Some(150.0),
+        ..SimConfig::paper(0.100, 0.250)
+    };
+    SimBuilder::new(cfg)
+        .workload(PoissonProcess::new(160.0, SimTime::from_secs(600.0)))
+        .service(ServiceModel::new(0.100, 0.10))
+        .policy(Box::new(Oscillator {
+            high: 30,
+            low: 8,
+            tick: 0,
+        }))
+        .dispatcher(RoundRobin::new())
+        .fel_backend(backend)
+        .stats_mode(mode)
+        .run(&RngFactory::new(0xD4A1))
+}
+
+/// Drain-churn regression: the draining list is removed from at three
+/// sites (revive pop, drain-empty death, mid-drain failure); the
+/// position-indexed swap-remove must keep all of them deterministic
+/// and identical across FEL backends, in both stats modes.
+#[test]
+fn drain_churn_is_deterministic_across_backends() {
+    for mode in [StatsMode::Streaming, StatsMode::Batched] {
+        let calendar = run_churn(FelBackend::Calendar, mode);
+        // The churn has to actually happen for this pin to mean
+        // anything: far more boots than the steady fleet, and failures
+        // that can land while instances drain.
+        assert!(
+            calendar.vms_created > 100,
+            "{mode:?}: only {} boots — the target never oscillated",
+            calendar.vms_created
+        );
+        assert!(
+            calendar.instance_failures > 0,
+            "{mode:?}: no failures — the mid-list removal path never ran"
+        );
+        assert_eq!(
+            calendar,
+            run_churn(FelBackend::Calendar, mode),
+            "{mode:?}: repeated churn run diverged (nondeterminism)"
+        );
+        assert_eq!(
+            calendar,
+            run_churn(FelBackend::BinaryHeap, mode),
+            "{mode:?}: FEL backends diverged under drain churn"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Fixed-capacity deferred-sample buffer: the batched stats sink.
+//!
+//! Welford's update carries a serial floating-point divide per sample,
+//! so streaming two accumulators per completion costs ~20 cycles of
+//! dependent latency on the request hot path. [`SampleBatch`] defers
+//! that folding: completions append `(response, service)` pairs to a
+//! struct-of-arrays buffer, and a flush reduces each column with plain
+//! vectorizable loops before one exact Chan-style combine
+//! ([`OnlineStats::merge_batch`]). Counts, min, and max are exactly
+//! what per-sample pushes would produce; mean and variance agree up to
+//! floating-point reassociation.
+//!
+//! The buffer must be flushed before *any* accumulator read — monitor
+//! ticks, sampling probes, and finalization (see DESIGN.md §14 for the
+//! flush-point inventory).
+
+use super::OnlineStats;
+
+/// Capacity of one [`SampleBatch`]: large enough that the flush
+/// reduction amortizes to well under a cycle per sample, small enough
+/// that both columns stay resident in L1 (two 512-byte arrays).
+pub const SAMPLE_BATCH: usize = 64;
+
+/// A struct-of-arrays buffer of deferred `(response, service)` samples,
+/// shared by the response-time and service-time accumulators.
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    resp: [f64; SAMPLE_BATCH],
+    svc: [f64; SAMPLE_BATCH],
+    len: usize,
+}
+
+impl Default for SampleBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SampleBatch {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        SampleBatch {
+            resp: [0.0; SAMPLE_BATCH],
+            svc: [0.0; SAMPLE_BATCH],
+            len: 0,
+        }
+    }
+
+    /// Appends one completion's pair. Returns `true` when the buffer is
+    /// now full and the caller must [`flush_into`](Self::flush_into).
+    #[inline]
+    pub fn push(&mut self, response: f64, service: f64) -> bool {
+        self.resp[self.len] = response;
+        self.svc[self.len] = service;
+        self.len += 1;
+        self.len == SAMPLE_BATCH
+    }
+
+    /// Number of buffered pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is buffered (accumulator reads are safe).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffered response times.
+    #[inline]
+    pub fn responses(&self) -> &[f64] {
+        &self.resp[..self.len]
+    }
+
+    /// The buffered service times.
+    #[inline]
+    pub fn services(&self) -> &[f64] {
+        &self.svc[..self.len]
+    }
+
+    /// Reduces both columns into their accumulators and empties the
+    /// buffer.
+    pub fn flush_into(&mut self, response: &mut OnlineStats, service: &mut OnlineStats) {
+        response.merge_batch(self.responses());
+        service.merge_batch(self.services());
+        self.len = 0;
+    }
+
+    /// What `stats` would hold after flushing `column` into it, without
+    /// consuming the buffer — the pure read the sharded engine's
+    /// between-barrier reductions use (flushing there would make
+    /// accumulator state depend on how often the coordinator peeks).
+    pub fn peek_flushed(stats: &OnlineStats, column: &[f64]) -> OnlineStats {
+        let mut out = *stats;
+        out.merge_batch(column);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_and_flushes() {
+        let mut b = SampleBatch::new();
+        assert!(b.is_empty());
+        for i in 0..SAMPLE_BATCH - 1 {
+            assert!(!b.push(i as f64, 0.5), "not full at {i}");
+        }
+        assert!(b.push(63.0, 0.5), "capacity reached");
+        assert_eq!(b.len(), SAMPLE_BATCH);
+        let mut resp = OnlineStats::new();
+        let mut svc = OnlineStats::new();
+        b.flush_into(&mut resp, &mut svc);
+        assert!(b.is_empty());
+        assert_eq!(resp.count(), SAMPLE_BATCH as u64);
+        assert_eq!(svc.count(), SAMPLE_BATCH as u64);
+        assert_eq!(resp.min(), 0.0);
+        assert_eq!(resp.max(), 63.0);
+        assert_eq!(svc.mean(), 0.5);
+    }
+
+    #[test]
+    fn peek_flushed_is_pure() {
+        let mut b = SampleBatch::new();
+        b.push(1.0, 0.1);
+        b.push(3.0, 0.2);
+        let base = OnlineStats::new();
+        let peek1 = SampleBatch::peek_flushed(&base, b.responses());
+        let peek2 = SampleBatch::peek_flushed(&base, b.responses());
+        assert_eq!(peek1.count(), 2);
+        assert_eq!(peek1.count(), peek2.count());
+        assert_eq!(peek1.mean(), peek2.mean());
+        assert_eq!(b.len(), 2, "peeking must not consume the buffer");
+    }
+
+    #[test]
+    fn partial_flush_matches_streaming() {
+        let mut b = SampleBatch::new();
+        let mut resp_stream = OnlineStats::new();
+        let mut svc_stream = OnlineStats::new();
+        for i in 0..17 {
+            let (r, s) = (0.01 * i as f64 + 0.1, 0.002 * i as f64);
+            b.push(r, s);
+            resp_stream.push(r);
+            svc_stream.push(s);
+        }
+        let mut resp = OnlineStats::new();
+        let mut svc = OnlineStats::new();
+        b.flush_into(&mut resp, &mut svc);
+        assert_eq!(resp.count(), resp_stream.count());
+        assert_eq!(resp.min(), resp_stream.min());
+        assert_eq!(resp.max(), resp_stream.max());
+        assert!((resp.mean() - resp_stream.mean()).abs() < 1e-12);
+        assert!((svc.std_dev() - svc_stream.std_dev()).abs() < 1e-12);
+    }
+}

@@ -35,7 +35,7 @@ use crate::pool::WorkerPool;
 use crate::replay::{peak_rss_kb, qos_verdict, ReplaySource};
 use crate::runner::run_once_warm_with;
 use crate::scenario::{AnalyzerSpec, PolicySpec, Scenario};
-use vmprov_cloudsim::RunSummary;
+use vmprov_cloudsim::{RunSummary, StatsMode};
 use vmprov_des::FelBackend;
 use vmprov_json::{Json, ToJson};
 use vmprov_workloads::{trace_file_opens, TraceSpec};
@@ -58,6 +58,8 @@ pub struct ReplayGrid {
     pub shards: Option<u32>,
     /// FEL backend override applied to every cell.
     pub fel: Option<FelBackend>,
+    /// Per-request stats sink applied to every cell.
+    pub stats: StatsMode,
     /// Base seed (per-rep seeds derive exactly as in the single path).
     pub seed: u64,
     /// Cells per scan wave; `None` = all misses at once (≤ [`MAX_WAVE`]).
@@ -156,7 +158,8 @@ impl ReplayGrid {
     pub fn cell_scenario(&self, analyzer: AnalyzerSpec) -> Scenario {
         let mut s = Scenario::trace_replay(self.spec.clone(), PolicySpec::Adaptive, self.seed)
             .with_analyzer(analyzer)
-            .with_shards(self.shards);
+            .with_shards(self.shards)
+            .with_stats_mode(self.stats);
         if let Some(fel) = self.fel {
             s = s.with_fel_backend(fel);
         }
@@ -359,6 +362,7 @@ mod tests {
             reps: 2,
             shards: None,
             fel: None,
+            stats: StatsMode::Streaming,
             seed: 123,
             concurrency: None,
         };

@@ -46,3 +46,4 @@ pub use scenario::{
     DEFAULT_EWMA_ALPHA, DEFAULT_MLE_WINDOW, ESTIMATOR_HEADROOM, REPLAY_ARRIVAL_RUN,
     SCI_STATIC_SIZES, WEB_STATIC_SIZES,
 };
+pub use vmprov_cloudsim::StatsMode;

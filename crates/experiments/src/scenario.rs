@@ -2,7 +2,7 @@
 //! paper's evaluation (§V) — workload, policy, data center, horizons.
 
 use std::sync::Arc;
-use vmprov_cloudsim::SimConfig;
+use vmprov_cloudsim::{SimConfig, StatsMode};
 use vmprov_core::analyzer::ScheduleAnalyzer;
 use vmprov_core::estimator::{EstimatorAnalyzer, EwmaRate, SlidingWindowMle};
 use vmprov_core::modeler::{ModelerOptions, PerformanceModeler, SizingInputs};
@@ -148,6 +148,14 @@ pub struct Scenario {
     /// scientific workload's off-peak window boundaries) — so batched
     /// cells hash apart from scalar ones in the run cache.
     pub arrival_run: u32,
+    /// Per-request stats sink ([`StatsMode::Streaming`] by default —
+    /// the historical per-completion Welford fold, bit-identical to
+    /// every pre-existing golden). [`StatsMode::Batched`] defers
+    /// samples into 64-wide batches flushed at control ticks:
+    /// statistically equivalent (counters exact, moments within float
+    /// reassociation), but a different accumulation order, so batched
+    /// cells hash apart from streaming ones in the run cache.
+    pub stats_mode: StatsMode,
 }
 
 /// The paper's MaxVMs negotiation cap used by the adaptive modeler.
@@ -199,6 +207,7 @@ impl Scenario {
             analyzer: AnalyzerSpec::Oracle,
             trace: None,
             arrival_run: 1,
+            stats_mode: StatsMode::Streaming,
         }
     }
 
@@ -218,6 +227,7 @@ impl Scenario {
             analyzer: AnalyzerSpec::Oracle,
             trace: None,
             arrival_run: 1,
+            stats_mode: StatsMode::Streaming,
         }
     }
 
@@ -246,6 +256,7 @@ impl Scenario {
             analyzer: AnalyzerSpec::Oracle,
             trace: Some(spec),
             arrival_run: REPLAY_ARRIVAL_RUN,
+            stats_mode: StatsMode::Streaming,
         }
     }
 
@@ -293,6 +304,13 @@ impl Scenario {
         self
     }
 
+    /// Same scenario with a different per-request stats sink (see
+    /// [`Scenario::stats_mode`]).
+    pub fn with_stats_mode(mut self, mode: StatsMode) -> Self {
+        self.stats_mode = mode;
+        self
+    }
+
     /// QoS targets of the scenario.
     pub fn qos(&self) -> QosTargets {
         match self.workload {
@@ -310,6 +328,7 @@ impl Scenario {
         cfg.boot_delay = self.boot_delay;
         cfg.fel_backend = self.fel_backend;
         cfg.arrival_run = self.arrival_run;
+        cfg.metrics.stats = self.stats_mode;
         cfg
     }
 
@@ -558,6 +577,13 @@ impl vmprov_json::ToJson for Scenario {
                 },
             ),
             ("arrival_run", Json::from(self.arrival_run)),
+            (
+                "stats_mode",
+                Json::from(match self.stats_mode {
+                    StatsMode::Streaming => "streaming",
+                    StatsMode::Batched => "batched",
+                }),
+            ),
         ])
     }
 }
@@ -652,6 +678,7 @@ mod tests {
             analyzer: _,
             trace: _,
             arrival_run: _,
+            stats_mode: _,
         } = s.clone();
         let j = s.to_json();
         assert_eq!(j.get("seed").unwrap().as_u64(), Some(5));
@@ -665,6 +692,14 @@ mod tests {
             j.to_string_canonical(),
             batched.to_string_canonical(),
             "batched cells must hash apart from scalar ones"
+        );
+        assert_eq!(j.get("stats_mode").unwrap().as_str(), Some("streaming"));
+        let bstats = s.clone().with_stats_mode(StatsMode::Batched).to_json();
+        assert_eq!(bstats.get("stats_mode").unwrap().as_str(), Some("batched"));
+        assert_ne!(
+            j.to_string_canonical(),
+            bstats.to_string_canonical(),
+            "batched-stats cells must hash apart from streaming ones"
         );
         assert_eq!(j.get("analyzer").unwrap().as_str(), Some("oracle"));
         assert_eq!(j.get("trace"), Some(&vmprov_json::Json::Null));

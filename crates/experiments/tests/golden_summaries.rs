@@ -141,3 +141,20 @@ fn golden_scientific_adaptive_batched() {
         "scientific_adaptive_batched",
     );
 }
+
+// The batched stats sink (`StatsMode::Batched`) defers per-completion
+// Welford folds into 64-sample batches. Integer counters are exact
+// either way, but the float accumulation order differs, so batched
+// runs get their own golden — while the streaming goldens above must
+// keep passing bit-identically when the batched path changes.
+
+#[test]
+fn golden_web_adaptive_stats_batched() {
+    use vmprov_experiments::StatsMode;
+    check_golden(
+        Scenario::web(PolicySpec::Adaptive, 1109)
+            .with_horizon(SimTime::from_secs(1800.0))
+            .with_stats_mode(StatsMode::Batched),
+        "web_adaptive_stats_batched",
+    );
+}

@@ -12,7 +12,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use vmprov_des::FelBackend;
-use vmprov_experiments::{run_once, AnalyzerSpec, GridOutcome, ReplayGrid, ReplaySource, RunCache};
+use vmprov_experiments::{
+    run_once, AnalyzerSpec, GridOutcome, ReplayGrid, ReplaySource, RunCache, StatsMode,
+};
 use vmprov_json::Json;
 use vmprov_workloads::{generate_poisson_csv, TraceSpec, SCAN_DEPTH};
 
@@ -70,6 +72,7 @@ fn shared_scan_grid_matches_independent_scans_across_chunk_sizes() {
             reps: 2,
             shards: None,
             fel: None,
+            stats: StatsMode::Streaming,
             seed: 13,
             concurrency: None,
         };
@@ -122,6 +125,7 @@ fn shared_scan_grid_matches_independent_scans_across_shards_and_backends() {
                 reps: 1,
                 shards,
                 fel: Some(fel),
+                stats: StatsMode::Streaming,
                 seed: 17,
                 concurrency: None,
             };
@@ -150,6 +154,7 @@ fn warm_grid_rerun_is_all_hits_and_byte_identical() {
         reps: 2,
         shards: None,
         fel: None,
+        stats: StatsMode::Streaming,
         seed: 19,
         concurrency: None,
     };
@@ -192,6 +197,7 @@ fn narrow_waves_still_match_and_scan_once_per_wave() {
         reps: 2,
         shards: None,
         fel: None,
+        stats: StatsMode::Streaming,
         seed: 23,
         concurrency: Some(2), // 6 misses → 3 waves of 2
     };
